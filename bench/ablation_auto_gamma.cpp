@@ -1,0 +1,69 @@
+// Ablation of the AUTO tree (Section V): the gamma parameter sets the
+// parallelism target (ready tasks >= gamma * cores) that picks the FlatTS
+// domain size `a` per step. The paper uses gamma = 2. We sweep gamma and
+// core counts through the bounded-resource scheduler with measured kernel
+// times, and report the chosen domain sizes on the first panel.
+#include "bench_common.hpp"
+#include "core/alg_gen.hpp"
+#include "cp/sim_sched.hpp"
+#include "trees/tree.hpp"
+
+namespace {
+using namespace tbsvd;
+using namespace tbsvd::bench;
+}  // namespace
+
+int main() {
+  using namespace tbsvd;
+  using namespace tbsvd::bench;
+
+  const auto ktab = calibrate_kernels(64, 16);
+
+  print_header("AUTO gamma sweep (simulated makespan, p=q=24 tiles)",
+               {"cores", "gamma", "makespan(s)", "util"});
+  for (int cores : {4, 12, 24, 48}) {
+    for (double gamma : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+      AlgConfig cfg;
+      cfg.qr_tree = cfg.lq_tree = TreeKind::Auto;
+      cfg.ncores = cores;
+      cfg.gamma = gamma;
+      auto ops = build_bidiag_ops(24, 24, cfg);
+      const auto r = simulate_schedule(ops, cores, measured_cost(ktab));
+      std::printf("%14d%14.1f%14.4f%14.2f\n", cores, gamma, r.makespan,
+                  r.utilization);
+    }
+  }
+
+  print_header("AUTO domain size a on the first panel (u tiles)",
+               {"u", "cores", "gamma", "ntrail", "a"});
+  for (int u : {8, 24, 64}) {
+    for (int cores : {4, 24}) {
+      for (double gamma : {1.0, 2.0, 4.0}) {
+        AutoConfig ac;
+        ac.ncores = cores;
+        ac.gamma = gamma;
+        ac.ntrail = u - 1;
+        std::printf("%14d%14d%14.1f%14d%14d\n", u, cores, gamma, ac.ntrail,
+                    auto_domain_size(u, ac));
+      }
+    }
+  }
+
+  print_header("AUTO vs fixed trees across core counts (p=q=24 tiles)",
+               {"cores", "FlatTS", "FlatTT", "Greedy", "Auto"});
+  for (int cores : {2, 6, 12, 24, 48}) {
+    double ms[4];
+    const TreeKind trees[] = {TreeKind::FlatTS, TreeKind::FlatTT,
+                              TreeKind::Greedy, TreeKind::Auto};
+    for (int t = 0; t < 4; ++t) {
+      AlgConfig cfg;
+      cfg.qr_tree = cfg.lq_tree = trees[t];
+      cfg.ncores = cores;
+      auto ops = build_bidiag_ops(24, 24, cfg);
+      ms[t] = simulate_schedule(ops, cores, measured_cost(ktab)).makespan;
+    }
+    std::printf("%14d%14.4f%14.4f%14.4f%14.4f\n", cores, ms[0], ms[1], ms[2],
+                ms[3]);
+  }
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Shared helpers for the benchmark harnesses: kernel-time calibration (the
+// measured cost model driving the 24-core / multi-node simulators), table
+// printing, and workload sizing.
+//
+// Every bench prints the series of one paper table/figure. Absolute GFlop/s
+// differ from the paper (hand-written kernels on a small container vs MKL
+// on a 24-core Haswell); the *shape* — which tree/algorithm wins, where
+// crossovers fall — is the reproduction target (see EXPERIMENTS.md).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/timer.hpp"
+#include "core/tile_ops.hpp"
+#include "cp/dag_analysis.hpp"
+#include "kernels/lq_kernels.hpp"
+#include "kernels/qr_kernels.hpp"
+#include "tile/matrix_gen.hpp"
+
+namespace tbsvd::bench {
+
+/// True when TBSVD_BENCH_FULL=1: larger sweeps (several minutes each).
+inline bool full_mode() {
+  const char* v = std::getenv("TBSVD_BENCH_FULL");
+  return v != nullptr && v[0] == '1';
+}
+
+/// Prevents the optimizer from discarding a computed result.
+template <class T>
+inline void benchmark_keep(const T& v) {
+  asm volatile("" : : "g"(&v) : "memory");
+}
+
+/// Measured seconds per tile kernel at (nb, ib): the cost model that turns
+/// schedule simulation into wall-clock / GFlop/s predictions.
+inline std::map<Op, double> calibrate_kernels(int nb, int ib, int reps = 3) {
+  using namespace tbsvd::kernels;
+  std::map<Op, double> out;
+  Matrix a1 = generate_random(nb, nb, 1), a2 = generate_random(nb, nb, 2);
+  Matrix c1 = generate_random(nb, nb, 3), c2 = generate_random(nb, nb, 4);
+  Matrix t(ib, nb);
+
+  auto time_op = [&](auto&& setup, auto&& fn) {
+    double best = 1e300;
+    for (int r = 0; r < reps; ++r) {
+      setup();
+      WallTimer w;
+      fn();
+      best = std::min(best, w.seconds());
+    }
+    return best;
+  };
+  auto reset = [&](Matrix& m, std::uint64_t s) { m = generate_random(nb, nb, s); };
+
+  out[Op::GEQRT] = time_op([&] { reset(a1, 1); },
+                           [&] { geqrt(a1.view(), t.view(), ib); });
+  // Factored (V, T) reused for the update kernels.
+  Matrix vq = generate_random(nb, nb, 11), tq(ib, nb);
+  geqrt(vq.view(), tq.view(), ib);
+  out[Op::UNMQR] = time_op([&] { reset(c1, 5); }, [&] {
+    unmqr(Trans::Yes, vq.cview(), tq.cview(), c1.view(), ib);
+  });
+  Matrix r1 = generate_random(nb, nb, 12), v2 = generate_random(nb, nb, 13);
+  Matrix tts(ib, nb);
+  for (int j = 0; j < nb; ++j)
+    for (int i = j + 1; i < nb; ++i) r1(i, j) = 0;
+  Matrix r1c = r1, v2c = v2;
+  tsqrt(r1c.view(), v2c.view(), tts.view(), ib);
+  out[Op::TSQRT] = time_op(
+      [&] {
+        r1c = r1;
+        v2c = v2;
+      },
+      [&] { tsqrt(r1c.view(), v2c.view(), tts.view(), ib); });
+  out[Op::TSMQR] = time_op([&] { reset(c1, 6); reset(c2, 7); }, [&] {
+    tsmqr(Trans::Yes, c1.view(), c2.view(), v2c.cview(), tts.cview(), ib);
+  });
+  Matrix u1 = r1, u2 = generate_random(nb, nb, 14), ttt(ib, nb);
+  for (int j = 0; j < nb; ++j)
+    for (int i = j + 1; i < nb; ++i) u2(i, j) = 0;
+  Matrix u1c = u1, u2c = u2;
+  ttqrt(u1c.view(), u2c.view(), ttt.view(), ib);
+  out[Op::TTQRT] = time_op(
+      [&] {
+        u1c = u1;
+        u2c = u2;
+      },
+      [&] { ttqrt(u1c.view(), u2c.view(), ttt.view(), ib); });
+  out[Op::TTMQR] = time_op([&] { reset(c1, 8); reset(c2, 9); }, [&] {
+    ttmqr(Trans::Yes, c1.view(), c2.view(), u2c.cview(), ttt.cview(), ib);
+  });
+  // LQ mirrors share the QR costs (verified by test_lq_kernels); reuse.
+  out[Op::GELQT] = out[Op::GEQRT];
+  out[Op::UNMLQ] = out[Op::UNMQR];
+  out[Op::TSLQT] = out[Op::TSQRT];
+  out[Op::TSMLQ] = out[Op::TSMQR];
+  out[Op::TTLQT] = out[Op::TTQRT];
+  out[Op::TTMLQ] = out[Op::TTMQR];
+  out[Op::LASET] = 1e-7;
+  return out;
+}
+
+/// Cost model from a calibration table.
+inline OpCost measured_cost(const std::map<Op, double>& table) {
+  return [table](const TileOp& t) { return table.at(t.op); };
+}
+
+inline void print_header(const std::string& title,
+                         const std::vector<std::string>& cols) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  for (const auto& c : cols) std::printf("%14s", c.c_str());
+  std::printf("\n");
+  for (std::size_t i = 0; i < cols.size(); ++i) std::printf("%14s", "------------");
+  std::printf("\n");
+}
+
+}  // namespace tbsvd::bench

@@ -1,0 +1,110 @@
+// Figure 2, top row: shared-memory GE2BND GFlop/s.
+//   (a) square m = n sweep, BIDIAG, trees FlatTS / FlatTT / Greedy / Auto;
+//   (b) tall-and-skinny, small n  (paper: n = 2000): BIDIAG vs R-BIDIAG;
+//   (c) tall-and-skinny, larger n (paper: n = 10000): same.
+//
+// Two series per configuration:
+//   meas(P=ncores) — real execution on this container's cores;
+//   sim(P=24)      — list-scheduled prediction for the paper's 24-core
+//                    node, driven by measured kernel times (the substitution
+//                    documented in DESIGN.md).
+// Paper shapes to reproduce: Auto best everywhere; FlatTT/Greedy win on
+// small sizes, FlatTS catches up on large sizes; R-BIDIAG overtakes BIDIAG
+// quickly on tall-and-skinny matrices (up to ~1.8x).
+#include <thread>
+
+#include "bench_common.hpp"
+#include "common/flops.hpp"
+#include "core/ge2bnd.hpp"
+#include "core/svd.hpp"
+#include "cp/sim_sched.hpp"
+
+namespace {
+
+using namespace tbsvd;
+using namespace tbsvd::bench;
+
+constexpr int kNb = 64;
+constexpr int kIb = 16;
+
+double measured_gflops(int m, int n, TreeKind tree, BidiagAlg alg,
+                       int nthreads) {
+  TileMatrix A(m, n, kNb);
+  A.from_dense(generate_random(m, n, 42).cview());
+  Ge2bndOptions opt;
+  opt.qr_tree = opt.lq_tree = tree;
+  opt.alg = alg;
+  opt.ib = kIb;
+  opt.nthreads = nthreads;
+  ExecResult r = ge2bnd(A, opt);
+  return flops_ge2bnd(m, n) / r.seconds / 1e9;
+}
+
+double simulated_gflops(int m, int n, TreeKind tree, BidiagAlg alg, int cores,
+                        const std::map<Op, double>& ktab) {
+  const int p = m / kNb, q = n / kNb;
+  AlgConfig cfg;
+  cfg.qr_tree = cfg.lq_tree = tree;
+  cfg.ncores = cores;
+  auto ops = (alg == BidiagAlg::RBidiag) ? build_rbidiag_ops(p, q, cfg)
+                                         : build_bidiag_ops(p, q, cfg);
+  const SimResult r = simulate_schedule(ops, cores, measured_cost(ktab));
+  return flops_ge2bnd(m, n) / r.makespan / 1e9;
+}
+
+}  // namespace
+
+int main() {
+  using namespace tbsvd;
+  using namespace tbsvd::bench;
+
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  const auto ktab = calibrate_kernels(kNb, kIb);
+  const TreeKind trees[] = {TreeKind::FlatTS, TreeKind::FlatTT,
+                            TreeKind::Greedy, TreeKind::Auto};
+
+  // ---- (a) Square BIDIAG ------------------------------------------------
+  print_header("Fig.2a GE2BND square (BIDIAG), GFlop/s",
+               {"M=N", "tree", "meas(P=" + std::to_string(hw) + ")",
+                "sim(P=24)"});
+  std::vector<int> sizes = {256, 512, 768};
+  if (full_mode()) sizes = {256, 512, 768, 1024, 1536, 2048};
+  for (int n : sizes) {
+    for (TreeKind tree : trees) {
+      const double meas =
+          measured_gflops(n, n, tree, BidiagAlg::Bidiag, hw);
+      const double sim =
+          simulated_gflops(n, n, tree, BidiagAlg::Bidiag, 24, ktab);
+      std::printf("%14d%14s%14.2f%14.2f\n", n, tree_name(tree), meas, sim);
+    }
+  }
+
+  // ---- (b)/(c) Tall-and-skinny: BIDIAG vs R-BIDIAG ----------------------
+  struct TsCase {
+    int n;
+    std::vector<int> ms;
+  };
+  std::vector<TsCase> cases = {{128, {256, 512, 1024, 2048}},
+                               {320, {640, 1280, 2560}}};
+  if (full_mode()) {
+    cases = {{128, {256, 512, 1024, 2048, 4096, 8192}},
+             {320, {640, 1280, 2560, 5120}}};
+  }
+  for (const auto& c : cases) {
+    print_header("Fig.2b/c GE2BND tall-skinny N=" + std::to_string(c.n) +
+                     ", GFlop/s",
+                 {"M", "tree", "alg", "meas", "sim(P=24)"});
+    for (int m : c.ms) {
+      for (TreeKind tree : trees) {
+        for (BidiagAlg alg : {BidiagAlg::Bidiag, BidiagAlg::RBidiag}) {
+          const double meas = measured_gflops(m, c.n, tree, alg, hw);
+          const double sim = simulated_gflops(m, c.n, tree, alg, 24, ktab);
+          std::printf("%14d%14s%14s%14.2f%14.2f\n", m, tree_name(tree),
+                      alg == BidiagAlg::Bidiag ? "BiDiag" : "R-BiDiag", meas,
+                      sim);
+        }
+      }
+    }
+  }
+  return 0;
+}

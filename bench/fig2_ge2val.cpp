@@ -1,0 +1,97 @@
+// Figure 2, bottom row: shared-memory GE2VAL (singular values only)
+// GFlop/s against the competitor stand-ins:
+//   tbsvd     — this library: GE2BND (Auto tree; R-BIDIAG on TS shapes)
+//               + BND2BD + BD2VAL               (paper: DPLASMA)
+//   plasma*   — tiled GE2BND with FlatTS tree   (paper: PLASMA)
+//   mkl*      — blocked GEBRD, threaded updates (paper: MKL)
+//   scalapack*— blocked GEBRD, nb = 48, serial  (paper: ScaLAPACK)
+//   elemental*— Chan preQR switch + GEBRD       (paper: Elemental)
+// Paper shapes: the tiled two-stage codes dominate; on tall-and-skinny the
+// one-stage GEBRD codes flatline while tbsvd/elemental keep scaling.
+#include <thread>
+
+#include "baseline/chan.hpp"
+#include "baseline/gebrd.hpp"
+#include "bench_common.hpp"
+#include "common/flops.hpp"
+#include "core/svd.hpp"
+
+namespace {
+
+using namespace tbsvd;
+using namespace tbsvd::bench;
+
+double run_tbsvd(int m, int n, int nthreads, TreeKind tree, BidiagAlg alg) {
+  Matrix A = generate_random(m, n, 7);
+  GesvdOptions o;
+  o.nb = 64;
+  o.ge2bnd.ib = 16;
+  o.ge2bnd.qr_tree = o.ge2bnd.lq_tree = tree;
+  o.ge2bnd.alg = alg;
+  o.ge2bnd.nthreads = nthreads;
+  WallTimer w;
+  auto sv = gesvd_values(A.cview(), o);
+  benchmark_keep(sv);
+  return flops_ge2bnd(m, n) / w.seconds() / 1e9;
+}
+
+double run_gebrd(int m, int n, int nb, int nthreads) {
+  Matrix A = generate_random(m, n, 7);
+  GebrdOptions o;
+  o.nb = nb;
+  o.nthreads = nthreads;
+  WallTimer w;
+  auto sv = gebrd_singular_values(A.cview(), o);
+  benchmark_keep(sv);
+  return flops_ge2bnd(m, n) / w.seconds() / 1e9;
+}
+
+double run_chan(int m, int n, int nthreads) {
+  Matrix A = generate_random(m, n, 7);
+  ChanOptions o;
+  o.gebrd.nb = 32;
+  o.gebrd.nthreads = nthreads;
+  WallTimer w;
+  auto sv = chan_singular_values(A.cview(), o);
+  benchmark_keep(sv);
+  return flops_ge2bnd(m, n) / w.seconds() / 1e9;
+}
+
+}  // namespace
+
+int main() {
+  using namespace tbsvd;
+  using namespace tbsvd::bench;
+
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+
+  print_header("Fig.2d GE2VAL square, GFlop/s",
+               {"M=N", "tbsvd", "plasma*", "mkl*", "scalapack*",
+                "elemental*"});
+  std::vector<int> sizes = {256, 512, 768};
+  if (full_mode()) sizes = {256, 512, 768, 1024, 1536};
+  for (int n : sizes) {
+    std::printf("%14d%14.2f%14.2f%14.2f%14.2f%14.2f\n", n,
+                run_tbsvd(n, n, hw, TreeKind::Auto, BidiagAlg::Bidiag),
+                run_tbsvd(n, n, hw, TreeKind::FlatTS, BidiagAlg::Bidiag),
+                run_gebrd(n, n, 32, hw), run_gebrd(n, n, 48, 1),
+                run_chan(n, n, 1));
+  }
+
+  for (int nfix : {128, 320}) {
+    print_header("Fig.2e/f GE2VAL tall-skinny N=" + std::to_string(nfix) +
+                     ", GFlop/s",
+                 {"M", "tbsvd", "plasma*", "mkl*", "scalapack*",
+                  "elemental*"});
+    std::vector<int> ms = {512, 1024, 2048};
+    if (full_mode()) ms = {512, 1024, 2048, 4096, 8192};
+    for (int m : ms) {
+      std::printf("%14d%14.2f%14.2f%14.2f%14.2f%14.2f\n", m,
+                  run_tbsvd(m, nfix, hw, TreeKind::Auto, BidiagAlg::Auto),
+                  run_tbsvd(m, nfix, hw, TreeKind::FlatTS, BidiagAlg::Bidiag),
+                  run_gebrd(m, nfix, 32, hw), run_gebrd(m, nfix, 48, 1),
+                  run_chan(m, nfix, 1));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Figure 3: distributed-memory strong scaling of GE2BND and GE2VAL on
+// 1..25 nodes of 24 cores (paper: miriel cluster, InfiniBand QDR).
+//
+// This container has no MPI and 2 cores, so the multi-node runs are
+// reproduced with the distributed simulator: the exact task DAGs the
+// runtime would execute, owner-compute placement on the block-cyclic grid,
+// measured kernel times, and an alpha-beta network (DESIGN.md substitution
+// table). Matrix sizes are scaled down from the paper (noted per case);
+// tile-grid aspect ratios are preserved.
+//
+// Paper shapes to reproduce: near-linear GE2BND scaling for Auto; FlatTS
+// slightly ahead on the large square case; Greedy ahead on the first
+// tall-skinny case; GE2VAL saturating because BND2BD+BD2VAL stay on one
+// node (upper bound shown).
+#include "band/bnd2bd.hpp"
+#include "bench_common.hpp"
+#include "core/alg_gen.hpp"
+#include "common/flops.hpp"
+#include "cp/dist_sim.hpp"
+
+namespace {
+
+using namespace tbsvd;
+using namespace tbsvd::bench;
+
+constexpr int kNb = 160;  // paper tile size; simulation only
+constexpr int kIb = 32;
+
+struct Case {
+  const char* label;
+  int m, n;
+  bool rbidiag;
+  bool square_grid;
+};
+
+double seq_tail_seconds(int n, double kernel_gflops) {
+  // BND2BD + BD2VAL on one node, estimated from flop counts at the
+  // calibrated kernel speed (memory-bound stage, conservative).
+  return (flops_bnd2bd(n, kNb) + 30.0 * n * n) / (kernel_gflops * 1e9);
+}
+
+}  // namespace
+
+int main() {
+  using namespace tbsvd;
+  using namespace tbsvd::bench;
+
+  const auto ktab = calibrate_kernels(kNb, kIb);
+  const double kernel_gflops =
+      kernels::flops_geqrt(kNb, kNb) / ktab.at(Op::GEQRT) / 1e9;
+
+  std::vector<Case> cases = {
+      {"square M=N=5120 (paper 20000)", 5120, 5120, false, true},
+      {"square M=N=7680 (paper 30000)", 7680, 7680, false, true},
+      {"TS 200000x2080 (paper 2M x 2000, q=13)", 200000, 2080, true, false},
+      {"TS 100000x4800 (paper 1M x 10000)", 100000, 4800, true, false},
+  };
+  std::vector<int> nodes = {1, 4, 9, 16, 25};
+
+  const TreeKind trees[] = {TreeKind::FlatTS, TreeKind::FlatTT,
+                            TreeKind::Greedy, TreeKind::Auto};
+  DistSimParams params;
+  params.cores_per_node = 24;
+  params.nb = kNb;
+
+  for (const auto& c : cases) {
+    const int p = c.m / kNb, q = c.n / kNb;
+    print_header(std::string("Fig.3 GE2BND strong scaling, ") + c.label +
+                     (c.rbidiag ? " [R-BiDiag]" : " [BiDiag]"),
+                 {"nodes", "tree", "GFlop/s", "comm(GB)"});
+    for (int nn : nodes) {
+      Distribution dist = c.square_grid ? Distribution::square_grid(nn)
+                                        : Distribution::tall_grid(nn);
+      for (TreeKind tree : trees) {
+        AlgConfig cfg;
+        cfg.qr_tree = cfg.lq_tree = tree;
+        cfg.ncores = params.cores_per_node;
+        cfg.dist = (nn > 1) ? &dist : nullptr;
+        auto ops = c.rbidiag ? build_rbidiag_ops(p, q, cfg)
+                             : build_bidiag_ops(p, q, cfg);
+        const auto r =
+            simulate_distributed(ops, dist, params, measured_cost(ktab));
+        std::printf("%14d%14s%14.1f%14.2f\n", nn, tree_name(tree),
+                    flops_ge2bnd(c.m, c.n) / r.makespan / 1e9,
+                    r.comm_volume_bytes / 1e9);
+      }
+    }
+    // GE2VAL: add the single-node band stage (paper's scalability limit).
+    print_header(std::string("Fig.3 GE2VAL strong scaling, ") + c.label,
+                 {"nodes", "GFlop/s", "bound"});
+    const double tail = seq_tail_seconds(c.n, kernel_gflops);
+    for (int nn : nodes) {
+      Distribution dist = c.square_grid ? Distribution::square_grid(nn)
+                                        : Distribution::tall_grid(nn);
+      AlgConfig cfg;
+      cfg.qr_tree = cfg.lq_tree = TreeKind::Auto;
+      cfg.ncores = params.cores_per_node;
+      cfg.dist = (nn > 1) ? &dist : nullptr;
+      auto ops = c.rbidiag ? build_rbidiag_ops(p, q, cfg)
+                           : build_bidiag_ops(p, q, cfg);
+      const auto r =
+          simulate_distributed(ops, dist, params, measured_cost(ktab));
+      const double gf =
+          flops_ge2bnd(c.m, c.n) / (r.makespan + tail) / 1e9;
+      const double bound = flops_ge2bnd(c.m, c.n) / tail / 1e9;
+      std::printf("%14d%14.1f%14.1f\n", nn, gf, bound);
+    }
+  }
+  return 0;
+}

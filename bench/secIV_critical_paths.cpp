@@ -1,0 +1,89 @@
+// Section IV reproduction: critical path lengths of the six algorithms
+// (BIDIAG / R-BIDIAG x FlatTS / FlatTT / Greedy), in units of nb^3/3.
+//
+//  * closed forms vs exact DAG longest paths (they match for BIDIAG —
+//    validating the no-overlap theorem);
+//  * Theorem 1: BIDIAG-Greedy / ((12+6a) q log2 q) -> 1 for p = q^(1+a);
+//  * BIDIAG vs R-BIDIAG ratio -> 1 + a/2 (Equation 2);
+//  * the fixed-q regime where the ratio grows like q (end of Section IV.B).
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "core/alg_gen.hpp"
+#include "cp/cp_formulas.hpp"
+#include "cp/dag_analysis.hpp"
+
+namespace {
+using namespace tbsvd;
+using namespace tbsvd::bench;
+}  // namespace
+
+int main() {
+  using namespace tbsvd;
+  using namespace tbsvd::bench;
+
+  const TreeKind trees[] = {TreeKind::FlatTS, TreeKind::FlatTT,
+                            TreeKind::Greedy};
+
+  print_header("Sec.IV critical paths: BIDIAG closed form vs exact DAG",
+               {"p", "q", "tree", "formula", "DAG", "R-BIDIAG DAG"});
+  const int shapes[][2] = {{8, 8},   {16, 16}, {32, 32}, {16, 4},
+                           {64, 8},  {128, 8}, {40, 40}, {60, 10}};
+  for (const auto& s : shapes) {
+    const int p = s[0], q = s[1];
+    for (TreeKind tree : trees) {
+      AlgConfig cfg;
+      cfg.qr_tree = cfg.lq_tree = tree;
+      const double formula = bidiag_cp_closed_form(tree, p, q);
+      const double dag =
+          analyze_dag(build_bidiag_ops(p, q, cfg)).critical_path;
+      const double rdag =
+          analyze_dag(build_rbidiag_ops(p, q, cfg)).critical_path;
+      std::printf("%14d%14d%14s%14.0f%14.0f%14.0f\n", p, q, tree_name(tree),
+                  formula, dag, rdag);
+    }
+  }
+
+  print_header("Theorem 1: BIDIAG-Greedy / ((12+6a) q log2 q), p = q^(1+a)",
+               {"q", "alpha", "ratio"});
+  for (int q : {32, 64, 128, 256}) {
+    for (double alpha : {0.0, 0.25, 0.5}) {
+      const int p = static_cast<int>(std::pow(q, 1.0 + alpha));
+      const double cp = bidiag_cp_closed_form(TreeKind::Greedy, p, q);
+      std::printf("%14d%14.2f%14.4f\n", q, alpha,
+                  cp / ((12.0 + 6.0 * alpha) * q * std::log2(q)));
+    }
+  }
+
+  print_header(
+      "Eq.(2): BIDIAG / R-BIDIAG critical-path ratio (DAG, Greedy)",
+      {"q", "alpha", "p", "ratio", "1+a/2"});
+  for (int q : {8, 16, 32}) {
+    for (double alpha : {0.0, 0.5}) {
+      const int p = static_cast<int>(std::pow(q, 1.0 + alpha));
+      AlgConfig cfg;
+      cfg.qr_tree = cfg.lq_tree = TreeKind::Greedy;
+      const double b =
+          analyze_dag(build_bidiag_ops(p, q, cfg)).critical_path;
+      const double r =
+          analyze_dag(build_rbidiag_ops(p, q, cfg)).critical_path;
+      std::printf("%14d%14.2f%14d%14.3f%14.2f\n", q, alpha, p, b / r,
+                  1.0 + alpha / 2.0);
+    }
+  }
+
+  print_header("Fixed q, growing p: ratio approaches q (Sec.IV.B end)",
+               {"q", "p", "BIDIAG/R-BIDIAG"});
+  for (int q : {2, 4}) {
+    for (int p : {q * 8, q * 32, q * 128, q * 512}) {
+      AlgConfig cfg;
+      cfg.qr_tree = cfg.lq_tree = TreeKind::Greedy;
+      const double b =
+          analyze_dag(build_bidiag_ops(p, q, cfg)).critical_path;
+      const double r =
+          analyze_dag(build_rbidiag_ops(p, q, cfg)).critical_path;
+      std::printf("%14d%14d%14.3f\n", q, p, b / r);
+    }
+  }
+  return 0;
+}

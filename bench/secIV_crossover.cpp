@@ -1,0 +1,40 @@
+// Section IV.C reproduction: the BIDIAG -> R-BIDIAG switching ratio
+// delta_s = p/q as a function of q, for Greedy trees.
+//
+// Two variants are printed:
+//   estimate — the paper's no-overlap R-BIDIAG costing (the quantity
+//              reported as "oscillating between 5 and 8");
+//   exact    — the true overlapped R-BIDIAG DAG (smaller: overlap between
+//              the QR phase and the bidiagonalization favours R-BIDIAG).
+#include "bench_common.hpp"
+#include "cp/crossover.hpp"
+
+namespace {
+using namespace tbsvd;
+using namespace tbsvd::bench;
+}  // namespace
+
+int main() {
+  using namespace tbsvd;
+  using namespace tbsvd::bench;
+
+  print_header("Sec.IV.C delta_s(q), Greedy trees",
+               {"q", "exact p*", "exact d_s", "estim p*", "estim d_s"});
+  std::vector<int> qs = {2, 3, 4, 5, 6, 8, 10, 12, 16};
+  if (full_mode()) qs.insert(qs.end(), {20, 24, 32});
+  for (int q : qs) {
+    const auto exact = find_crossover(TreeKind::Greedy, q);
+    const auto est = find_crossover_estimate(TreeKind::Greedy, q);
+    std::printf("%14d%14d%14.2f%14d%14.2f\n", q, exact.p_switch,
+                exact.delta_s, est.p_switch, est.delta_s);
+  }
+
+  print_header("delta_s(q) for the flat trees (reference)",
+               {"q", "FlatTS d_s", "FlatTT d_s"});
+  for (int q : {2, 4, 8}) {
+    const auto ts = find_crossover(TreeKind::FlatTS, q);
+    const auto tt = find_crossover(TreeKind::FlatTT, q);
+    std::printf("%14d%14.2f%14.2f\n", q, ts.delta_s, tt.delta_s);
+  }
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Table I reproduction: costs of the six QR tile kernels (and their LQ
+// mirrors) in units of nb^3/3 flops. The paper's weights are
+//   GEQRT 4, UNMQR 6, TSQRT 6, TSMQR 12, TTQRT 2, TTMQR 6.
+// We print measured times normalized so that GEQRT == 4 and the absolute
+// achieved GFlop/s per kernel (google-benchmark timings).
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "common/flops.hpp"
+
+namespace {
+
+using namespace tbsvd;
+using namespace tbsvd::bench;
+
+void report_table(int nb, int ib) {
+  auto t = calibrate_kernels(nb, ib, 5);
+  const double unit = t[Op::GEQRT] / 4.0;  // normalize GEQRT to weight 4
+  print_header("Table I — kernel weights (nb=" + std::to_string(nb) +
+                   ", ib=" + std::to_string(ib) + ")",
+               {"kernel", "paper", "measured", "sec"});
+  const Op ops[] = {Op::GEQRT, Op::UNMQR, Op::TSQRT,
+                    Op::TSMQR, Op::TTQRT, Op::TTMQR};
+  for (Op op : ops) {
+    std::printf("%14s%14.0f%14.2f%14.6f\n", op_name(op), op_weight_units(op),
+                t[op] / unit, t[op]);
+  }
+}
+
+template <int NB, int IB>
+void BM_GEQRT(benchmark::State& state) {
+  Matrix a = generate_random(NB, NB, 1);
+  Matrix t(IB, NB);
+  Matrix a0 = a;
+  for (auto _ : state) {
+    a = a0;
+    kernels::geqrt(a.view(), t.view(), IB);
+    benchmark::DoNotOptimize(a.data());
+  }
+  state.counters["GFlop/s"] = benchmark::Counter(
+      kernels::flops_geqrt(NB, NB) * static_cast<double>(state.iterations()) /
+          1e9,
+      benchmark::Counter::kIsRate);
+}
+
+template <int NB, int IB>
+void BM_TSQRT(benchmark::State& state) {
+  Matrix a1 = generate_random(NB, NB, 2), a2 = generate_random(NB, NB, 3);
+  for (int j = 0; j < NB; ++j)
+    for (int i = j + 1; i < NB; ++i) a1(i, j) = 0;
+  Matrix t(IB, NB), a1c = a1, a2c = a2;
+  for (auto _ : state) {
+    a1c = a1;
+    a2c = a2;
+    kernels::tsqrt(a1c.view(), a2c.view(), t.view(), IB);
+    benchmark::DoNotOptimize(a1c.data());
+  }
+  state.counters["GFlop/s"] = benchmark::Counter(
+      kernels::flops_tsqrt(NB, NB) * static_cast<double>(state.iterations()) /
+          1e9,
+      benchmark::Counter::kIsRate);
+}
+
+template <int NB, int IB>
+void BM_TSMQR(benchmark::State& state) {
+  Matrix r1 = generate_random(NB, NB, 4), v2 = generate_random(NB, NB, 5);
+  for (int j = 0; j < NB; ++j)
+    for (int i = j + 1; i < NB; ++i) r1(i, j) = 0;
+  Matrix t(IB, NB);
+  kernels::tsqrt(r1.view(), v2.view(), t.view(), IB);
+  Matrix c1 = generate_random(NB, NB, 6), c2 = generate_random(NB, NB, 7);
+  for (auto _ : state) {
+    kernels::tsmqr(Trans::Yes, c1.view(), c2.view(), v2.cview(), t.cview(),
+                   IB);
+    benchmark::DoNotOptimize(c1.data());
+  }
+  state.counters["GFlop/s"] = benchmark::Counter(
+      kernels::flops_tsmqr(NB, NB, NB) *
+          static_cast<double>(state.iterations()) / 1e9,
+      benchmark::Counter::kIsRate);
+}
+
+BENCHMARK(BM_GEQRT<128, 32>);
+BENCHMARK(BM_GEQRT<160, 32>);
+BENCHMARK(BM_TSQRT<160, 32>);
+BENCHMARK(BM_TSMQR<160, 32>);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  report_table(160, 32);
+  report_table(128, 16);
+  report_table(64, 8);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,56 @@
+// BIDIAG vs R-BIDIAG on tall-and-skinny matrices (Sections III.C, IV.C,
+// VI.C): times both algorithms across aspect ratios, showing R-BIDIAG's
+// takeover, and prints the critical-path crossover delta_s for the same
+// tile geometry.
+//
+//   ./tall_skinny [n] [max_ratio]
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+#include "common/timer.hpp"
+#include "core/ge2bnd.hpp"
+#include "common/flops.hpp"
+#include "cp/crossover.hpp"
+#include "tile/matrix_gen.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tbsvd;
+  const int n = argc > 1 ? std::atoi(argv[1]) : 192;
+  const int max_ratio = argc > 2 ? std::atoi(argv[2]) : 12;
+  const int nb = 64;
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+
+  std::printf("n = %d fixed, m = ratio * n, nb = %d, %d threads\n", n, nb,
+              hw);
+  std::printf("%8s %14s %14s %10s\n", "m/n", "BiDiag GF/s", "R-BiDiag GF/s",
+              "winner");
+  for (int ratio = 1; ratio <= max_ratio; ratio *= 2) {
+    const int m = ratio * n;
+    double gf[2];
+    for (int a = 0; a < 2; ++a) {
+      TileMatrix A(m, n, nb);
+      A.from_dense(generate_random(m, n, 5 + ratio).cview());
+      Ge2bndOptions opt;
+      opt.qr_tree = opt.lq_tree = TreeKind::Greedy;
+      opt.alg = (a == 0) ? BidiagAlg::Bidiag : BidiagAlg::RBidiag;
+      opt.ib = 16;
+      opt.nthreads = hw;
+      ExecResult r = ge2bnd(A, opt);
+      gf[a] = flops_ge2bnd(m, n) / r.seconds / 1e9;
+    }
+    std::printf("%8d %14.2f %14.2f %10s\n", ratio, gf[0], gf[1],
+                gf[1] > gf[0] ? "R-BiDiag" : "BiDiag");
+  }
+
+  const int q = n / nb;
+  const auto exact = find_crossover(TreeKind::Greedy, q);
+  const auto est = find_crossover_estimate(TreeKind::Greedy, q);
+  std::printf("\ncritical-path crossover at q = %d tiles:\n", q);
+  std::printf("  exact DAG: p* = %d  (delta_s = %.2f)\n", exact.p_switch,
+              exact.delta_s);
+  std::printf("  paper-style estimate: p* = %d  (delta_s = %.2f; paper "
+              "reports 5..8)\n",
+              est.p_switch, est.delta_s);
+  return 0;
+}

@@ -1,0 +1,92 @@
+// ASCII rendition of Figure 1 (the BIDIAG elimination snapshots on a
+// 4 x 3 tile grid) plus a gallery of the reduction trees of Section III/V
+// on one panel: which tile eliminates which, in which kind (TS/TT).
+//
+//   ./tree_gallery [p] [q]
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/alg_gen.hpp"
+#include "trees/hier_tree.hpp"
+#include "trees/tree.hpp"
+
+namespace {
+
+using namespace tbsvd;
+
+// Render the tile grid state after each QR/LQ step of BIDIAG:
+// 'F' full, 'R' upper triangular, 'L' lower triangular, '.' zeroed.
+void figure1(int p, int q) {
+  std::vector<std::vector<char>> g(p, std::vector<char>(q, 'F'));
+  auto show = [&](const char* title) {
+    std::printf("%s\n", title);
+    for (int i = 0; i < p; ++i) {
+      std::printf("    ");
+      for (int j = 0; j < q; ++j) std::printf("%c ", g[i][j]);
+      std::printf("\n");
+    }
+  };
+  std::printf("Figure 1 — BIDIAG snapshots on a %d x %d tile grid\n", p, q);
+  show("  initial:");
+  char buf[64];
+  for (int k = 0; k < q; ++k) {
+    g[k][k] = 'R';
+    for (int i = k + 1; i < p; ++i) g[i][k] = '.';
+    std::snprintf(buf, sizeof buf, "  after QR(%d):", k + 1);
+    show(buf);
+    if (k < q - 1) {
+      g[k][k + 1] = 'L';
+      for (int j = k + 2; j < q; ++j) g[k][j] = '.';
+      std::snprintf(buf, sizeof buf, "  after LQ(%d):", k + 1);
+      show(buf);
+    }
+  }
+}
+
+void gallery(int u) {
+  std::printf("\nReduction trees on one panel of %d tiles "
+              "(pivot = tile 0)\n", u);
+  AutoConfig ac;
+  ac.ncores = 4;
+  ac.gamma = 2.0;
+  ac.ntrail = 3;
+  for (TreeKind kind : {TreeKind::FlatTS, TreeKind::FlatTT, TreeKind::Greedy,
+                        TreeKind::Auto}) {
+    StepPlan plan = make_step_plan(kind, u, &ac);
+    std::printf("  %-7s prep={", tree_name(kind));
+    for (std::size_t i = 0; i < plan.prep.size(); ++i)
+      std::printf("%s%d", i ? "," : "", plan.prep[i]);
+    std::printf("}  elims:");
+    for (const Elim& e : plan.elims) {
+      std::printf(" %d<-%d%s", e.piv, e.row,
+                  e.kind == ElimKind::TS ? "ts" : "tt");
+    }
+    std::printf("\n");
+  }
+  // Hierarchical plan over 3 grid rows (distributed coupling, Section V).
+  HierConfig hc;
+  hc.grid_dim = 3;
+  hc.top_greedy = true;
+  hc.local = TreeKind::FlatTS;
+  StepPlan plan = make_hier_plan(u, 0, hc);
+  std::printf("  %-7s prep={", "Hier3");
+  for (std::size_t i = 0; i < plan.prep.size(); ++i)
+    std::printf("%s%d", i ? "," : "", plan.prep[i]);
+  std::printf("}  elims:");
+  for (const Elim& e : plan.elims) {
+    std::printf(" %d<-%d%s", e.piv, e.row,
+                e.kind == ElimKind::TS ? "ts" : "tt");
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int p = argc > 1 ? std::atoi(argv[1]) : 4;
+  const int q = argc > 2 ? std::atoi(argv[2]) : 3;
+  figure1(p, q);
+  gallery(p > 1 ? 2 * p : 8);
+  return 0;
+}

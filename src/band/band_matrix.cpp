@@ -1,0 +1,49 @@
+#include "band/band_matrix.hpp"
+
+#include "common/check.hpp"
+
+namespace tbsvd {
+
+BandMatrix::BandMatrix(int n, int kl, int ku)
+    : n_(n), kl_(kl), ku_(ku), ldab_(kl + ku + 1),
+      ab_(static_cast<std::size_t>(ldab_) * n, 0.0) {
+  TBSVD_CHECK(n >= 0 && kl >= 0 && ku >= 0, "invalid band dimensions");
+}
+
+Matrix BandMatrix::to_dense() const {
+  Matrix D(n_, n_);
+  for (int j = 0; j < n_; ++j) {
+    const int ilo = std::max(0, j - ku_);
+    const int ihi = std::min(n_ - 1, j + kl_);
+    for (int i = ilo; i <= ihi; ++i) D(i, j) = get(i, j);
+  }
+  return D;
+}
+
+BandMatrix band_from_tiles(const TileMatrix& A) {
+  const int n = A.cols();
+  const int nb = A.nb();
+  const int q = A.nt();
+  BandMatrix B(n, 0, nb);
+  for (int k = 0; k < q; ++k) {
+    // Diagonal tile: upper triangle holds R values.
+    ConstMatrixView d = A.tile(k, k);
+    for (int j = 0; j < nb; ++j) {
+      for (int i = 0; i <= j; ++i) {
+        B.at(k * nb + i, k * nb + j) = d(i, j);
+      }
+    }
+    // Superdiagonal tile: lower triangle holds L values.
+    if (k + 1 < q) {
+      ConstMatrixView s = A.tile(k, k + 1);
+      for (int j = 0; j < nb; ++j) {
+        for (int i = j; i < nb; ++i) {
+          B.at(k * nb + i, (k + 1) * nb + j) = s(i, j);
+        }
+      }
+    }
+  }
+  return B;
+}
+
+}  // namespace tbsvd

@@ -1,0 +1,200 @@
+#include "band/bd2val.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "band/sturm.hpp"
+#include "common/check.hpp"
+#include "lac/givens.hpp"
+
+namespace tbsvd {
+
+namespace {
+
+constexpr double kEps = std::numeric_limits<double>::epsilon();
+
+// Singular values of the 2x2 upper triangular [[f, g], [0, h]]
+// (LAPACK dlas2). Returns {smin, smax}.
+void las2(double f, double g, double h, double& ssmin, double& ssmax) {
+  const double fa = std::fabs(f), ga = std::fabs(g), ha = std::fabs(h);
+  const double fhmn = std::min(fa, ha), fhmx = std::max(fa, ha);
+  if (fhmn == 0.0) {
+    ssmin = 0.0;
+    if (fhmx == 0.0) {
+      ssmax = ga;
+    } else {
+      const double r = std::min(fhmx, ga) / std::max(fhmx, ga);
+      ssmax = std::max(fhmx, ga) * std::sqrt(1.0 + r * r);
+    }
+    return;
+  }
+  if (ga < fhmx) {
+    const double as = 1.0 + fhmn / fhmx;
+    const double at = (fhmx - fhmn) / fhmx;
+    const double au = (ga / fhmx) * (ga / fhmx);
+    const double c = 2.0 / (std::sqrt(as * as + au) + std::sqrt(at * at + au));
+    ssmin = fhmn * c;
+    ssmax = fhmx / c;
+  } else {
+    const double au = fhmx / ga;
+    if (au == 0.0) {
+      ssmin = (fhmn * fhmx) / ga;
+      ssmax = ga;
+    } else {
+      const double as = 1.0 + fhmn / fhmx;
+      const double at = (fhmx - fhmn) / fhmx;
+      const double c = 1.0 / (std::sqrt(1.0 + (as * au) * (as * au)) +
+                              std::sqrt(1.0 + (at * au) * (at * au)));
+      ssmin = (fhmn * c) * au * 2.0;
+      ssmax = ga / (c + c);
+    }
+  }
+}
+
+// One shifted Golub-Kahan QR sweep on block [lo, hi] (inclusive), top-down.
+void sweep_shifted(std::vector<double>& d, std::vector<double>& e, int lo,
+                   int hi, double shift) {
+  double f = (std::fabs(d[lo]) - shift) *
+             (std::copysign(1.0, d[lo]) + shift / d[lo]);
+  double g = e[lo];
+  for (int k = lo; k < hi; ++k) {
+    GivensRotation r1 = lartg(f, g);
+    if (k > lo) e[k - 1] = r1.r;
+    f = r1.c * d[k] + r1.s * e[k];
+    e[k] = r1.c * e[k] - r1.s * d[k];
+    g = r1.s * d[k + 1];
+    d[k + 1] = r1.c * d[k + 1];
+    GivensRotation r2 = lartg(f, g);
+    d[k] = r2.r;
+    f = r2.c * e[k] + r2.s * d[k + 1];
+    d[k + 1] = r2.c * d[k + 1] - r2.s * e[k];
+    if (k < hi - 1) {
+      g = r2.s * e[k + 1];
+      e[k + 1] = r2.c * e[k + 1];
+    }
+  }
+  e[hi - 1] = f;
+}
+
+// One zero-shift (Demmel-Kahan) sweep on block [lo, hi], top-down.
+void sweep_zero_shift(std::vector<double>& d, std::vector<double>& e, int lo,
+                      int hi) {
+  double cs = 1.0, oldcs = 1.0, oldsn = 0.0;
+  double r = d[lo];
+  for (int i = lo; i < hi; ++i) {
+    GivensRotation g1 = lartg(d[i] * cs, e[i]);
+    cs = g1.c;
+    double sn = g1.s;
+    r = g1.r;
+    if (i > lo) e[i - 1] = oldsn * r;
+    GivensRotation g2 = lartg(oldcs * r, d[i + 1] * sn);
+    oldcs = g2.c;
+    oldsn = g2.s;
+    d[i] = g2.r;
+  }
+  const double h = d[hi] * cs;
+  e[hi - 1] = h * oldsn;
+  d[hi] = h * oldcs;
+}
+
+}  // namespace
+
+std::vector<double> bd2val(std::vector<double> d, std::vector<double> e,
+                           const Bd2valOptions& opts) {
+  const int n = static_cast<int>(d.size());
+  TBSVD_CHECK(static_cast<int>(e.size()) >= std::max(0, n - 1),
+              "bd2val: e must have n-1 entries");
+  if (n == 0) return {};
+
+  double smax = 0.0;
+  for (int i = 0; i < n; ++i) smax = std::max(smax, std::fabs(d[i]));
+  for (int i = 0; i + 1 < n; ++i) smax = std::max(smax, std::fabs(e[i]));
+  if (smax == 0.0) return std::vector<double>(n, 0.0);
+
+  const double tol = 16.0 * kEps;
+  const double thresh = tol * smax * 1e-3 +
+      std::numeric_limits<double>::min() / kEps;
+  const long long max_iters =
+      static_cast<long long>(opts.max_sweeps_per_value) * n * n + 100;
+  long long iters = 0;
+  bool fell_back = false;
+
+  int hi = n - 1;
+  while (hi > 0) {
+    if (iters++ > max_iters) {
+      fell_back = true;
+      break;
+    }
+    // Deflate negligible superdiagonals from the bottom.
+    if (std::fabs(e[hi - 1]) <=
+        tol * (std::fabs(d[hi - 1]) + std::fabs(d[hi])) + thresh) {
+      e[hi - 1] = 0.0;
+      --hi;
+      continue;
+    }
+    // Find the start of the unreduced block ending at hi.
+    int lo = hi - 1;
+    while (lo > 0 &&
+           std::fabs(e[lo - 1]) >
+               tol * (std::fabs(d[lo - 1]) + std::fabs(d[lo])) + thresh) {
+      --lo;
+    }
+    if (lo > 0) e[lo - 1] = 0.0;
+
+    if (hi - lo == 0) {
+      --hi;
+      continue;
+    }
+    // Exact 2x2 solve.
+    if (hi - lo == 1) {
+      double ssmin, ssmax;
+      las2(d[lo], e[lo], d[hi], ssmin, ssmax);
+      d[lo] = ssmax;
+      d[hi] = ssmin;
+      e[lo] = 0.0;
+      hi = lo;
+      continue;
+    }
+    // Zero diagonal entry inside the block: a zero-shift sweep drives the
+    // coupling entries toward zero; just use it.
+    bool has_zero_diag = false;
+    for (int i = lo; i <= hi; ++i) {
+      if (d[i] == 0.0) {
+        has_zero_diag = true;
+        break;
+      }
+    }
+    double shift = 0.0;
+    if (!has_zero_diag) {
+      // Shift = smallest singular value of the trailing 2x2.
+      double ssmin, ssmax;
+      las2(d[hi - 1], e[hi - 1], d[hi], ssmin, ssmax);
+      shift = ssmin;
+      double sll = std::fabs(d[lo]);
+      // Demmel-Kahan test: skip the shift when it would wreck relative
+      // accuracy (shift too small compared to the leading entry).
+      if (sll > 0.0) {
+        const double ratio = shift / sll;
+        if (ratio * ratio < kEps) shift = 0.0;
+      }
+    }
+    if (shift == 0.0 || has_zero_diag) {
+      sweep_zero_shift(d, e, lo, hi);
+    } else {
+      sweep_shifted(d, e, lo, hi, shift);
+    }
+  }
+
+  if (fell_back) {
+    TBSVD_CHECK(opts.allow_bisection_fallback,
+                "bd2val: QR iteration failed to converge");
+    return sturm_singular_values(d, e);
+  }
+
+  for (auto& v : d) v = std::fabs(v);
+  std::sort(d.begin(), d.end(), std::greater<>());
+  return d;
+}
+
+}  // namespace tbsvd

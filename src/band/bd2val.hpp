@@ -1,0 +1,30 @@
+// BD2VAL: singular values of an upper bidiagonal matrix.
+//
+// Primary path: implicit QR iteration in the Demmel–Kahan style (shifted
+// Golub–Kahan sweeps, switching to the zero-shift sweep when the shift
+// would spoil relative accuracy) — the algorithm behind LAPACK xBDSQR,
+// which the paper uses for this stage. A Sturm-bisection fallback
+// guarantees termination on pathological inputs.
+#pragma once
+
+#include <vector>
+
+#include "band/bnd2bd.hpp"
+
+namespace tbsvd {
+
+struct Bd2valOptions {
+  int max_sweeps_per_value = 30;  ///< QR iteration budget (LAPACK uses 6n^2)
+  bool allow_bisection_fallback = true;
+};
+
+/// Singular values of the bidiagonal (d, e), sorted descending.
+std::vector<double> bd2val(std::vector<double> d, std::vector<double> e,
+                           const Bd2valOptions& opts = {});
+
+inline std::vector<double> bd2val(const Bidiagonal& b,
+                                  const Bd2valOptions& opts = {}) {
+  return bd2val(b.d, b.e, opts);
+}
+
+}  // namespace tbsvd

@@ -1,0 +1,116 @@
+#include "band/bnd2bd.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "lac/givens.hpp"
+
+namespace tbsvd {
+
+namespace {
+
+// Working band with one subdiagonal slot (column-rotation bulge) and one
+// extra superdiagonal slot (row-rotation bulge).
+class ChaseBand {
+ public:
+  ChaseBand(const BandMatrix& B)
+      : n_(B.n()), ku_(B.ku()), W_(B.n(), 1, B.ku() + 1) {
+    for (int j = 0; j < n_; ++j) {
+      for (int i = std::max(0, j - ku_); i <= j; ++i) {
+        W_.at(i, j) = B.get(i, j);
+      }
+    }
+  }
+
+  // Rotate columns (j-1, j) so that entry (i, j) becomes zero.
+  // Returns true if a subdiagonal bulge appeared at (j, j-1).
+  bool kill_with_col_rotation(int i, int j) {
+    const double f = W_.get(i, j - 1);
+    const double g = W_.get(i, j);
+    if (g == 0.0) return false;
+    const GivensRotation rot = lartg(f, g);
+    const int rlo = std::max(0, j - 1 - W_.ku());
+    const int rhi = std::min(n_ - 1, j);  // deepest nonzero row is diag of j
+    for (int r = rlo; r <= rhi; ++r) {
+      const double x = W_.get(r, j - 1);
+      const double y = W_.get(r, j);
+      if (x == 0.0 && y == 0.0) continue;
+      W_.set(r, j - 1, rot.c * x + rot.s * y);
+      W_.set(r, j, -rot.s * x + rot.c * y);
+    }
+    W_.at(i, j) = 0.0;
+    return j < n_ && W_.get(j, j - 1) != 0.0;
+  }
+
+  // Rotate rows (i-1, i) so that entry (i, i-1) (the subdiagonal bulge)
+  // becomes zero. Returns the column of the new superdiagonal bulge at
+  // row i-1, or -1 if none was created.
+  int kill_with_row_rotation(int i) {
+    const double f = W_.get(i - 1, i - 1);
+    const double g = W_.get(i, i - 1);
+    if (g == 0.0) return -1;
+    const GivensRotation rot = lartg(f, g);
+    const int clo = i - 1;
+    const int chi = std::min(n_ - 1, i + W_.ku() - 1);  // row i extends here
+    for (int c = clo; c <= chi; ++c) {
+      const double x = W_.get(i - 1, c);
+      const double y = W_.get(i, c);
+      if (x == 0.0 && y == 0.0) continue;
+      W_.set(i - 1, c, rot.c * x + rot.s * y);
+      W_.set(i, c, -rot.s * x + rot.c * y);
+    }
+    W_.at(i, i - 1) = 0.0;
+    // A genuine bulge sits exactly at (i-1, i-1 + b + 1) = (i-1, i + b),
+    // one column past the logical band of width b = ku_. If that column
+    // falls off the matrix, the chase ends here.
+    const int bulge_col = i + ku_;
+    return (bulge_col <= n_ - 1 && W_.get(i - 1, bulge_col) != 0.0)
+               ? bulge_col
+               : -1;
+  }
+
+  [[nodiscard]] double entry(int i, int j) const { return W_.get(i, j); }
+  [[nodiscard]] int n() const noexcept { return n_; }
+
+ private:
+  int n_;
+  int ku_;
+  BandMatrix W_;
+};
+
+}  // namespace
+
+Bidiagonal bnd2bd(const BandMatrix& B) {
+  TBSVD_CHECK(B.kl() == 0, "bnd2bd expects an upper-band matrix (kl = 0)");
+  const int n = B.n();
+  Bidiagonal out;
+  out.d.resize(n, 0.0);
+  out.e.resize(std::max(0, n - 1), 0.0);
+  if (n == 0) return out;
+
+  ChaseBand W(B);
+  const int b = B.ku();
+  if (b >= 2) {
+    for (int i = 0; i < n - 1; ++i) {
+      // Clean row i right-to-left: entries (i, i+2 .. i+b).
+      for (int l = std::min(b, n - 1 - i); l >= 2; --l) {
+        // Chase the elimination of (i, i+l) down the band.
+        int ci = i, cj = i + l;
+        while (true) {
+          const bool sub_bulge = W.kill_with_col_rotation(ci, cj);
+          if (!sub_bulge) break;
+          const int bulge_col = W.kill_with_row_rotation(cj);
+          if (bulge_col < 0) break;
+          ci = cj - 1;
+          cj = bulge_col;
+          if (cj - ci < 2) break;  // bulge landed inside the bidiagonal band
+        }
+      }
+    }
+  }
+  for (int i = 0; i < n; ++i) out.d[i] = W.entry(i, i);
+  for (int i = 0; i + 1 < n; ++i) out.e[i] = W.entry(i, i + 1);
+  return out;
+}
+
+}  // namespace tbsvd

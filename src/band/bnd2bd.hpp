@@ -1,0 +1,23 @@
+// BND2BD: reduce an upper-band matrix (bandwidth ku = nb) to upper
+// bidiagonal form with Givens-rotation bulge chasing (the role PLASMA's
+// multithreaded BND2BD plays in the paper; this stage is memory-bound and
+// was executed on a single node even in the paper's distributed runs).
+#pragma once
+
+#include <vector>
+
+#include "band/band_matrix.hpp"
+
+namespace tbsvd {
+
+/// Upper bidiagonal matrix: diagonal d (n) and superdiagonal e (n-1).
+struct Bidiagonal {
+  std::vector<double> d;
+  std::vector<double> e;
+};
+
+/// Reduce B (kl = 0, any ku >= 0) to upper bidiagonal form. The input is
+/// consumed by value into working storage with bulge slots. O(n^2 ku) flops.
+Bidiagonal bnd2bd(const BandMatrix& B);
+
+}  // namespace tbsvd

@@ -1,0 +1,76 @@
+#include "band/sturm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace tbsvd {
+
+int tgk_sturm_count(const std::vector<double>& d, const std::vector<double>& e,
+                    double x) noexcept {
+  // TGK off-diagonal sequence: d[0], e[0], d[1], e[1], ..., d[n-1].
+  // Pivot handling follows LAPACK dstebz: near-zero pivots are clamped to
+  // -pivmin (and counted), which keeps the count monotone in x.
+  const int n = static_cast<int>(d.size());
+  const int N = 2 * n;
+  double bmax2 = 1.0;
+  for (double v : d) bmax2 = std::max(bmax2, v * v);
+  for (int i = 0; i + 1 < n; ++i) bmax2 = std::max(bmax2, e[i] * e[i]);
+  const double pivmin = std::numeric_limits<double>::min() * bmax2;
+
+  int count = 0;
+  double q = -x;  // first diagonal entry of TGK is 0
+  if (std::fabs(q) <= pivmin) q = -pivmin;
+  if (q <= 0.0) ++count;
+  for (int k = 1; k < N; ++k) {
+    const double b = (k % 2 == 1) ? d[(k - 1) / 2] : e[k / 2 - 1];
+    q = -x - b * b / q;
+    if (std::fabs(q) <= pivmin) q = -pivmin;
+    if (q <= 0.0) ++count;
+  }
+  return count;
+}
+
+std::vector<double> sturm_singular_values(const std::vector<double>& d,
+                                          const std::vector<double>& e) {
+  const int n = static_cast<int>(d.size());
+  TBSVD_CHECK(static_cast<int>(e.size()) >= std::max(0, n - 1),
+              "sturm: e must have n-1 entries");
+  if (n == 0) return {};
+
+  // Gershgorin-style upper bound on sigma_max.
+  double bound = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double s = std::fabs(d[i]);
+    if (i > 0) s += std::fabs(e[i - 1]);
+    if (i + 1 < n) s += std::fabs(e[i]);
+    bound = std::max(bound, s);
+  }
+  bound = std::max(bound, std::numeric_limits<double>::min()) * 1.0000001;
+
+  const double eps = std::numeric_limits<double>::epsilon();
+  std::vector<double> sv(n);
+  // Singular value sigma_k (descending, k = 0 largest) satisfies:
+  // #eigenvalues of TGK < x equals n + #(sigma < x) for x > 0.
+  for (int k = 0; k < n; ++k) {
+    // Find x such that exactly (n - 1 - k) singular values are < x ...
+    // bisect for the (k+1)-th largest.
+    double lo = 0.0, hi = bound;
+    const int want = n + (n - 1 - k);  // count threshold separating sigma_k
+    for (int it = 0; it < 120 && hi - lo > eps * bound; ++it) {
+      const double mid = 0.5 * (lo + hi);
+      if (tgk_sturm_count(d, e, mid) > want) {
+        hi = mid;
+      } else {
+        lo = mid;
+      }
+    }
+    sv[k] = 0.5 * (lo + hi);
+  }
+  std::sort(sv.begin(), sv.end(), std::greater<>());
+  return sv;
+}
+
+}  // namespace tbsvd

@@ -1,0 +1,24 @@
+// Bisection on the Golub-Kahan tridiagonal form: robust (if slower)
+// reference method for bidiagonal singular values, used as the bd2val
+// fallback and as an independent oracle in tests.
+//
+// TGK(d, e) is the symmetric tridiagonal matrix with zero diagonal and
+// off-diagonals d1, e1, d2, e2, ..., dn; its eigenvalues are exactly
+// {±sigma_i} of the bidiagonal B(d, e), so a Sturm count locates every
+// singular value by bisection.
+#pragma once
+
+#include <vector>
+
+namespace tbsvd {
+
+/// Number of eigenvalues of TGK(d, e) strictly less than x.
+int tgk_sturm_count(const std::vector<double>& d, const std::vector<double>& e,
+                    double x) noexcept;
+
+/// All singular values of the bidiagonal (d, e), sorted descending,
+/// computed to ~eps * sigma_max absolute accuracy by bisection.
+std::vector<double> sturm_singular_values(const std::vector<double>& d,
+                                          const std::vector<double>& e);
+
+}  // namespace tbsvd

@@ -1,0 +1,34 @@
+#include "baseline/chan.hpp"
+
+#include <algorithm>
+
+#include "band/bd2val.hpp"
+#include "common/check.hpp"
+#include "lac/blas.hpp"
+#include "lac/qr_ref.hpp"
+
+namespace tbsvd {
+
+bool chan_uses_preqr(int m, int n, const ChanOptions& opts) {
+  return static_cast<double>(m) >= opts.switch_ratio * n;
+}
+
+std::vector<double> chan_singular_values(ConstMatrixView A,
+                                         const ChanOptions& opts) {
+  TBSVD_CHECK(A.m >= A.n, "chan_singular_values requires m >= n");
+  const int m = A.m, n = A.n;
+  if (!chan_uses_preqr(m, n, opts)) {
+    return gebrd_singular_values(A, opts.gebrd);
+  }
+  // preQR: factor A = Q R, then bidiagonalize the n x n R.
+  Matrix W(m, n);
+  copy(A, W.view());
+  std::vector<double> tau(n);
+  geqrf(W.view(), tau.data(), opts.qr_nb);
+  Matrix R(n, n);
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i <= j; ++i) R(i, j) = W(i, j);
+  return gebrd_singular_values(R.cview(), opts.gebrd);
+}
+
+}  // namespace tbsvd

@@ -1,0 +1,56 @@
+#include "baseline/gebd2.hpp"
+
+#include <algorithm>
+
+#include "band/bd2val.hpp"
+#include "common/check.hpp"
+#include "lac/blas.hpp"
+#include "lac/householder.hpp"
+
+namespace tbsvd {
+
+void gebd2(MatrixView A, std::vector<double>& d, std::vector<double>& e) {
+  const int m = A.m, n = A.n;
+  TBSVD_CHECK(m >= n, "gebd2 requires m >= n");
+  d.assign(n, 0.0);
+  e.assign(std::max(0, n - 1), 0.0);
+  std::vector<double> work(std::max(m, n));
+
+  for (int j = 0; j < n; ++j) {
+    // Column reflector annihilating A(j+1:m, j).
+    const double tauq =
+        larfg(m - j, A(j, j), &A(std::min(j + 1, m - 1), j), 1);
+    d[j] = A(j, j);
+    if (j < n - 1) {
+      if (tauq != 0.0) {
+        const double ajj = A(j, j);
+        A(j, j) = 1.0;
+        larf_left(tauq, &A(j, j), 1, A.block(j, j + 1, m - j, n - j - 1),
+                  work.data());
+        A(j, j) = ajj;
+      }
+      // Row reflector annihilating A(j, j+2:n).
+      const double taup =
+          larfg(n - j - 1, A(j, j + 1),
+                &A(j, std::min(j + 2, n - 1)), A.ld);
+      e[j] = A(j, j + 1);
+      if (j < m - 1 && taup != 0.0) {
+        const double ajj1 = A(j, j + 1);
+        A(j, j + 1) = 1.0;
+        larf_right(taup, &A(j, j + 1), A.ld,
+                   A.block(j + 1, j + 1, m - j - 1, n - j - 1), work.data());
+        A(j, j + 1) = ajj1;
+      }
+    }
+  }
+}
+
+std::vector<double> gebd2_singular_values(ConstMatrixView A) {
+  Matrix W(A.m, A.n);
+  copy(A, W.view());
+  std::vector<double> d, e;
+  gebd2(W.view(), d, e);
+  return bd2val(std::move(d), std::move(e));
+}
+
+}  // namespace tbsvd

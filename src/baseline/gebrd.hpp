@@ -1,0 +1,34 @@
+// GEBRD: blocked one-stage bidiagonalization (LAPACK xGEBRD / LABRD panel
+// algorithm of Dongarra, Sorensen & Hammarling). Performs ~50% of flops in
+// Level-2 panels and ~50% in Level-3 trailing updates — the algorithm
+// behind the paper's MKL / ScaLAPACK / Elemental competitors. The trailing
+// GEMM updates can be fork-join threaded to emulate a multithreaded-BLAS
+// configuration.
+#pragma once
+
+#include <vector>
+
+#include "lac/dense.hpp"
+
+namespace tbsvd {
+
+struct GebrdOptions {
+  int nb = 32;       ///< panel width
+  int nthreads = 1;  ///< threads for the trailing GEMM updates
+};
+
+/// Panel step: reduce the first kb rows and columns of A (m x n, m >= n)
+/// to bidiagonal form and build X (m x kb), Y (n x kb) so the trailing
+/// matrix update is A := A - U Y^T - X V^T. d/e/tauq/taup hold kb entries.
+void labrd(MatrixView A, int kb, double* d, double* e, double* tauq,
+           double* taup, MatrixView X, MatrixView Y);
+
+/// Reduce dense A (m x n, m >= n) to upper bidiagonal form in place.
+void gebrd(MatrixView A, std::vector<double>& d, std::vector<double>& e,
+           const GebrdOptions& opts = {});
+
+/// Singular values of A via GEBRD + BD2VAL.
+std::vector<double> gebrd_singular_values(ConstMatrixView A,
+                                          const GebrdOptions& opts = {});
+
+}  // namespace tbsvd

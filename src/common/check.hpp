@@ -1,0 +1,45 @@
+// Error-checking macros: TBSVD_CHECK for user-facing argument validation
+// (always on, throws), TBSVD_ASSERT for internal invariants (debug only).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace tbsvd {
+
+/// Thrown when a public API precondition is violated.
+class invalid_argument_error : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown when an iterative numerical method fails to converge.
+class convergence_error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* cond, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "tbsvd check failed: (" << cond << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw invalid_argument_error(os.str());
+}
+}  // namespace detail
+
+}  // namespace tbsvd
+
+#define TBSVD_CHECK(cond, msg)                                        \
+  do {                                                                \
+    if (!(cond))                                                      \
+      ::tbsvd::detail::check_failed(#cond, __FILE__, __LINE__, msg);  \
+  } while (0)
+
+#ifdef NDEBUG
+#define TBSVD_ASSERT(cond) ((void)0)
+#else
+#define TBSVD_ASSERT(cond) TBSVD_CHECK(cond, "internal invariant")
+#endif

@@ -1,0 +1,32 @@
+// Monotonic wall-clock timing used by benchmarks and the runtime tracer.
+#pragma once
+
+#include <chrono>
+
+namespace tbsvd {
+
+/// Simple wall-clock stopwatch over std::chrono::steady_clock.
+class WallTimer {
+ public:
+  WallTimer() noexcept : start_(clock::now()) {}
+
+  /// Restart the stopwatch.
+  void reset() noexcept { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or last reset().
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Absolute timestamp in seconds (arbitrary epoch, monotonic).
+  static double now() noexcept {
+    return std::chrono::duration<double>(clock::now().time_since_epoch())
+        .count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace tbsvd

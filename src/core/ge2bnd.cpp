@@ -1,0 +1,169 @@
+#include "core/ge2bnd.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/timer.hpp"
+#include "kernels/lq_kernels.hpp"
+#include "kernels/qr_kernels.hpp"
+#include "kernels/tgrid.hpp"
+
+namespace tbsvd {
+
+namespace {
+
+// Resolves a symbolic TileAccess to the concrete tile base pointer.
+struct GridSet {
+  TileMatrix* A;
+  TGrid* tqts;
+  TGrid* tqtt;
+  TGrid* tlts;
+  TGrid* tltt;
+
+  // Region-granular dependency key: the three parts of an A-tile map to
+  // three distinct addresses inside the tile (base, +1, +2). For nb == 1
+  // these may collide with a neighbouring tile's key, which only adds
+  // conservative (correct) dependencies.
+  const double* ptr(Grid g, int i, int j, Part part) const {
+    switch (g) {
+      case Grid::A: return A->tile_ptr(i, j) + static_cast<int>(part);
+      case Grid::Tqts: return tqts->tile_ptr(i, j);
+      case Grid::Tqtt: return tqtt->tile_ptr(i, j);
+      case Grid::Tlts: return tlts->tile_ptr(i, j);
+      case Grid::Tltt: return tltt->tile_ptr(i, j);
+    }
+    return nullptr;
+  }
+};
+
+// The kernel call for one op. Captured by value in the task lambda.
+void run_op(const TileOp& t, const GridSet& g, int ib) {
+  TileMatrix& A = *g.A;
+  using namespace kernels;
+  switch (t.op) {
+    case Op::GEQRT:
+      geqrt(A.tile(t.tgt, t.k), g.tqts->tile(t.tgt, t.k), ib);
+      break;
+    case Op::UNMQR:
+      unmqr(Trans::Yes, A.tile(t.tgt, t.k), g.tqts->tile(t.tgt, t.k),
+            A.tile(t.tgt, t.upd), ib);
+      break;
+    case Op::TSQRT:
+      tsqrt(A.tile(t.piv, t.k), A.tile(t.tgt, t.k),
+            g.tqts->tile(t.tgt, t.k), ib);
+      break;
+    case Op::TSMQR:
+      tsmqr(Trans::Yes, A.tile(t.piv, t.upd), A.tile(t.tgt, t.upd),
+            A.tile(t.tgt, t.k), g.tqts->tile(t.tgt, t.k), ib);
+      break;
+    case Op::TTQRT:
+      ttqrt(A.tile(t.piv, t.k), A.tile(t.tgt, t.k),
+            g.tqtt->tile(t.tgt, t.k), ib);
+      break;
+    case Op::TTMQR:
+      ttmqr(Trans::Yes, A.tile(t.piv, t.upd), A.tile(t.tgt, t.upd),
+            A.tile(t.tgt, t.k), g.tqtt->tile(t.tgt, t.k), ib);
+      break;
+    case Op::GELQT:
+      gelqt(A.tile(t.k, t.tgt), g.tlts->tile(t.k, t.tgt), ib);
+      break;
+    case Op::UNMLQ:
+      unmlq(Trans::Yes, A.tile(t.k, t.tgt), g.tlts->tile(t.k, t.tgt),
+            A.tile(t.upd, t.tgt), ib);
+      break;
+    case Op::TSLQT:
+      tslqt(A.tile(t.k, t.piv), A.tile(t.k, t.tgt),
+            g.tlts->tile(t.k, t.tgt), ib);
+      break;
+    case Op::TSMLQ:
+      tsmlq(Trans::Yes, A.tile(t.upd, t.piv), A.tile(t.upd, t.tgt),
+            A.tile(t.k, t.tgt), g.tlts->tile(t.k, t.tgt), ib);
+      break;
+    case Op::TTLQT:
+      ttlqt(A.tile(t.k, t.piv), A.tile(t.k, t.tgt),
+            g.tltt->tile(t.k, t.tgt), ib);
+      break;
+    case Op::TTMLQ:
+      ttmlq(Trans::Yes, A.tile(t.upd, t.piv), A.tile(t.upd, t.tgt),
+            A.tile(t.k, t.tgt), g.tltt->tile(t.k, t.tgt), ib);
+      break;
+    case Op::LASET: {
+      MatrixView tile = A.tile(t.tgt, t.k);
+      if (t.upd == 0) {
+        for (int j = 0; j < tile.n; ++j) {
+          for (int i = 0; i < tile.m; ++i) tile(i, j) = 0.0;
+        }
+      } else {
+        for (int j = 0; j < tile.n; ++j) {
+          for (int i = j + 1; i < tile.m; ++i) tile(i, j) = 0.0;
+        }
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+ExecResult execute_tile_ops(TileMatrix& A, const std::vector<TileOp>& ops,
+                            const ExecOptions& opt) {
+  TFactors tf(A.mt(), A.nt(), std::min(opt.ib, A.nb()), A.nb());
+  return execute_tile_ops(A, ops, opt, tf);
+}
+
+ExecResult execute_tile_ops(TileMatrix& A, const std::vector<TileOp>& ops,
+                            const ExecOptions& opt, TFactors& tf) {
+  TBSVD_CHECK(opt.ib >= 1 && opt.ib <= A.nb(), "ExecOptions: need 1<=ib<=nb");
+  TBSVD_CHECK(opt.nthreads >= 1, "ExecOptions: need nthreads >= 1");
+  GridSet grids{&A, &tf.tqts, &tf.tqtt, &tf.tlts, &tf.tltt};
+
+  TaskGraph graph;
+  std::vector<TileAccess> acc;
+  std::vector<DataRef> refs;
+  for (const TileOp& t : ops) {
+    acc.clear();
+    op_accesses(t, acc);
+    refs.clear();
+    for (const TileAccess& a : acc) {
+      refs.push_back(DataRef{grids.ptr(a.grid, a.i, a.j, a.part), a.access});
+    }
+    graph.submit(op_name(t.op), [t, grids, ib = opt.ib] {
+      run_op(t, grids, ib);
+    }, refs, t.prio);
+  }
+
+  WallTimer timer;
+  if (opt.serial || opt.nthreads == 1) {
+    graph.run_serial();
+  } else {
+    graph.run(opt.nthreads);
+  }
+  ExecResult res;
+  res.seconds = timer.seconds();
+  res.trace = graph.trace();
+  res.ntasks = graph.size();
+  return res;
+}
+
+ExecResult ge2bnd(TileMatrix& A, const Ge2bndOptions& opt) {
+  const int p = A.mt(), q = A.nt();
+  TBSVD_CHECK(p >= q && q >= 1, "ge2bnd requires p >= q >= 1 tiles");
+  AlgConfig cfg;
+  cfg.qr_tree = opt.qr_tree;
+  cfg.lq_tree = opt.lq_tree;
+  cfg.ncores = opt.nthreads;
+  cfg.gamma = opt.gamma;
+
+  const bool use_r = (opt.alg == BidiagAlg::RBidiag) ||
+                     (opt.alg == BidiagAlg::Auto && prefer_rbidiag(p, q));
+  std::vector<TileOp> ops =
+      use_r ? build_rbidiag_ops(p, q, cfg) : build_bidiag_ops(p, q, cfg);
+
+  ExecOptions eo;
+  eo.ib = std::min(opt.ib, A.nb());  // nb caps the useful inner blocking
+  eo.nthreads = opt.nthreads;
+  eo.serial = opt.serial;
+  return execute_tile_ops(A, ops, eo);
+}
+
+}  // namespace tbsvd

@@ -1,0 +1,63 @@
+// GE2BND driver: executes a TileOp stream on a tiled matrix with the task
+// runtime, reducing it to band bidiagonal form (upper bandwidth nb).
+#pragma once
+
+#include <vector>
+
+#include "core/alg_gen.hpp"
+#include "core/tile_ops.hpp"
+#include "kernels/tgrid.hpp"
+#include "runtime/trace.hpp"
+#include "tile/tile_matrix.hpp"
+
+namespace tbsvd {
+
+struct ExecOptions {
+  int ib = 32;         ///< inner blocking of the tile kernels
+  int nthreads = 1;    ///< worker threads (>= 1)
+  bool serial = false; ///< run in submission order (debugging / reference)
+};
+
+struct ExecResult {
+  Trace trace;
+  std::size_t ntasks = 0;
+  double seconds = 0.0;
+};
+
+/// T-factor storage of one factorization (TS/TT x QR/LQ grids). Keep it
+/// alive to form explicit Q / P factors afterwards (core/qform.hpp).
+struct TFactors {
+  TGrid tqts, tqtt, tlts, tltt;
+  TFactors() = default;
+  TFactors(int mt, int nt, int ib, int nb)
+      : tqts(mt, nt, ib, nb), tqtt(mt, nt, ib, nb),
+        tlts(mt, nt, ib, nb), tltt(mt, nt, ib, nb) {}
+};
+
+/// Execute an op stream in place on tiled A. T-factor storage is created
+/// internally and discarded (singular values only, as in the paper's
+/// GE2VAL experiments).
+ExecResult execute_tile_ops(TileMatrix& A, const std::vector<TileOp>& ops,
+                            const ExecOptions& opt);
+
+/// As above, but keeping the T factors in caller-provided storage (must be
+/// constructed as TFactors(A.mt(), A.nt(), opt.ib, A.nb())).
+ExecResult execute_tile_ops(TileMatrix& A, const std::vector<TileOp>& ops,
+                            const ExecOptions& opt, TFactors& tf);
+
+enum class BidiagAlg { Bidiag, RBidiag, Auto };
+
+struct Ge2bndOptions {
+  TreeKind qr_tree = TreeKind::Greedy;
+  TreeKind lq_tree = TreeKind::Greedy;
+  BidiagAlg alg = BidiagAlg::Bidiag;
+  int ib = 32;
+  int nthreads = 1;
+  double gamma = 2.0;  ///< Auto-tree parallelism target multiplier
+  bool serial = false;
+};
+
+/// Reduce tiled A (p >= q tile grid) to band bidiagonal form in place.
+ExecResult ge2bnd(TileMatrix& A, const Ge2bndOptions& opt);
+
+}  // namespace tbsvd

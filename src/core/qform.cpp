@@ -1,0 +1,104 @@
+#include "core/qform.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "kernels/lq_kernels.hpp"
+#include "kernels/qr_kernels.hpp"
+#include "lac/blas.hpp"
+
+namespace tbsvd {
+
+Ge2bndFactors bidiag_factored(TileMatrix A, const Ge2bndOptions& opt) {
+  const int p = A.mt(), q = A.nt();
+  TBSVD_CHECK(p >= q && q >= 1, "bidiag_factored requires p >= q >= 1");
+  Ge2bndFactors f;
+  f.ib = std::min(opt.ib, A.nb());
+  AlgConfig cfg;
+  cfg.qr_tree = opt.qr_tree;
+  cfg.lq_tree = opt.lq_tree;
+  cfg.ncores = opt.nthreads;
+  cfg.gamma = opt.gamma;
+  f.ops = build_bidiag_ops(p, q, cfg);
+  f.A = std::move(A);
+  f.t = TFactors(p, q, f.ib, f.A.nb());
+  ExecOptions eo;
+  eo.ib = f.ib;
+  eo.nthreads = opt.nthreads;
+  eo.serial = opt.serial;
+  execute_tile_ops(f.A, f.ops, eo, f.t);
+  return f;
+}
+
+Matrix form_q(const Ge2bndFactors& f) {
+  using namespace kernels;
+  const int p = f.A.mt(), nb = f.A.nb(), ib = f.ib;
+  const int m = f.A.rows();
+  TileMatrix Q(m, m, nb);
+  for (int i = 0; i < m; ++i) Q.at(i, i) = 1.0;
+
+  // Q^T is the composition of the panel transforms in submission order;
+  // Q = (first)^T (second)^T ... applied to I in reverse with Trans::No.
+  for (auto it = f.ops.rbegin(); it != f.ops.rend(); ++it) {
+    const TileOp& t = *it;
+    if (!op_is_panel(t.op) || op_is_lq(t.op)) continue;
+    for (int jq = 0; jq < p; ++jq) {
+      switch (t.op) {
+        case Op::GEQRT:
+          unmqr(Trans::No, f.A.tile(t.tgt, t.k), f.t.tqts.tile(t.tgt, t.k),
+                Q.tile(t.tgt, jq), ib);
+          break;
+        case Op::TSQRT:
+          tsmqr(Trans::No, Q.tile(t.piv, jq), Q.tile(t.tgt, jq),
+                f.A.tile(t.tgt, t.k), f.t.tqts.tile(t.tgt, t.k), ib);
+          break;
+        case Op::TTQRT:
+          ttmqr(Trans::No, Q.tile(t.piv, jq), Q.tile(t.tgt, jq),
+                f.A.tile(t.tgt, t.k), f.t.tqtt.tile(t.tgt, t.k), ib);
+          break;
+        default:
+          break;
+      }
+    }
+  }
+  return Q.to_dense();
+}
+
+Matrix form_pt(const Ge2bndFactors& f) {
+  using namespace kernels;
+  const int q = f.A.nt(), nb = f.A.nb(), ib = f.ib;
+  const int n = f.A.cols();
+  TileMatrix P(n, n, nb);
+  for (int i = 0; i < n; ++i) P.at(i, i) = 1.0;
+
+  // A is right-multiplied by the LQ panel transforms in submission order:
+  // P = P_1 P_2 ...; form it as I * P_1 * P_2 * ... (forward, Trans::Yes,
+  // matching the update kernels' semantics in the factorization).
+  for (const TileOp& t : f.ops) {
+    if (!op_is_panel(t.op) || !op_is_lq(t.op)) continue;
+    for (int iq = 0; iq < q; ++iq) {
+      switch (t.op) {
+        case Op::GELQT:
+          unmlq(Trans::Yes, f.A.tile(t.k, t.tgt), f.t.tlts.tile(t.k, t.tgt),
+                P.tile(iq, t.tgt), ib);
+          break;
+        case Op::TSLQT:
+          tsmlq(Trans::Yes, P.tile(iq, t.piv), P.tile(iq, t.tgt),
+                f.A.tile(t.k, t.tgt), f.t.tlts.tile(t.k, t.tgt), ib);
+          break;
+        case Op::TTLQT:
+          ttmlq(Trans::Yes, P.tile(iq, t.piv), P.tile(iq, t.tgt),
+                f.A.tile(t.k, t.tgt), f.t.tltt.tile(t.k, t.tgt), ib);
+          break;
+        default:
+          break;
+      }
+    }
+  }
+  Matrix Pd = P.to_dense();
+  Matrix Pt(n, n);
+  transpose(Pd.cview(), Pt.view());
+  return Pt;
+}
+
+}  // namespace tbsvd

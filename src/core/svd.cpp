@@ -1,0 +1,45 @@
+#include "core/svd.hpp"
+
+#include <algorithm>
+
+#include "band/band_matrix.hpp"
+#include "band/bnd2bd.hpp"
+#include "common/check.hpp"
+#include "common/timer.hpp"
+
+namespace tbsvd {
+
+std::vector<double> gesvd_values(TileMatrix& A, const GesvdOptions& opts,
+                                 GesvdTimings* timings) {
+  WallTimer timer;
+  ExecResult r = ge2bnd(A, opts.ge2bnd);
+  const double t1 = timer.seconds();
+
+  BandMatrix band = band_from_tiles(A);
+  Bidiagonal bd = bnd2bd(band);
+  const double t2 = timer.seconds();
+
+  std::vector<double> sv = bd2val(bd, opts.bd2val);
+  const double t3 = timer.seconds();
+
+  if (timings != nullptr) {
+    timings->ge2bnd_seconds = t1;
+    timings->bnd2bd_seconds = t2 - t1;
+    timings->bd2val_seconds = t3 - t2;
+    timings->ge2bnd_tasks = r.ntasks;
+  }
+  return sv;
+}
+
+std::vector<double> gesvd_values(ConstMatrixView A, const GesvdOptions& opts,
+                                 GesvdTimings* timings) {
+  TBSVD_CHECK(A.m >= A.n, "gesvd_values requires m >= n (transpose first)");
+  TileMatrix tiled = tile_from_dense_padded(A, opts.nb);
+  std::vector<double> sv = gesvd_values(tiled, opts, timings);
+  // Padding contributed exactly (padded_n - n) zero singular values at the
+  // tail of the sorted spectrum; keep the leading n.
+  sv.resize(A.n);
+  return sv;
+}
+
+}  // namespace tbsvd

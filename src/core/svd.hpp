@@ -1,0 +1,40 @@
+// GE2VAL: singular values of a general dense matrix via the paper's
+// pipeline GE2BND (tiled, parallel) + BND2BD (bulge chasing) + BD2VAL
+// (bidiagonal QR iteration).
+#pragma once
+
+#include <vector>
+
+#include "band/bd2val.hpp"
+#include "core/ge2bnd.hpp"
+#include "lac/dense.hpp"
+
+namespace tbsvd {
+
+struct GesvdOptions {
+  Ge2bndOptions ge2bnd;
+  int nb = 64;  ///< tile size used when tiling a dense input
+  Bd2valOptions bd2val;
+};
+
+struct GesvdTimings {
+  double ge2bnd_seconds = 0.0;
+  double bnd2bd_seconds = 0.0;
+  double bd2val_seconds = 0.0;
+  std::size_t ge2bnd_tasks = 0;
+  [[nodiscard]] double total() const noexcept {
+    return ge2bnd_seconds + bnd2bd_seconds + bd2val_seconds;
+  }
+};
+
+/// Singular values (descending) of tiled A (consumed in place, p >= q).
+std::vector<double> gesvd_values(TileMatrix& A, const GesvdOptions& opts,
+                                 GesvdTimings* timings = nullptr);
+
+/// Singular values (descending) of a dense m x n matrix, m >= n. The input
+/// is padded to tile multiples internally (zero rows/columns add exactly
+/// zero singular values, which are trimmed from the result).
+std::vector<double> gesvd_values(ConstMatrixView A, const GesvdOptions& opts,
+                                 GesvdTimings* timings = nullptr);
+
+}  // namespace tbsvd

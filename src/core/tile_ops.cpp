@@ -1,0 +1,185 @@
+#include "core/tile_ops.hpp"
+
+#include "common/check.hpp"
+
+namespace tbsvd {
+
+const char* op_name(Op op) noexcept {
+  switch (op) {
+    case Op::GEQRT: return "GEQRT";
+    case Op::UNMQR: return "UNMQR";
+    case Op::TSQRT: return "TSQRT";
+    case Op::TSMQR: return "TSMQR";
+    case Op::TTQRT: return "TTQRT";
+    case Op::TTMQR: return "TTMQR";
+    case Op::GELQT: return "GELQT";
+    case Op::UNMLQ: return "UNMLQ";
+    case Op::TSLQT: return "TSLQT";
+    case Op::TSMLQ: return "TSMLQ";
+    case Op::TTLQT: return "TTLQT";
+    case Op::TTMLQ: return "TTMLQ";
+    case Op::LASET: return "LASET";
+  }
+  return "?";
+}
+
+double op_weight_units(Op op) noexcept {
+  // Table I of the paper; the LQ family mirrors the QR family.
+  switch (op) {
+    case Op::GEQRT:
+    case Op::GELQT: return 4.0;
+    case Op::UNMQR:
+    case Op::UNMLQ: return 6.0;
+    case Op::TSQRT:
+    case Op::TSLQT: return 6.0;
+    case Op::TSMQR:
+    case Op::TSMLQ: return 12.0;
+    case Op::TTQRT:
+    case Op::TTLQT: return 2.0;
+    case Op::TTMQR:
+    case Op::TTMLQ: return 6.0;
+    case Op::LASET: return 0.0;
+  }
+  return 0.0;
+}
+
+bool op_is_panel(Op op) noexcept {
+  switch (op) {
+    case Op::GEQRT:
+    case Op::TSQRT:
+    case Op::TTQRT:
+    case Op::GELQT:
+    case Op::TSLQT:
+    case Op::TTLQT: return true;
+    default: return false;
+  }
+}
+
+bool op_is_lq(Op op) noexcept {
+  switch (op) {
+    case Op::GELQT:
+    case Op::UNMLQ:
+    case Op::TSLQT:
+    case Op::TSMLQ:
+    case Op::TTLQT:
+    case Op::TTMLQ: return true;
+    default: return false;
+  }
+}
+
+namespace {
+
+// Helpers appending region accesses for an A-tile.
+void full_tile(std::vector<TileAccess>& out, int i, int j, Access a) {
+  out.push_back({Grid::A, i, j, Part::Diag, a});
+  out.push_back({Grid::A, i, j, Part::Upper, a});
+  out.push_back({Grid::A, i, j, Part::Lower, a});
+}
+void upper_tri(std::vector<TileAccess>& out, int i, int j, Access a) {
+  out.push_back({Grid::A, i, j, Part::Diag, a});
+  out.push_back({Grid::A, i, j, Part::Upper, a});
+}
+void lower_tri(std::vector<TileAccess>& out, int i, int j, Access a) {
+  out.push_back({Grid::A, i, j, Part::Diag, a});
+  out.push_back({Grid::A, i, j, Part::Lower, a});
+}
+void t_tile(std::vector<TileAccess>& out, Grid g, int i, int j, Access a) {
+  out.push_back({g, i, j, Part::Diag, a});
+}
+
+}  // namespace
+
+void op_accesses(const TileOp& t, std::vector<TileAccess>& out) {
+  switch (t.op) {
+    case Op::GEQRT:
+      full_tile(out, t.tgt, t.k, Access::ReadWrite);
+      t_tile(out, Grid::Tqts, t.tgt, t.k, Access::Write);
+      break;
+    case Op::UNMQR:
+      // Reads only the Householder vectors (strictly below the diagonal).
+      out.push_back({Grid::A, t.tgt, t.k, Part::Lower, Access::Read});
+      t_tile(out, Grid::Tqts, t.tgt, t.k, Access::Read);
+      full_tile(out, t.tgt, t.upd, Access::ReadWrite);
+      break;
+    case Op::TSQRT:
+      upper_tri(out, t.piv, t.k, Access::ReadWrite);   // pivot R rows
+      full_tile(out, t.tgt, t.k, Access::ReadWrite);   // V2 fills the tile
+      t_tile(out, Grid::Tqts, t.tgt, t.k, Access::Write);
+      break;
+    case Op::TSMQR:
+      full_tile(out, t.piv, t.upd, Access::ReadWrite);
+      full_tile(out, t.tgt, t.upd, Access::ReadWrite);
+      full_tile(out, t.tgt, t.k, Access::Read);
+      t_tile(out, Grid::Tqts, t.tgt, t.k, Access::Read);
+      break;
+    case Op::TTQRT:
+      // Touches only the triangular factors; V data of prior GEQRTs in the
+      // strict lower parts stays readable concurrently.
+      upper_tri(out, t.piv, t.k, Access::ReadWrite);
+      upper_tri(out, t.tgt, t.k, Access::ReadWrite);
+      t_tile(out, Grid::Tqtt, t.tgt, t.k, Access::Write);
+      break;
+    case Op::TTMQR:
+      full_tile(out, t.piv, t.upd, Access::ReadWrite);
+      full_tile(out, t.tgt, t.upd, Access::ReadWrite);
+      upper_tri(out, t.tgt, t.k, Access::Read);  // V2 lives in the upper part
+      t_tile(out, Grid::Tqtt, t.tgt, t.k, Access::Read);
+      break;
+    case Op::GELQT:
+      full_tile(out, t.k, t.tgt, Access::ReadWrite);
+      t_tile(out, Grid::Tlts, t.k, t.tgt, Access::Write);
+      break;
+    case Op::UNMLQ:
+      out.push_back({Grid::A, t.k, t.tgt, Part::Upper, Access::Read});
+      t_tile(out, Grid::Tlts, t.k, t.tgt, Access::Read);
+      full_tile(out, t.upd, t.tgt, Access::ReadWrite);
+      break;
+    case Op::TSLQT:
+      lower_tri(out, t.k, t.piv, Access::ReadWrite);
+      full_tile(out, t.k, t.tgt, Access::ReadWrite);
+      t_tile(out, Grid::Tlts, t.k, t.tgt, Access::Write);
+      break;
+    case Op::TSMLQ:
+      full_tile(out, t.upd, t.piv, Access::ReadWrite);
+      full_tile(out, t.upd, t.tgt, Access::ReadWrite);
+      full_tile(out, t.k, t.tgt, Access::Read);
+      t_tile(out, Grid::Tlts, t.k, t.tgt, Access::Read);
+      break;
+    case Op::TTLQT:
+      lower_tri(out, t.k, t.piv, Access::ReadWrite);
+      lower_tri(out, t.k, t.tgt, Access::ReadWrite);
+      t_tile(out, Grid::Tltt, t.k, t.tgt, Access::Write);
+      break;
+    case Op::TTMLQ:
+      full_tile(out, t.upd, t.piv, Access::ReadWrite);
+      full_tile(out, t.upd, t.tgt, Access::ReadWrite);
+      lower_tri(out, t.k, t.tgt, Access::Read);  // V2 lives in the lower part
+      t_tile(out, Grid::Tltt, t.k, t.tgt, Access::Read);
+      break;
+    case Op::LASET:
+      if (t.upd == 0) {
+        full_tile(out, t.tgt, t.k, Access::Write);
+      } else {
+        out.push_back({Grid::A, t.tgt, t.k, Part::Lower, Access::Write});
+      }
+      break;
+  }
+}
+
+void op_output_tile(const TileOp& t, int& i, int& j) noexcept {
+  if (t.op == Op::LASET) {
+    i = t.tgt;
+    j = t.k;
+    return;
+  }
+  if (!op_is_lq(t.op)) {
+    // QR family: the eliminated / updated tile row is tgt.
+    i = t.tgt;
+    j = (t.upd >= 0) ? t.upd : t.k;
+  } else {
+    i = (t.upd >= 0) ? t.upd : t.k;
+    j = t.tgt;
+  }
+}
+
+}  // namespace tbsvd

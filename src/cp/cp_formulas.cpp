@@ -1,0 +1,77 @@
+#include "cp/cp_formulas.hpp"
+
+#include "common/check.hpp"
+
+namespace tbsvd {
+
+int ceil_log2(int x) noexcept {
+  int r = 0, s = 1;
+  while (s < x) {
+    s <<= 1;
+    ++r;
+  }
+  return r;
+}
+
+double qr_step_cp(TreeKind tree, int u, int v) {
+  TBSVD_CHECK(u >= 1 && v >= 1, "qr_step_cp: need u, v >= 1");
+  switch (tree) {
+    case TreeKind::FlatTS:
+      return (v == 1) ? 4.0 + 6.0 * (u - 1) : 10.0 + 12.0 * (u - 1);
+    case TreeKind::FlatTT:
+      return (v == 1) ? 4.0 + 2.0 * (u - 1) : 10.0 + 6.0 * (u - 1);
+    case TreeKind::Greedy:
+      return (v == 1) ? 4.0 + 2.0 * ceil_log2(u) : 10.0 + 6.0 * ceil_log2(u);
+    case TreeKind::Auto:
+      break;
+  }
+  TBSVD_CHECK(false,
+              "Auto adapts to bounded resources; its unbounded critical "
+              "path is not defined (paper, end of Section V)");
+  return 0.0;
+}
+
+double lq_step_cp(TreeKind tree, int u, int v) { return qr_step_cp(tree, v, u); }
+
+double bidiag_cp(TreeKind tree, int p, int q) {
+  TBSVD_CHECK(p >= q && q >= 1, "bidiag_cp: need p >= q >= 1");
+  // Steps are proven not to overlap (Section IV.A), so the critical path
+  // is the sum of the per-step critical paths. Step QR(k) sees a
+  // (p-k+1, q-k+1) panel; step LQ(k) a (p-k+1, q-k) one (1-based k).
+  double total = 0.0;
+  for (int k = 1; k <= q; ++k) {
+    total += qr_step_cp(tree, p - k + 1, q - k + 1);
+    if (k <= q - 1) total += lq_step_cp(tree, p - k + 1, q - k);
+  }
+  return total;
+}
+
+double bidiag_cp_closed_form(TreeKind tree, int p, int q) {
+  TBSVD_CHECK(p >= q && q >= 1, "closed form: need p >= q >= 1");
+  const double pd = p, qd = q;
+  switch (tree) {
+    case TreeKind::FlatTS:
+      return 12.0 * pd * qd - 6.0 * pd + 2.0 * qd - 4.0;
+    case TreeKind::FlatTT:
+      return 6.0 * pd * qd - 4.0 * pd + 12.0 * qd - 10.0;
+    case TreeKind::Greedy: {
+      double total = 4.0 + 2.0 * ceil_log2(p + 1 - q);
+      for (int k = 1; k <= q - 1; ++k) {
+        total += 10.0 + 6.0 * ceil_log2(p + 1 - k);
+        total += 10.0 + 6.0 * ceil_log2(q - k);
+      }
+      return total;
+    }
+    case TreeKind::Auto:
+      break;
+  }
+  TBSVD_CHECK(false, "no closed form for the Auto tree");
+  return 0.0;
+}
+
+double rbidiag_cp_estimate(TreeKind tree, int p, int q, double hqr_cp) {
+  TBSVD_CHECK(p >= q && q >= 1, "rbidiag estimate: need p >= q >= 1");
+  return hqr_cp + bidiag_cp(tree, q, q) - qr_step_cp(tree, q, q);
+}
+
+}  // namespace tbsvd

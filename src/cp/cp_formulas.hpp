@@ -1,0 +1,38 @@
+// Closed-form critical path lengths from Section IV of the paper, in units
+// of nb^3/3 flops (Table I). These are validated against the DAG analyzer
+// (cp/dag_analysis) in the test suite — equality also confirms the paper's
+// theorem that consecutive QR/LQ steps cannot overlap.
+#pragma once
+
+#include "trees/tree.hpp"
+
+namespace tbsvd {
+
+/// Critical path of one QR step on a (u, v)-tile panel (u rows, v columns
+/// including the panel column), for FlatTS / FlatTT / Greedy.
+[[nodiscard]] double qr_step_cp(TreeKind tree, int u, int v);
+
+/// Critical path of one LQ step: LQ1step(u, v) = QR1step(v, u).
+[[nodiscard]] double lq_step_cp(TreeKind tree, int u, int v);
+
+/// BIDIAG critical path as the sum of its 2q-1 non-overlapping steps.
+[[nodiscard]] double bidiag_cp(TreeKind tree, int p, int q);
+
+/// Closed forms of Section IV.A (must equal bidiag_cp):
+///   FLATTS: 12pq - 6p + 2q - 4
+///   FLATTT:  6pq - 4p + 12q - 10
+///   GREEDY:  sum_{k=1}^{q-1} (10 + 6 ceil(log2(p+1-k)))
+///          + sum_{k=1}^{q-1} (10 + 6 ceil(log2(q-k)))
+///          + 4 + 2 ceil(log2(p+1-q))
+[[nodiscard]] double bidiag_cp_closed_form(TreeKind tree, int p, int q);
+
+/// Paper-style (no-overlap) estimate of the R-BIDIAG critical path:
+/// CP(QR(p,q)) + CP(BIDIAG(q,q)) - CP(QR step 1 of the q x q matrix).
+/// The true DAG value (with overlap) is <= this estimate.
+[[nodiscard]] double rbidiag_cp_estimate(TreeKind tree, int p, int q,
+                                         double hqr_cp);
+
+/// ceil(log2(x)) for x >= 1.
+[[nodiscard]] int ceil_log2(int x) noexcept;
+
+}  // namespace tbsvd

@@ -1,0 +1,60 @@
+#include "cp/crossover.hpp"
+
+#include "common/check.hpp"
+#include "core/alg_gen.hpp"
+#include "cp/cp_formulas.hpp"
+#include "cp/dag_analysis.hpp"
+
+namespace tbsvd {
+
+CrossoverResult find_crossover(TreeKind tree, int q, int p_max) {
+  TBSVD_CHECK(q >= 1, "find_crossover: need q >= 1");
+  if (p_max <= 0) p_max = 16 * q + 16;
+  AlgConfig cfg;
+  cfg.qr_tree = tree;
+  cfg.lq_tree = tree;
+
+  CrossoverResult res;
+  res.q = q;
+  for (int p = q; p <= p_max; ++p) {
+    const double b = analyze_dag(build_bidiag_ops(p, q, cfg)).critical_path;
+    const double r = analyze_dag(build_rbidiag_ops(p, q, cfg)).critical_path;
+    if (r < b) {
+      res.p_switch = p;
+      res.delta_s = static_cast<double>(p) / q;
+      res.bidiag_cp_at_switch = b;
+      res.rbidiag_cp_at_switch = r;
+      return res;
+    }
+  }
+  res.p_switch = -1;  // no crossover within the scanned range
+  return res;
+}
+
+CrossoverResult find_crossover_estimate(TreeKind tree, int q, int p_max) {
+  TBSVD_CHECK(q >= 1, "find_crossover_estimate: need q >= 1");
+  if (p_max <= 0) p_max = 24 * q + 24;
+  AlgConfig cfg;
+  cfg.qr_tree = tree;
+  cfg.lq_tree = tree;
+
+  CrossoverResult res;
+  res.q = q;
+  for (int p = q; p <= p_max; ++p) {
+    const double b = bidiag_cp(tree, p, q);
+    const double hqr =
+        analyze_dag(build_hqr_ops(p, q, cfg)).critical_path;
+    const double r = rbidiag_cp_estimate(tree, p, q, hqr);
+    if (r < b) {
+      res.p_switch = p;
+      res.delta_s = static_cast<double>(p) / q;
+      res.bidiag_cp_at_switch = b;
+      res.rbidiag_cp_at_switch = r;
+      return res;
+    }
+  }
+  res.p_switch = -1;
+  return res;
+}
+
+}  // namespace tbsvd

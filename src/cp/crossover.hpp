@@ -1,0 +1,32 @@
+// BIDIAG vs R-BIDIAG switching point delta_s (Section IV.C): for a given q,
+// the ratio p/q beyond which R-BIDIAG has the shorter critical path. The
+// paper reports that delta_s is a complicated function of q oscillating
+// between 5 and 8 for Greedy trees.
+#pragma once
+
+#include "trees/tree.hpp"
+
+namespace tbsvd {
+
+struct CrossoverResult {
+  int q = 0;
+  int p_switch = 0;       ///< smallest p with CP(R-BIDIAG) < CP(BIDIAG)
+  double delta_s = 0.0;   ///< p_switch / q
+  double bidiag_cp_at_switch = 0.0;
+  double rbidiag_cp_at_switch = 0.0;
+};
+
+/// Exact DAG-based crossover for the given tree (scans p upward from q;
+/// p_max caps the scan). Uses the true overlapped R-BIDIAG DAG, which
+/// favours R-BIDIAG more than the paper's no-overlap estimate, so this
+/// delta_s sits below the paper's 5..8 band.
+[[nodiscard]] CrossoverResult find_crossover(TreeKind tree, int q,
+                                             int p_max = 0);
+
+/// Paper-style crossover: R-BIDIAG costed as CP(QR(p,q)) + CP(BIDIAG(q,q))
+/// - CP(QR step 1) with no phase overlap (Section IV.B). This is the
+/// quantity whose delta_s the paper reports oscillating in [5, 8].
+[[nodiscard]] CrossoverResult find_crossover_estimate(TreeKind tree, int q,
+                                                      int p_max = 0);
+
+}  // namespace tbsvd

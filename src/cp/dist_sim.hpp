@@ -1,0 +1,35 @@
+// Distributed-memory simulator: list scheduling with nodes of P cores,
+// owner-compute task placement (a task runs on the node owning its output
+// tile under the 2D block-cyclic distribution) and an alpha-beta network
+// model for every DAG edge that crosses a node boundary — the substitute
+// for the paper's 25-node InfiniBand runs (Figures 3 and 4).
+#pragma once
+
+#include "cp/dag_analysis.hpp"
+#include "tile/distribution.hpp"
+
+namespace tbsvd {
+
+struct DistSimParams {
+  int cores_per_node = 24;     ///< miriel: 2x12-core Haswell
+  double alpha = 2.0e-6;       ///< per-message latency (s)
+  double beta = 1.0 / 4.0e9;   ///< inverse bandwidth (s/byte); QDR ~40Gb/s
+  int nb = 160;                ///< tile size (message = nb*nb doubles)
+  double tile_bytes() const { return 8.0 * nb * nb; }
+  double edge_cost() const { return alpha + tile_bytes() * beta; }
+};
+
+struct DistSimResult {
+  double makespan = 0.0;
+  double total_work = 0.0;
+  double comm_volume_bytes = 0.0;  ///< total bytes crossing node boundaries
+  std::size_t cross_edges = 0;
+};
+
+/// Simulate an op stream on the given process grid. `cost` returns the
+/// task execution time in seconds.
+[[nodiscard]] DistSimResult simulate_distributed(
+    const std::vector<TileOp>& ops, const Distribution& dist,
+    const DistSimParams& params, const OpCost& cost);
+
+}  // namespace tbsvd

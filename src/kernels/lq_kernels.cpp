@@ -1,0 +1,306 @@
+#include "kernels/lq_kernels.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.hpp"
+#include "lac/householder.hpp"
+
+namespace tbsvd::kernels {
+
+namespace {
+
+thread_local std::vector<double> g_tau;
+thread_local std::vector<double> g_w;
+thread_local std::vector<double> g_w2;
+
+double* scratch(std::vector<double>& v, std::size_t n) {
+  if (v.size() < n) v.resize(n);
+  return v.data();
+}
+
+// W -= W2 element-wise helper for subtracting triangular products.
+void sub_inplace(MatrixView C, ConstMatrixView W) {
+  for (int j = 0; j < C.n; ++j) {
+    double* cj = C.col(j);
+    const double* wj = W.col(j);
+    for (int i = 0; i < C.m; ++i) cj[i] -= wj[i];
+  }
+}
+
+}  // namespace
+
+void gelqt(MatrixView A, MatrixView T, int ib) {
+  const int m = A.m, n = A.n;
+  const int k = std::min(m, n);
+  TBSVD_CHECK(ib >= 1 && T.m >= std::min(ib, k) && T.n >= k,
+              "gelqt: bad ib or T shape");
+  double* tau = scratch(g_tau, static_cast<std::size_t>(k));
+
+  for (int i0 = 0; i0 < k; i0 += ib) {
+    const int kb = std::min(ib, k - i0);
+    // --- Factor the row panel. ---
+    for (int il = 0; il < kb; ++il) {
+      const int i = i0 + il;
+      tau[i] = larfg(n - i, A(i, i), &A(i, std::min(i + 1, n - 1)), A.ld);
+      for (int ii = i + 1; ii < i0 + kb; ++ii) {
+        double w = A(ii, i) +
+                   dot(n - i - 1, &A(i, i + 1), A.ld, &A(ii, i + 1), A.ld);
+        w *= tau[i];
+        A(ii, i) -= w;
+        axpy(n - i - 1, -w, &A(i, i + 1), A.ld, &A(ii, i + 1), A.ld);
+      }
+    }
+    // --- Accumulate T (row-storage larft). ---
+    MatrixView Tp = T.block(0, i0, kb, kb);
+    for (int il = 0; il < kb; ++il) {
+      const int i = i0 + il;
+      if (il > 0) {
+        for (int pl = 0; pl < il; ++pl) {
+          const int ip = i0 + pl;
+          Tp(pl, il) =
+              -tau[i] * (A(ip, i) + dot(n - i - 1, &A(ip, i + 1), A.ld,
+                                        &A(i, i + 1), A.ld));
+        }
+        MatrixView tcol{Tp.col(il), il, 1, Tp.ld};
+        trmm_left(UpLo::Upper, Trans::No, Diag::NonUnit,
+                  ConstMatrixView{Tp.a, il, il, Tp.ld}, tcol);
+      }
+      Tp(il, il) = tau[i];
+    }
+    // --- Apply the block reflector to trailing rows. ---
+    const int mr = m - i0 - kb;
+    if (mr > 0) {
+      ConstMatrixView V1 = A.block(i0, i0, kb, kb);  // unit upper
+      MatrixView Ca = A.block(i0 + kb, i0, mr, kb);
+      MatrixView W{scratch(g_w, static_cast<std::size_t>(mr) * kb), mr, kb,
+                   mr};
+      copy(Ca, W);
+      trmm_right(UpLo::Upper, Trans::Yes, Diag::Unit, W, V1);
+      const int ntail = n - i0 - kb;
+      if (ntail > 0) {
+        ConstMatrixView V2p = A.block(i0, i0 + kb, kb, ntail);
+        ConstMatrixView Cb = A.block(i0 + kb, i0 + kb, mr, ntail);
+        gemm(Trans::No, Trans::Yes, 1.0, Cb, V2p, 1.0, W);
+      }
+      trmm_right(UpLo::Upper, Trans::No, Diag::NonUnit, W, Tp);
+      MatrixView W2{scratch(g_w2, static_cast<std::size_t>(mr) * kb), mr, kb,
+                    mr};
+      copy(W, W2);
+      trmm_right(UpLo::Upper, Trans::No, Diag::Unit, W2, V1);
+      sub_inplace(Ca, W2);
+      if (ntail > 0) {
+        ConstMatrixView V2p = A.block(i0, i0 + kb, kb, ntail);
+        gemm(Trans::No, Trans::No, -1.0, W, V2p, 1.0,
+             A.block(i0 + kb, i0 + kb, mr, ntail));
+      }
+    }
+  }
+}
+
+void unmlq(Trans trans, ConstMatrixView V, ConstMatrixView T, MatrixView C,
+           int ib) {
+  const int k = std::min(V.m, V.n);
+  const int n = V.n;
+  const int mc = C.m;
+  TBSVD_CHECK(C.n == n, "unmlq: V/C column mismatch");
+  const int npanels = (k + ib - 1) / ib;
+  for (int b = 0; b < npanels; ++b) {
+    // C Q^T applies panels forward with T; C Q backward with T^T.
+    const int pb = (trans == Trans::Yes) ? b : npanels - 1 - b;
+    const int i0 = pb * ib;
+    const int kb = std::min(ib, k - i0);
+    ConstMatrixView V1 = V.block(i0, i0, kb, kb);
+    MatrixView Ca = C.block(0, i0, mc, kb);
+    MatrixView W{scratch(g_w, static_cast<std::size_t>(mc) * kb), mc, kb, mc};
+    copy(Ca, W);
+    trmm_right(UpLo::Upper, Trans::Yes, Diag::Unit, W, V1);
+    const int ntail = n - i0 - kb;
+    if (ntail > 0) {
+      gemm(Trans::No, Trans::Yes, 1.0, C.block(0, i0 + kb, mc, ntail),
+           V.block(i0, i0 + kb, kb, ntail), 1.0, W);
+    }
+    trmm_right(UpLo::Upper, trans == Trans::Yes ? Trans::No : Trans::Yes,
+               Diag::NonUnit, W, T.block(0, i0, kb, kb));
+    MatrixView W2{scratch(g_w2, static_cast<std::size_t>(mc) * kb), mc, kb,
+                  mc};
+    copy(W, W2);
+    trmm_right(UpLo::Upper, Trans::No, Diag::Unit, W2, V1);
+    sub_inplace(Ca, W2);
+    if (ntail > 0) {
+      gemm(Trans::No, Trans::No, -1.0, W, V.block(i0, i0 + kb, kb, ntail),
+           1.0, C.block(0, i0 + kb, mc, ntail));
+    }
+  }
+}
+
+void tslqt(MatrixView A1, MatrixView A2, MatrixView T, int ib) {
+  const int n1 = A1.m;
+  const int m2 = A2.n;
+  TBSVD_CHECK(A1.n == n1 && A2.m == n1, "tslqt: shape mismatch");
+  double* tau = scratch(g_tau, static_cast<std::size_t>(n1));
+
+  for (int i0 = 0; i0 < n1; i0 += ib) {
+    const int kb = std::min(ib, n1 - i0);
+    // --- Factor the row panel: reflectors live in A2's rows. ---
+    for (int il = 0; il < kb; ++il) {
+      const int i = i0 + il;
+      tau[i] = larfg(m2 + 1, A1(i, i), &A2(i, 0), A2.ld);
+      for (int ii = i + 1; ii < i0 + kb; ++ii) {
+        double w = A1(ii, i) + dot(m2, &A2(i, 0), A2.ld, &A2(ii, 0), A2.ld);
+        w *= tau[i];
+        A1(ii, i) -= w;
+        axpy(m2, -w, &A2(i, 0), A2.ld, &A2(ii, 0), A2.ld);
+      }
+    }
+    // --- Accumulate T. ---
+    MatrixView Tp = T.block(0, i0, kb, kb);
+    for (int il = 0; il < kb; ++il) {
+      const int i = i0 + il;
+      if (il > 0) {
+        for (int pl = 0; pl < il; ++pl) {
+          Tp(pl, il) =
+              -tau[i] * dot(m2, &A2(i0 + pl, 0), A2.ld, &A2(i, 0), A2.ld);
+        }
+        MatrixView tcol{Tp.col(il), il, 1, Tp.ld};
+        trmm_left(UpLo::Upper, Trans::No, Diag::NonUnit,
+                  ConstMatrixView{Tp.a, il, il, Tp.ld}, tcol);
+      }
+      Tp(il, il) = tau[i];
+    }
+    // --- Trailing rows of [A1 | A2] (identity V1 part: no trmm). ---
+    const int mr = n1 - i0 - kb;
+    if (mr > 0) {
+      ConstMatrixView V2p = A2.block(i0, 0, kb, m2);
+      MatrixView Ca = A1.block(i0 + kb, i0, mr, kb);
+      MatrixView Cb = A2.block(i0 + kb, 0, mr, m2);
+      MatrixView W{scratch(g_w, static_cast<std::size_t>(mr) * kb), mr, kb,
+                   mr};
+      copy(Ca, W);
+      gemm(Trans::No, Trans::Yes, 1.0, Cb, V2p, 1.0, W);
+      trmm_right(UpLo::Upper, Trans::No, Diag::NonUnit, W, Tp);
+      sub_inplace(Ca, W);
+      gemm(Trans::No, Trans::No, -1.0, W, V2p, 1.0, Cb);
+    }
+  }
+}
+
+void tsmlq(Trans trans, MatrixView C1, MatrixView C2, ConstMatrixView V2,
+           ConstMatrixView T, int ib) {
+  const int k = V2.m;
+  const int m2 = V2.n;
+  const int mc = C1.m;
+  TBSVD_CHECK(C1.n >= k && C2.m == mc && C2.n == m2, "tsmlq: shape mismatch");
+  const int npanels = (k + ib - 1) / ib;
+  for (int b = 0; b < npanels; ++b) {
+    const int pb = (trans == Trans::Yes) ? b : npanels - 1 - b;
+    const int i0 = pb * ib;
+    const int kb = std::min(ib, k - i0);
+    ConstMatrixView V2p = V2.block(i0, 0, kb, m2);
+    ConstMatrixView Tp = T.block(0, i0, kb, kb);
+    MatrixView C1p = C1.block(0, i0, mc, kb);
+    MatrixView W{scratch(g_w, static_cast<std::size_t>(mc) * kb), mc, kb, mc};
+    copy(C1p, W);
+    gemm(Trans::No, Trans::Yes, 1.0, C2, V2p, 1.0, W);
+    trmm_right(UpLo::Upper, trans == Trans::Yes ? Trans::No : Trans::Yes,
+               Diag::NonUnit, W, Tp);
+    sub_inplace(C1p, W);
+    gemm(Trans::No, Trans::No, -1.0, W, V2p, 1.0, C2);
+  }
+}
+
+void ttlqt(MatrixView A1, MatrixView A2, MatrixView T, int ib) {
+  const int n = A1.m;
+  TBSVD_CHECK(A1.n == n && A2.m == n && A2.n == n, "ttlqt: shape mismatch");
+  double* tau = scratch(g_tau, static_cast<std::size_t>(n));
+
+  for (int i0 = 0; i0 < n; i0 += ib) {
+    const int kb = std::min(ib, n - i0);
+    // --- Factor: row i's reflector has support columns 0..i in A2. ---
+    for (int il = 0; il < kb; ++il) {
+      const int i = i0 + il;
+      tau[i] = larfg(i + 2, A1(i, i), &A2(i, 0), A2.ld);
+      for (int ii = i + 1; ii < i0 + kb; ++ii) {
+        double w =
+            A1(ii, i) + dot(i + 1, &A2(i, 0), A2.ld, &A2(ii, 0), A2.ld);
+        w *= tau[i];
+        A1(ii, i) -= w;
+        axpy(i + 1, -w, &A2(i, 0), A2.ld, &A2(ii, 0), A2.ld);
+      }
+    }
+    // --- Accumulate T (dots over the common triangular support). ---
+    MatrixView Tp = T.block(0, i0, kb, kb);
+    for (int il = 0; il < kb; ++il) {
+      const int i = i0 + il;
+      if (il > 0) {
+        for (int pl = 0; pl < il; ++pl) {
+          const int ip = i0 + pl;
+          Tp(pl, il) =
+              -tau[i] * dot(ip + 1, &A2(ip, 0), A2.ld, &A2(i, 0), A2.ld);
+        }
+        MatrixView tcol{Tp.col(il), il, 1, Tp.ld};
+        trmm_left(UpLo::Upper, Trans::No, Diag::NonUnit,
+                  ConstMatrixView{Tp.a, il, il, Tp.ld}, tcol);
+      }
+      Tp(il, il) = tau[i];
+    }
+    // --- Trailing rows. Row reflector v_{il} has support columns 0..il
+    // only; entries right of the diagonal are unrelated storage (e.g.
+    // GELQT Householder data), so all products follow the supports.
+    const int mr = n - i0 - kb;
+    if (mr > 0) {
+      MatrixView Ca = A1.block(i0 + kb, i0, mr, kb);
+      MatrixView W{scratch(g_w, static_cast<std::size_t>(mr) * kb), mr, kb,
+                   mr};
+      copy(Ca, W);
+      for (int l = 0; l < kb; ++l) {
+        const int il = i0 + l;
+        gemv(Trans::No, 1.0, A2.block(i0 + kb, 0, mr, il + 1), &A2(il, 0),
+             A2.ld, 1.0, &W(0, l), 1);
+      }
+      trmm_right(UpLo::Upper, Trans::No, Diag::NonUnit, W, Tp);
+      sub_inplace(Ca, W);
+      for (int l = 0; l < kb; ++l) {
+        const int il = i0 + l;
+        for (int c = 0; c <= il; ++c) {
+          axpy(mr, -A2(il, c), W.col(l), 1, &A2(i0 + kb, c), 1);
+        }
+      }
+    }
+  }
+}
+
+void ttmlq(Trans trans, MatrixView C1, MatrixView C2, ConstMatrixView V2,
+           ConstMatrixView T, int ib) {
+  const int k = V2.m;
+  const int mc = C1.m;
+  TBSVD_CHECK(C1.n >= k && C2.m == mc && C2.n >= k, "ttmlq: shape mismatch");
+  const int npanels = (k + ib - 1) / ib;
+  for (int b = 0; b < npanels; ++b) {
+    const int pb = (trans == Trans::Yes) ? b : npanels - 1 - b;
+    const int i0 = pb * ib;
+    const int kb = std::min(ib, k - i0);
+    ConstMatrixView Tp = T.block(0, i0, kb, kb);
+    MatrixView C1p = C1.block(0, i0, mc, kb);
+    MatrixView W{scratch(g_w, static_cast<std::size_t>(mc) * kb), mc, kb, mc};
+    copy(C1p, W);
+    // W += C2 V2^T with per-row supports (row il of V2 lives in columns
+    // 0..il; anything right of the diagonal is unrelated tile storage).
+    for (int l = 0; l < kb; ++l) {
+      const int il = i0 + l;
+      gemv(Trans::No, 1.0, C2.block(0, 0, mc, il + 1), V2.a + il, V2.ld,
+           1.0, &W(0, l), 1);
+    }
+    trmm_right(UpLo::Upper, trans == Trans::Yes ? Trans::No : Trans::Yes,
+               Diag::NonUnit, W, Tp);
+    sub_inplace(C1p, W);
+    for (int l = 0; l < kb; ++l) {
+      const int il = i0 + l;
+      for (int c = 0; c <= il; ++c) {
+        axpy(mc, -V2(il, c), W.col(l), 1, C2.col(c), 1);
+      }
+    }
+  }
+}
+
+}  // namespace tbsvd::kernels

@@ -1,0 +1,47 @@
+// Tile LQ kernels — exact row-wise mirrors of the QR kernels, used by the
+// LQ steps interleaved in BIDIAG (column eliminations in the tile grid).
+//
+//   GELQT  A -> (L, V, T)            factor square into (lower) triangle
+//   UNMLQ  C := C op(Q)              apply GELQT's Q from the right
+//   TSLQT  [L | A2] -> (L', V2, T)   zero square with triangle on the left
+//   TSMLQ  [C1 | C2] := [.] op(Q)    apply TSLQT's Q
+//   TTLQT  [L1 | L2] -> (L', V2, T)  zero triangle with triangle on the left
+//   TTMLQ  [C1 | C2] := [.] op(Q)    apply TTLQT's Q
+//
+// Conventions follow LAPACK gelqf: Q = H_k ... H_1 with row reflectors, so
+// Q^T = H_1 ... H_k = I - V^T T V (T upper triangular, forward row storage).
+// Costs in units of nb^3/3 mirror Table I exactly (GELQT 4, UNMLQ 6,
+// TSLQT 6, TSMLQ 12, TTLQT 2, TTMLQ 6).
+#pragma once
+
+#include "lac/blas.hpp"
+#include "lac/dense.hpp"
+
+namespace tbsvd::kernels {
+
+/// LQ of an m x n tile: L in the lower triangle, row reflectors above the
+/// diagonal; T is ib x m (one triangle per row panel).
+void gelqt(MatrixView A, MatrixView T, int ib);
+
+/// C := C Q^T (Trans::Yes) or C Q, with (V, T) from gelqt; C.n == V.n.
+void unmlq(Trans trans, ConstMatrixView V, ConstMatrixView T, MatrixView C,
+           int ib);
+
+/// LQ of [A1 | A2] with A1 (n1 x n1) lower triangular, A2 (n1 x m2) full.
+/// On exit A1 holds the new L, A2 holds V2 (full rows), T as above.
+void tslqt(MatrixView A1, MatrixView A2, MatrixView T, int ib);
+
+/// [C1 | C2] := [C1 | C2] op(Q) with Q from tslqt; C1 (mc x n1) sits in the
+/// pivot tile column, C2 (mc x m2) in the eliminated tile column.
+void tsmlq(Trans trans, MatrixView C1, MatrixView C2, ConstMatrixView V2,
+           ConstMatrixView T, int ib);
+
+/// LQ of [A1 | A2] with both tiles (n x n) lower triangular. On exit A2
+/// holds V2 (lower trapezoidal rows: row i has support columns 0..i).
+void ttlqt(MatrixView A1, MatrixView A2, MatrixView T, int ib);
+
+/// [C1 | C2] := [C1 | C2] op(Q) with Q from ttlqt (triangular V2).
+void ttmlq(Trans trans, MatrixView C1, MatrixView C2, ConstMatrixView V2,
+           ConstMatrixView T, int ib);
+
+}  // namespace tbsvd::kernels

@@ -1,0 +1,233 @@
+#include "kernels/qr_kernels.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.hpp"
+#include "lac/householder.hpp"
+#include "lac/qr_ref.hpp"
+
+namespace tbsvd::kernels {
+
+namespace {
+
+// Per-thread scratch to avoid per-task allocation in the runtime's hot path.
+thread_local std::vector<double> g_tau;
+thread_local std::vector<double> g_w;
+thread_local Matrix g_larfb_work;
+
+double* scratch(std::vector<double>& v, std::size_t n) {
+  if (v.size() < n) v.resize(n);
+  return v.data();
+}
+
+}  // namespace
+
+void geqrt(MatrixView A, MatrixView T, int ib) {
+  const int m = A.m, n = A.n;
+  const int k = std::min(m, n);
+  TBSVD_CHECK(ib >= 1 && T.m >= std::min(ib, k) && T.n >= k,
+              "geqrt: bad ib or T shape");
+  double* tau = scratch(g_tau, static_cast<std::size_t>(k));
+  for (int j0 = 0; j0 < k; j0 += ib) {
+    const int kb = std::min(ib, k - j0);
+    MatrixView panel = A.block(j0, j0, m - j0, kb);
+    geqr2(panel, tau + j0);
+    MatrixView Tp = T.block(0, j0, kb, kb);
+    larft(panel, tau + j0, Tp);
+    if (j0 + kb < n) {
+      larfb(Side::Left, Trans::Yes, panel, Tp,
+            A.block(j0, j0 + kb, m - j0, n - j0 - kb), g_larfb_work);
+    }
+  }
+}
+
+void unmqr(Trans trans, ConstMatrixView V, ConstMatrixView T, MatrixView C,
+           int ib) {
+  const int k = std::min(V.m, V.n);
+  TBSVD_CHECK(V.m == C.m, "unmqr: V/C row mismatch");
+  const int npanels = (k + ib - 1) / ib;
+  for (int b = 0; b < npanels; ++b) {
+    // Q^T C applies panels forward; Q C applies them backward.
+    const int pb = (trans == Trans::Yes) ? b : npanels - 1 - b;
+    const int j0 = pb * ib;
+    const int kb = std::min(ib, k - j0);
+    larfb(Side::Left, trans, V.block(j0, j0, V.m - j0, kb),
+          T.block(0, j0, kb, kb), C.block(j0, 0, C.m - j0, C.n),
+          g_larfb_work);
+  }
+}
+
+void tsqrt(MatrixView A1, MatrixView A2, MatrixView T, int ib) {
+  const int n = A1.n;
+  const int m2 = A2.m;
+  TBSVD_CHECK(A1.m == n && A2.n == n, "tsqrt: shape mismatch");
+  double* tau = scratch(g_tau, static_cast<std::size_t>(n));
+
+  for (int j0 = 0; j0 < n; j0 += ib) {
+    const int kb = std::min(ib, n - j0);
+    // --- Factor the panel: reflectors live entirely in A2's columns. ---
+    for (int jl = 0; jl < kb; ++jl) {
+      const int j = j0 + jl;
+      tau[j] = larfg(m2 + 1, A1(j, j), A2.col(j), 1);
+      for (int jj = j + 1; jj < j0 + kb; ++jj) {
+        double w = A1(j, jj) + dot(m2, A2.col(j), 1, A2.col(jj), 1);
+        w *= tau[j];
+        A1(j, jj) -= w;
+        axpy(m2, -w, A2.col(j), 1, A2.col(jj), 1);
+      }
+    }
+    // --- Accumulate T for the panel (V_i^T V_j reduces to v2 dot v2). ---
+    MatrixView Tp = T.block(0, j0, kb, kb);
+    for (int jl = 0; jl < kb; ++jl) {
+      const int j = j0 + jl;
+      if (jl > 0) {
+        for (int il = 0; il < jl; ++il) Tp(il, jl) = 0.0;
+        gemv(Trans::Yes, -tau[j],
+             ConstMatrixView{A2.col(j0), m2, jl, A2.ld}, A2.col(j), 1, 1.0,
+             Tp.col(jl), 1);
+        MatrixView tcol{Tp.col(jl), jl, 1, Tp.ld};
+        trmm_left(UpLo::Upper, Trans::No, Diag::NonUnit,
+                  ConstMatrixView{Tp.a, jl, jl, Tp.ld}, tcol);
+      }
+      Tp(jl, jl) = tau[j];
+    }
+    // --- Apply the block reflector to trailing columns of [A1; A2]. ---
+    const int nc = n - j0 - kb;
+    if (nc > 0) {
+      ConstMatrixView V2p{A2.col(j0), m2, kb, A2.ld};
+      MatrixView C1 = A1.block(j0, j0 + kb, kb, nc);
+      MatrixView C2 = A2.block(0, j0 + kb, m2, nc);
+      MatrixView W{scratch(g_w, static_cast<std::size_t>(kb) * nc), kb, nc, kb};
+      copy(C1, W);
+      gemm(Trans::Yes, Trans::No, 1.0, V2p, C2, 1.0, W);
+      trmm_left(UpLo::Upper, Trans::Yes, Diag::NonUnit, Tp, W);
+      for (int j = 0; j < nc; ++j) {
+        for (int i = 0; i < kb; ++i) C1(i, j) -= W(i, j);
+      }
+      gemm(Trans::No, Trans::No, -1.0, V2p, W, 1.0, C2);
+    }
+  }
+}
+
+void tsmqr(Trans trans, MatrixView C1, MatrixView C2, ConstMatrixView V2,
+           ConstMatrixView T, int ib) {
+  const int k = V2.n;
+  const int m2 = V2.m;
+  const int nc = C1.n;
+  TBSVD_CHECK(C1.m >= k && C2.m == m2 && C2.n == nc, "tsmqr: shape mismatch");
+  const int npanels = (k + ib - 1) / ib;
+  for (int b = 0; b < npanels; ++b) {
+    const int pb = (trans == Trans::Yes) ? b : npanels - 1 - b;
+    const int j0 = pb * ib;
+    const int kb = std::min(ib, k - j0);
+    ConstMatrixView V2p{V2.col(j0), m2, kb, V2.ld};
+    ConstMatrixView Tp = T.block(0, j0, kb, kb);
+    MatrixView C1p = C1.block(j0, 0, kb, nc);
+    MatrixView W{scratch(g_w, static_cast<std::size_t>(kb) * nc), kb, nc, kb};
+    copy(C1p, W);
+    gemm(Trans::Yes, Trans::No, 1.0, V2p, C2, 1.0, W);
+    trmm_left(UpLo::Upper, trans, Diag::NonUnit, Tp, W);
+    for (int j = 0; j < nc; ++j) {
+      for (int i = 0; i < kb; ++i) C1p(i, j) -= W(i, j);
+    }
+    gemm(Trans::No, Trans::No, -1.0, V2p, W, 1.0, C2);
+  }
+}
+
+void ttqrt(MatrixView A1, MatrixView A2, MatrixView T, int ib) {
+  const int n = A1.n;
+  TBSVD_CHECK(A1.m == n && A2.m == n && A2.n == n, "ttqrt: shape mismatch");
+  double* tau = scratch(g_tau, static_cast<std::size_t>(n));
+
+  for (int j0 = 0; j0 < n; j0 += ib) {
+    const int kb = std::min(ib, n - j0);
+    // --- Factor the panel: v2 for column j has support rows 0..j. ---
+    for (int jl = 0; jl < kb; ++jl) {
+      const int j = j0 + jl;
+      tau[j] = larfg(j + 2, A1(j, j), A2.col(j), 1);
+      for (int jj = j + 1; jj < j0 + kb; ++jj) {
+        double w = A1(j, jj) + dot(j + 1, A2.col(j), 1, A2.col(jj), 1);
+        w *= tau[j];
+        A1(j, jj) -= w;
+        axpy(j + 1, -w, A2.col(j), 1, A2.col(jj), 1);
+      }
+    }
+    // --- Accumulate T. Each previous reflector v_{jp} has support rows
+    // 0..jp only; entries below are unrelated storage (e.g. GEQRT
+    // Householder data when the tile came from a triangularization), so
+    // dot lengths must follow the supports rather than a dense rectangle.
+    MatrixView Tp = T.block(0, j0, kb, kb);
+    for (int jl = 0; jl < kb; ++jl) {
+      const int j = j0 + jl;
+      if (jl > 0) {
+        for (int pl = 0; pl < jl; ++pl) {
+          const int jp = j0 + pl;
+          Tp(pl, jl) = -tau[j] * dot(jp + 1, A2.col(jp), 1, A2.col(j), 1);
+        }
+        MatrixView tcol{Tp.col(jl), jl, 1, Tp.ld};
+        trmm_left(UpLo::Upper, Trans::No, Diag::NonUnit,
+                  ConstMatrixView{Tp.a, jl, jl, Tp.ld}, tcol);
+      }
+      Tp(jl, jl) = tau[j];
+    }
+    // --- Trailing update with per-column supports: W = C1 + V2^T C2. ---
+    const int nc = n - j0 - kb;
+    if (nc > 0) {
+      MatrixView C1 = A1.block(j0, j0 + kb, kb, nc);
+      MatrixView W{scratch(g_w, static_cast<std::size_t>(kb) * nc), kb, nc, kb};
+      copy(C1, W);
+      for (int l = 0; l < kb; ++l) {
+        const int jl = j0 + l;
+        gemv(Trans::Yes, 1.0, A2.block(0, j0 + kb, jl + 1, nc), A2.col(jl),
+             1, 1.0, &W(l, 0), W.ld);
+      }
+      trmm_left(UpLo::Upper, Trans::Yes, Diag::NonUnit, Tp, W);
+      for (int j = 0; j < nc; ++j) {
+        for (int i = 0; i < kb; ++i) C1(i, j) -= W(i, j);
+      }
+      for (int l = 0; l < kb; ++l) {
+        const int jl = j0 + l;
+        for (int c = 0; c < nc; ++c) {
+          axpy(jl + 1, -W(l, c), A2.col(jl), 1, A2.col(j0 + kb + c), 1);
+        }
+      }
+    }
+  }
+}
+
+void ttmqr(Trans trans, MatrixView C1, MatrixView C2, ConstMatrixView V2,
+           ConstMatrixView T, int ib) {
+  const int k = V2.n;
+  const int nc = C1.n;
+  TBSVD_CHECK(C1.m >= k && C2.n == nc && C2.m >= k, "ttmqr: shape mismatch");
+  const int npanels = (k + ib - 1) / ib;
+  for (int b = 0; b < npanels; ++b) {
+    const int pb = (trans == Trans::Yes) ? b : npanels - 1 - b;
+    const int j0 = pb * ib;
+    const int kb = std::min(ib, k - j0);
+    ConstMatrixView Tp = T.block(0, j0, kb, kb);
+    MatrixView C1p = C1.block(j0, 0, kb, nc);
+    MatrixView W{scratch(g_w, static_cast<std::size_t>(kb) * nc), kb, nc, kb};
+    copy(C1p, W);
+    // W += V2^T C2 with per-column supports (v2 of column jl lives in rows
+    // 0..jl; anything below is unrelated tile storage).
+    for (int l = 0; l < kb; ++l) {
+      const int jl = j0 + l;
+      gemv(Trans::Yes, 1.0, C2.block(0, 0, jl + 1, nc), V2.col(jl), 1, 1.0,
+           &W(l, 0), W.ld);
+    }
+    trmm_left(UpLo::Upper, trans, Diag::NonUnit, Tp, W);
+    for (int j = 0; j < nc; ++j) {
+      for (int i = 0; i < kb; ++i) C1p(i, j) -= W(i, j);
+    }
+    for (int l = 0; l < kb; ++l) {
+      const int jl = j0 + l;
+      for (int c = 0; c < nc; ++c) {
+        axpy(jl + 1, -W(l, c), V2.col(jl), 1, C2.col(c), 1);
+      }
+    }
+  }
+}
+
+}  // namespace tbsvd::kernels

@@ -1,0 +1,68 @@
+// Tile QR kernels (PLASMA-style core kernels, hand-written):
+//
+//   GEQRT  A -> (V, R, T)           "factor square into triangle"
+//   UNMQR  C := op(Q) C             "apply GEQRT's Q to a tile"
+//   TSQRT  [R; A2] -> (V2, R', T)   "zero square with triangle on top"
+//   TSMQR  [C1; C2] := op(Q) [.]    "apply TSQRT's Q"
+//   TTQRT  [R1; R2] -> (V2, R', T)  "zero triangle with triangle on top"
+//   TTMQR  [C1; C2] := op(Q) [.]    "apply TTQRT's Q"
+//
+// All follow LAPACK conventions: H = I - tau v v^T with v(0) = 1; block
+// reflectors accumulated into an upper triangular T per internal panel of
+// width ib (T stored ib x n, one triangle per panel, as in PLASMA).
+//
+// Costs in units of nb^3/3 flops (paper Table I): GEQRT 4, UNMQR 6,
+// TSQRT 6, TSMQR 12, TTQRT 2, TTMQR 6. The TS kernels see full nb-length
+// reflector tails; the TT kernels exploit triangular tails, which is where
+// the 3x panel / 2x update savings come from.
+#pragma once
+
+#include "lac/blas.hpp"
+#include "lac/dense.hpp"
+
+namespace tbsvd::kernels {
+
+/// QR of an m x n tile. On exit A holds R (upper) and V (below diagonal);
+/// T (ib x n, ld >= ib) holds the panel T triangles. 1 <= ib <= n.
+void geqrt(MatrixView A, MatrixView T, int ib);
+
+/// C := Q^T C (Trans::Yes) or Q C, with (V, T) from geqrt(A) where V is the
+/// whole tile A (reflectors below the diagonal, k = min(m, n)).
+void unmqr(Trans trans, ConstMatrixView V, ConstMatrixView T, MatrixView C,
+           int ib);
+
+/// QR of [A1; A2] where A1 (n x n) is upper triangular and A2 (m2 x n) is
+/// full. On exit A1 holds the new R, A2 holds V2 (full columns), T as above.
+void tsqrt(MatrixView A1, MatrixView A2, MatrixView T, int ib);
+
+/// [C1; C2] := op(Q) [C1; C2] with Q from tsqrt: C1 is the tile in the
+/// pivot row (n x nc), C2 the tile in the eliminated row (m2 x nc).
+void tsmqr(Trans trans, MatrixView C1, MatrixView C2, ConstMatrixView V2,
+           ConstMatrixView T, int ib);
+
+/// QR of [A1; A2] where both A1 and A2 (n x n) are upper triangular.
+/// On exit A1 holds the new R, A2 holds V2 (upper trapezoidal columns:
+/// column j has support rows 0..j), T as above.
+void ttqrt(MatrixView A1, MatrixView A2, MatrixView T, int ib);
+
+/// [C1; C2] := op(Q) [C1; C2] with Q from ttqrt (triangular V2).
+void ttmqr(Trans trans, MatrixView C1, MatrixView C2, ConstMatrixView V2,
+           ConstMatrixView T, int ib);
+
+/// Leading-order flop counts (for GFlop/s reporting in benches).
+constexpr double flops_geqrt(double m, double n) {
+  return 2.0 * m * n * n - (2.0 / 3.0) * n * n * n;
+}
+constexpr double flops_unmqr(double m, double n, double k) {
+  return 4.0 * m * n * k - 2.0 * n * k * k;  // larfb-style, V m x k
+}
+constexpr double flops_tsqrt(double m2, double n) {
+  return 2.0 * m2 * n * n;
+}
+constexpr double flops_tsmqr(double m2, double n, double k) {
+  return 4.0 * m2 * n * k;
+}
+constexpr double flops_ttqrt(double n) { return (2.0 / 3.0) * n * n * n; }
+constexpr double flops_ttmqr(double n, double nc) { return 2.0 * n * n * nc; }
+
+}  // namespace tbsvd::kernels

@@ -1,0 +1,51 @@
+// Storage for the T factors produced by the tile kernels: one ib x nb tile
+// of T per matrix tile, as in PLASMA's descriptor-T. Separate grids are
+// used for the TS-family and TT-family factors of a factorization because
+// a tile can be both GEQRT'd and later TT-eliminated (FlatTT / Greedy trees).
+#pragma once
+
+#include <vector>
+
+#include "common/check.hpp"
+#include "lac/dense.hpp"
+
+namespace tbsvd {
+
+/// Grid of mt x nt T-factor tiles, each ib rows by nb columns.
+class TGrid {
+ public:
+  TGrid() = default;
+  TGrid(int mt, int nt, int ib, int nb)
+      : mt_(mt), nt_(nt), ib_(ib), nb_(nb),
+        buf_(static_cast<std::size_t>(mt) * nt * ib * nb, 0.0) {
+    TBSVD_CHECK(mt >= 0 && nt >= 0 && ib >= 1 && nb >= ib,
+                "TGrid: need 1 <= ib <= nb");
+  }
+
+  [[nodiscard]] int ib() const noexcept { return ib_; }
+  [[nodiscard]] int nb() const noexcept { return nb_; }
+
+  [[nodiscard]] MatrixView tile(int i, int j) noexcept {
+    return {buf_.data() + offset(i, j), ib_, nb_, ib_};
+  }
+  [[nodiscard]] ConstMatrixView tile(int i, int j) const noexcept {
+    return {buf_.data() + offset(i, j), ib_, nb_, ib_};
+  }
+
+  /// Base pointer of T tile (i, j); doubles as the runtime data key.
+  [[nodiscard]] double* tile_ptr(int i, int j) noexcept {
+    return buf_.data() + offset(i, j);
+  }
+
+ private:
+  [[nodiscard]] std::size_t offset(int i, int j) const noexcept {
+    TBSVD_ASSERT(i >= 0 && i < mt_ && j >= 0 && j < nt_);
+    return (static_cast<std::size_t>(j) * mt_ + i) *
+           (static_cast<std::size_t>(ib_) * nb_);
+  }
+
+  int mt_ = 0, nt_ = 0, ib_ = 1, nb_ = 1;
+  std::vector<double> buf_;
+};
+
+}  // namespace tbsvd

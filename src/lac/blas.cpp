@@ -1,0 +1,308 @@
+#include "lac/blas.hpp"
+
+#include <cmath>
+#include <cstring>
+
+namespace tbsvd {
+
+namespace {
+
+// C := alpha * A * B + C with A (m x k), B (k x n); axpy-ordered loops.
+void gemm_nn(double alpha, ConstMatrixView A, ConstMatrixView B,
+             MatrixView C) {
+  const int m = C.m, n = C.n, k = A.n;
+  for (int j = 0; j < n; ++j) {
+    double* cj = C.col(j);
+    for (int l = 0; l < k; ++l) {
+      const double blj = alpha * B(l, j);
+      if (blj == 0.0) continue;
+      const double* al = A.col(l);
+      for (int i = 0; i < m; ++i) cj[i] += blj * al[i];
+    }
+  }
+}
+
+// C := alpha * A^T * B + C with A (k x m), B (k x n); dot-ordered loops.
+void gemm_tn(double alpha, ConstMatrixView A, ConstMatrixView B,
+             MatrixView C) {
+  const int m = C.m, n = C.n, k = A.m;
+  for (int j = 0; j < n; ++j) {
+    const double* bj = B.col(j);
+    for (int i = 0; i < m; ++i) {
+      const double* ai = A.col(i);
+      double s = 0.0;
+      for (int l = 0; l < k; ++l) s += ai[l] * bj[l];
+      C(i, j) += alpha * s;
+    }
+  }
+}
+
+// C := alpha * A * B^T + C with A (m x k), B (n x k).
+void gemm_nt(double alpha, ConstMatrixView A, ConstMatrixView B,
+             MatrixView C) {
+  const int m = C.m, n = C.n, k = A.n;
+  for (int l = 0; l < k; ++l) {
+    const double* al = A.col(l);
+    for (int j = 0; j < n; ++j) {
+      const double bjl = alpha * B(j, l);
+      if (bjl == 0.0) continue;
+      double* cj = C.col(j);
+      for (int i = 0; i < m; ++i) cj[i] += bjl * al[i];
+    }
+  }
+}
+
+// C := alpha * A^T * B^T + C with A (k x m), B (n x k).
+void gemm_tt(double alpha, ConstMatrixView A, ConstMatrixView B,
+             MatrixView C) {
+  const int m = C.m, n = C.n, k = A.m;
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i < m; ++i) {
+      const double* ai = A.col(i);
+      double s = 0.0;
+      for (int l = 0; l < k; ++l) s += ai[l] * B(j, l);
+      C(i, j) += alpha * s;
+    }
+  }
+}
+
+}  // namespace
+
+void gemm(Trans ta, Trans tb, double alpha, ConstMatrixView A,
+          ConstMatrixView B, double beta, MatrixView C) {
+  const int ka = (ta == Trans::No) ? A.n : A.m;
+  const int kb = (tb == Trans::No) ? B.m : B.n;
+  const int ma = (ta == Trans::No) ? A.m : A.n;
+  const int nb = (tb == Trans::No) ? B.n : B.m;
+  TBSVD_CHECK(ka == kb && ma == C.m && nb == C.n, "gemm shape mismatch");
+
+  if (beta != 1.0) {
+    for (int j = 0; j < C.n; ++j) {
+      double* cj = C.col(j);
+      if (beta == 0.0) {
+        for (int i = 0; i < C.m; ++i) cj[i] = 0.0;
+      } else {
+        for (int i = 0; i < C.m; ++i) cj[i] *= beta;
+      }
+    }
+  }
+  if (alpha == 0.0 || ka == 0 || C.m == 0 || C.n == 0) return;
+
+  if (ta == Trans::No && tb == Trans::No) {
+    gemm_nn(alpha, A, B, C);
+  } else if (ta == Trans::Yes && tb == Trans::No) {
+    gemm_tn(alpha, A, B, C);
+  } else if (ta == Trans::No && tb == Trans::Yes) {
+    gemm_nt(alpha, A, B, C);
+  } else {
+    gemm_tt(alpha, A, B, C);
+  }
+}
+
+void gemv(Trans ta, double alpha, ConstMatrixView A, const double* x, int incx,
+          double beta, double* y, int incy) {
+  const int ny = (ta == Trans::No) ? A.m : A.n;
+  if (beta != 1.0) {
+    for (int i = 0; i < ny; ++i) y[i * incy] = beta * y[i * incy];
+  }
+  if (alpha == 0.0) return;
+  if (ta == Trans::No) {
+    for (int j = 0; j < A.n; ++j) {
+      const double xj = alpha * x[j * incx];
+      if (xj == 0.0) continue;
+      const double* aj = A.col(j);
+      if (incy == 1) {
+        for (int i = 0; i < A.m; ++i) y[i] += xj * aj[i];
+      } else {
+        for (int i = 0; i < A.m; ++i) y[i * incy] += xj * aj[i];
+      }
+    }
+  } else {
+    for (int j = 0; j < A.n; ++j) {
+      const double* aj = A.col(j);
+      double s = 0.0;
+      if (incx == 1) {
+        for (int i = 0; i < A.m; ++i) s += aj[i] * x[i];
+      } else {
+        for (int i = 0; i < A.m; ++i) s += aj[i] * x[i * incx];
+      }
+      y[j * incy] += alpha * s;
+    }
+  }
+}
+
+double dot(int n, const double* x, int incx, const double* y,
+           int incy) noexcept {
+  double s = 0.0;
+  if (incx == 1 && incy == 1) {
+    for (int i = 0; i < n; ++i) s += x[i] * y[i];
+  } else {
+    for (int i = 0; i < n; ++i) s += x[i * incx] * y[i * incy];
+  }
+  return s;
+}
+
+double nrm2(int n, const double* x, int incx) noexcept {
+  // Scaled accumulation (as in reference BLAS) to avoid overflow/underflow.
+  double scale = 0.0, ssq = 1.0;
+  for (int i = 0; i < n; ++i) {
+    const double xi = x[i * incx];
+    if (xi == 0.0) continue;
+    const double absxi = std::fabs(xi);
+    if (scale < absxi) {
+      const double r = scale / absxi;
+      ssq = 1.0 + ssq * r * r;
+      scale = absxi;
+    } else {
+      const double r = absxi / scale;
+      ssq += r * r;
+    }
+  }
+  return scale * std::sqrt(ssq);
+}
+
+void axpy(int n, double a, const double* x, int incx, double* y,
+          int incy) noexcept {
+  if (a == 0.0) return;
+  if (incx == 1 && incy == 1) {
+    for (int i = 0; i < n; ++i) y[i] += a * x[i];
+  } else {
+    for (int i = 0; i < n; ++i) y[i * incy] += a * x[i * incx];
+  }
+}
+
+void scal(int n, double a, double* x, int incx) noexcept {
+  if (incx == 1) {
+    for (int i = 0; i < n; ++i) x[i] *= a;
+  } else {
+    for (int i = 0; i < n; ++i) x[i * incx] *= a;
+  }
+}
+
+void copy(ConstMatrixView A, MatrixView B) {
+  TBSVD_CHECK(A.m == B.m && A.n == B.n, "copy shape mismatch");
+  for (int j = 0; j < A.n; ++j) {
+    std::memcpy(B.col(j), A.col(j), static_cast<std::size_t>(A.m) * sizeof(double));
+  }
+}
+
+void transpose(ConstMatrixView A, MatrixView B) {
+  TBSVD_CHECK(A.m == B.n && A.n == B.m, "transpose shape mismatch");
+  for (int j = 0; j < A.n; ++j) {
+    const double* aj = A.col(j);
+    for (int i = 0; i < A.m; ++i) B(j, i) = aj[i];
+  }
+}
+
+double norm_fro(ConstMatrixView A) noexcept {
+  double s = 0.0;
+  for (int j = 0; j < A.n; ++j) {
+    const double* aj = A.col(j);
+    for (int i = 0; i < A.m; ++i) s += aj[i] * aj[i];
+  }
+  return std::sqrt(s);
+}
+
+double norm_max(ConstMatrixView A) noexcept {
+  double s = 0.0;
+  for (int j = 0; j < A.n; ++j) {
+    const double* aj = A.col(j);
+    for (int i = 0; i < A.m; ++i) s = std::max(s, std::fabs(aj[i]));
+  }
+  return s;
+}
+
+double orthogonality_error(ConstMatrixView A) {
+  Matrix G(A.n, A.n);
+  gemm(Trans::Yes, Trans::No, 1.0, A, A, 0.0, G.view());
+  for (int i = 0; i < A.n; ++i) G(i, i) -= 1.0;
+  return norm_fro(G.cview());
+}
+
+}  // namespace tbsvd
+
+namespace tbsvd {
+
+void trmm_left(UpLo uplo, Trans trans, Diag diag, ConstMatrixView T,
+               MatrixView W) {
+  TBSVD_CHECK(T.m == T.n && T.m == W.m, "trmm_left shape mismatch");
+  const int k = T.m;
+  const bool unit = (diag == Diag::Unit);
+  for (int c = 0; c < W.n; ++c) {
+    double* w = W.col(c);
+    if (uplo == UpLo::Upper && trans == Trans::No) {
+      // w := U w, ascending column sweep.
+      for (int j = 0; j < k; ++j) {
+        const double tmp = w[j];
+        const double* tj = T.col(j);
+        for (int i = 0; i < j; ++i) w[i] += tj[i] * tmp;
+        w[j] = unit ? tmp : tj[j] * tmp;
+      }
+    } else if (uplo == UpLo::Upper && trans == Trans::Yes) {
+      // w := U^T w, descending dot sweep.
+      for (int i = k - 1; i >= 0; --i) {
+        const double* ti = T.col(i);
+        double s = unit ? w[i] : ti[i] * w[i];
+        for (int j = 0; j < i; ++j) s += ti[j] * w[j];
+        w[i] = s;
+      }
+    } else if (uplo == UpLo::Lower && trans == Trans::No) {
+      // w := L w, descending column sweep.
+      for (int j = k - 1; j >= 0; --j) {
+        const double tmp = w[j];
+        const double* tj = T.col(j);
+        for (int i = j + 1; i < k; ++i) w[i] += tj[i] * tmp;
+        w[j] = unit ? tmp : tj[j] * tmp;
+      }
+    } else {
+      // w := L^T w, ascending dot sweep.
+      for (int i = 0; i < k; ++i) {
+        const double* ti = T.col(i);
+        double s = unit ? w[i] : ti[i] * w[i];
+        for (int j = i + 1; j < k; ++j) s += ti[j] * w[j];
+        w[i] = s;
+      }
+    }
+  }
+}
+
+void trmm_right(UpLo uplo, Trans trans, Diag diag, MatrixView W,
+                ConstMatrixView T) {
+  TBSVD_CHECK(T.m == T.n && T.m == W.n, "trmm_right shape mismatch");
+  const int k = T.m;
+  const int m = W.m;
+  const bool unit = (diag == Diag::Unit);
+  auto scale_col = [&](int j, double d) {
+    double* wj = W.col(j);
+    for (int i = 0; i < m; ++i) wj[i] *= d;
+  };
+  auto axpy_col = [&](int dst, int src, double a) {
+    if (a == 0.0) return;
+    double* wd = W.col(dst);
+    const double* ws = W.col(src);
+    for (int i = 0; i < m; ++i) wd[i] += a * ws[i];
+  };
+  if (uplo == UpLo::Upper && trans == Trans::No) {
+    for (int j = k - 1; j >= 0; --j) {
+      if (!unit) scale_col(j, T(j, j));
+      for (int i = 0; i < j; ++i) axpy_col(j, i, T(i, j));
+    }
+  } else if (uplo == UpLo::Upper && trans == Trans::Yes) {
+    for (int j = 0; j < k; ++j) {
+      if (!unit) scale_col(j, T(j, j));
+      for (int i = j + 1; i < k; ++i) axpy_col(j, i, T(j, i));
+    }
+  } else if (uplo == UpLo::Lower && trans == Trans::No) {
+    for (int j = 0; j < k; ++j) {
+      if (!unit) scale_col(j, T(j, j));
+      for (int i = j + 1; i < k; ++i) axpy_col(j, i, T(i, j));
+    }
+  } else {
+    for (int j = k - 1; j >= 0; --j) {
+      if (!unit) scale_col(j, T(j, j));
+      for (int i = 0; i < j; ++i) axpy_col(j, i, T(j, i));
+    }
+  }
+}
+
+}  // namespace tbsvd

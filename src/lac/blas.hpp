@@ -1,0 +1,59 @@
+// Minimal BLAS-like dense operations (hand-written; no external BLAS is
+// available in this environment). Loop nests are arranged column-major /
+// axpy-style so the compiler can vectorize them.
+#pragma once
+
+#include "lac/dense.hpp"
+
+namespace tbsvd {
+
+enum class Trans { No, Yes };
+enum class UpLo { Upper, Lower };
+enum class Diag { Unit, NonUnit };
+
+/// C := alpha * op(A) * op(B) + beta * C.
+void gemm(Trans ta, Trans tb, double alpha, ConstMatrixView A,
+          ConstMatrixView B, double beta, MatrixView C);
+
+/// y := alpha * op(A) * x + beta * y  (x, y contiguous with given strides).
+void gemv(Trans ta, double alpha, ConstMatrixView A, const double* x, int incx,
+          double beta, double* y, int incy);
+
+/// Dot product of two strided vectors of length n.
+[[nodiscard]] double dot(int n, const double* x, int incx, const double* y,
+                         int incy) noexcept;
+
+/// Euclidean norm of a strided vector (with scaling for robustness).
+[[nodiscard]] double nrm2(int n, const double* x, int incx) noexcept;
+
+/// y := a*x + y on strided vectors.
+void axpy(int n, double a, const double* x, int incx, double* y,
+          int incy) noexcept;
+
+/// x := a*x on a strided vector.
+void scal(int n, double a, double* x, int incx) noexcept;
+
+/// W := op(T) * W in place, T triangular (k x k), W (k x n).
+void trmm_left(UpLo uplo, Trans trans, Diag diag, ConstMatrixView T,
+               MatrixView W);
+
+/// W := W * op(T) in place, T triangular (n x n), W (m x n).
+void trmm_right(UpLo uplo, Trans trans, Diag diag, MatrixView W,
+                ConstMatrixView T);
+
+/// B := A (shape-checked element copy between views).
+void copy(ConstMatrixView A, MatrixView B);
+
+/// B := A^T.
+void transpose(ConstMatrixView A, MatrixView B);
+
+/// Frobenius norm of a view.
+[[nodiscard]] double norm_fro(ConstMatrixView A) noexcept;
+
+/// max |A(i,j)|.
+[[nodiscard]] double norm_max(ConstMatrixView A) noexcept;
+
+/// ||A^T A - I||_F, measuring loss of column orthonormality.
+[[nodiscard]] double orthogonality_error(ConstMatrixView A);
+
+}  // namespace tbsvd

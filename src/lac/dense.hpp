@@ -1,0 +1,117 @@
+// Column-major dense matrix storage and non-owning views.
+//
+// Everything in the library operates on double precision, column-major
+// data (LAPACK convention), so tile kernels can be validated directly
+// against textbook formulations.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace tbsvd {
+
+/// Non-owning mutable view of a column-major matrix block.
+struct MatrixView {
+  double* a = nullptr;
+  int m = 0;   ///< rows
+  int n = 0;   ///< cols
+  int ld = 0;  ///< leading dimension (>= m)
+
+  MatrixView() = default;
+  MatrixView(double* data, int rows, int cols, int lead) noexcept
+      : a(data), m(rows), n(cols), ld(lead) {}
+
+  [[nodiscard]] double& operator()(int i, int j) const noexcept {
+    return a[static_cast<std::size_t>(j) * ld + i];
+  }
+
+  /// Sub-block view rooted at (i0, j0) of size mm x nn.
+  [[nodiscard]] MatrixView block(int i0, int j0, int mm, int nn) const {
+    TBSVD_ASSERT(i0 >= 0 && j0 >= 0 && i0 + mm <= m && j0 + nn <= n);
+    return {a + static_cast<std::size_t>(j0) * ld + i0, mm, nn, ld};
+  }
+
+  /// Pointer to the top of column j.
+  [[nodiscard]] double* col(int j) const noexcept {
+    return a + static_cast<std::size_t>(j) * ld;
+  }
+};
+
+/// Non-owning read-only view of a column-major matrix block.
+struct ConstMatrixView {
+  const double* a = nullptr;
+  int m = 0;
+  int n = 0;
+  int ld = 0;
+
+  ConstMatrixView() = default;
+  ConstMatrixView(const double* data, int rows, int cols, int lead) noexcept
+      : a(data), m(rows), n(cols), ld(lead) {}
+  ConstMatrixView(const MatrixView& v) noexcept  // NOLINT(google-explicit-constructor)
+      : a(v.a), m(v.m), n(v.n), ld(v.ld) {}
+
+  [[nodiscard]] double operator()(int i, int j) const noexcept {
+    return a[static_cast<std::size_t>(j) * ld + i];
+  }
+
+  [[nodiscard]] ConstMatrixView block(int i0, int j0, int mm, int nn) const {
+    TBSVD_ASSERT(i0 >= 0 && j0 >= 0 && i0 + mm <= m && j0 + nn <= n);
+    return {a + static_cast<std::size_t>(j0) * ld + i0, mm, nn, ld};
+  }
+
+  [[nodiscard]] const double* col(int j) const noexcept {
+    return a + static_cast<std::size_t>(j) * ld;
+  }
+};
+
+/// Owning column-major matrix (ld == m), zero-initialized.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(int rows, int cols)
+      : m_(rows), n_(cols),
+        buf_(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols)) {
+    TBSVD_CHECK(rows >= 0 && cols >= 0, "matrix dimensions must be >= 0");
+  }
+
+  [[nodiscard]] int rows() const noexcept { return m_; }
+  [[nodiscard]] int cols() const noexcept { return n_; }
+
+  [[nodiscard]] double& operator()(int i, int j) noexcept {
+    return buf_[static_cast<std::size_t>(j) * m_ + i];
+  }
+  [[nodiscard]] double operator()(int i, int j) const noexcept {
+    return buf_[static_cast<std::size_t>(j) * m_ + i];
+  }
+
+  [[nodiscard]] MatrixView view() noexcept { return {buf_.data(), m_, n_, m_}; }
+  [[nodiscard]] ConstMatrixView cview() const noexcept {
+    return {buf_.data(), m_, n_, m_};
+  }
+  [[nodiscard]] MatrixView block(int i0, int j0, int mm, int nn) {
+    return view().block(i0, j0, mm, nn);
+  }
+
+  [[nodiscard]] double* data() noexcept { return buf_.data(); }
+  [[nodiscard]] const double* data() const noexcept { return buf_.data(); }
+
+  void set_zero() noexcept { std::fill(buf_.begin(), buf_.end(), 0.0); }
+
+  /// n x n identity.
+  static Matrix identity(int n) {
+    Matrix I(n, n);
+    for (int i = 0; i < n; ++i) I(i, i) = 1.0;
+    return I;
+  }
+
+ private:
+  int m_ = 0;
+  int n_ = 0;
+  std::vector<double> buf_;
+};
+
+}  // namespace tbsvd

@@ -1,0 +1,35 @@
+#include "lac/givens.hpp"
+
+#include <cmath>
+
+namespace tbsvd {
+
+GivensRotation lartg(double f, double g) noexcept {
+  if (g == 0.0) {
+    return {1.0, 0.0, f};
+  }
+  if (f == 0.0) {
+    return {0.0, 1.0, g};
+  }
+  const double r = std::copysign(std::hypot(f, g), f);
+  return {f / r, g / r, r};
+}
+
+void rot(int n, double* x, int incx, double* y, int incy, double c,
+         double s) noexcept {
+  if (incx == 1 && incy == 1) {
+    for (int i = 0; i < n; ++i) {
+      const double xi = x[i], yi = y[i];
+      x[i] = c * xi + s * yi;
+      y[i] = -s * xi + c * yi;
+    }
+  } else {
+    for (int i = 0; i < n; ++i) {
+      const double xi = x[i * incx], yi = y[i * incy];
+      x[i * incx] = c * xi + s * yi;
+      y[i * incy] = -s * xi + c * yi;
+    }
+  }
+}
+
+}  // namespace tbsvd

@@ -1,0 +1,22 @@
+// Givens plane rotations (LAPACK dlartg equivalent), used by the
+// band-to-bidiagonal bulge chasing stage.
+#pragma once
+
+namespace tbsvd {
+
+/// Plane rotation: computes c, s with c^2 + s^2 = 1 such that
+/// [ c  s ; -s  c ] [ f ; g ] = [ r ; 0 ]. Matches dlartg semantics.
+struct GivensRotation {
+  double c;
+  double s;
+  double r;
+};
+
+[[nodiscard]] GivensRotation lartg(double f, double g) noexcept;
+
+/// Apply rotation to the pair (x, y): x' = c*x + s*y, y' = -s*x + c*y,
+/// over n strided elements.
+void rot(int n, double* x, int incx, double* y, int incy, double c,
+         double s) noexcept;
+
+}  // namespace tbsvd

@@ -1,0 +1,177 @@
+#include "lac/householder.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace tbsvd {
+
+double larfg(int n, double& alpha, double* x, int incx) noexcept {
+  if (n <= 1) return 0.0;
+  double xnorm = nrm2(n - 1, x, incx);
+  if (xnorm == 0.0) return 0.0;
+
+  // beta = -sign(alpha) * ||(alpha, x)||, computed with scaling protection.
+  const double a = alpha;
+  double beta = -std::copysign(std::hypot(a, xnorm), a);
+
+  // Rescale if beta is dangerously small (mirrors dlarfg's safmin loop).
+  const double safmin =
+      std::numeric_limits<double>::min() / std::numeric_limits<double>::epsilon();
+  int kount = 0;
+  double alpha_s = a, xnorm_s = xnorm, beta_s = beta;
+  if (std::fabs(beta) < safmin) {
+    const double rsafmn = 1.0 / safmin;
+    while (std::fabs(beta_s) < safmin && kount < 20) {
+      ++kount;
+      scal(n - 1, rsafmn, x, incx);
+      beta_s *= rsafmn;
+      alpha_s *= rsafmn;
+      xnorm_s *= rsafmn;
+    }
+    xnorm_s = nrm2(n - 1, x, incx);
+    beta_s = -std::copysign(std::hypot(alpha_s, xnorm_s), alpha_s);
+  }
+  const double tau = (beta_s - alpha_s) / beta_s;
+  scal(n - 1, 1.0 / (alpha_s - beta_s), x, incx);
+  for (int k = 0; k < kount; ++k) beta_s *= safmin;
+  alpha = beta_s;
+  return tau;
+}
+
+void larf_left(double tau, const double* v, int incv, MatrixView C,
+               double* work) {
+  if (tau == 0.0) return;
+  const int m = C.m, n = C.n;
+  // work := C^T v
+  for (int j = 0; j < n; ++j) {
+    const double* cj = C.col(j);
+    double s = 0.0;
+    if (incv == 1) {
+      for (int i = 0; i < m; ++i) s += cj[i] * v[i];
+    } else {
+      for (int i = 0; i < m; ++i) s += cj[i] * v[i * incv];
+    }
+    work[j] = s;
+  }
+  // C -= tau * v * work^T
+  for (int j = 0; j < n; ++j) {
+    const double twj = tau * work[j];
+    if (twj == 0.0) continue;
+    double* cj = C.col(j);
+    if (incv == 1) {
+      for (int i = 0; i < m; ++i) cj[i] -= twj * v[i];
+    } else {
+      for (int i = 0; i < m; ++i) cj[i] -= twj * v[i * incv];
+    }
+  }
+}
+
+void larf_right(double tau, const double* v, int incv, MatrixView C,
+                double* work) {
+  if (tau == 0.0) return;
+  const int m = C.m, n = C.n;
+  // work := C v
+  for (int i = 0; i < m; ++i) work[i] = 0.0;
+  for (int j = 0; j < n; ++j) {
+    const double vj = v[j * incv];
+    if (vj == 0.0) continue;
+    const double* cj = C.col(j);
+    for (int i = 0; i < m; ++i) work[i] += vj * cj[i];
+  }
+  // C -= tau * work * v^T
+  for (int j = 0; j < n; ++j) {
+    const double tvj = tau * v[j * incv];
+    if (tvj == 0.0) continue;
+    double* cj = C.col(j);
+    for (int i = 0; i < m; ++i) cj[i] -= tvj * work[i];
+  }
+}
+
+void larft(ConstMatrixView V, const double* tau, MatrixView T) {
+  const int n = V.m, k = V.n;
+  TBSVD_CHECK(T.m >= k && T.n >= k, "larft: T too small");
+  for (int i = 0; i < k; ++i) {
+    if (tau[i] == 0.0) {
+      for (int j = 0; j < i; ++j) T(j, i) = 0.0;
+    } else {
+      // T(0:i, i) = -tau_i * V(:, 0:i)^T * v_i, with v_i = [0_i; 1; V(i+1:, i)].
+      for (int j = 0; j < i; ++j) T(j, i) = -tau[i] * V(i, j);
+      if (i + 1 < n) {
+        ConstMatrixView Vtail = V.block(i + 1, 0, n - i - 1, i);
+        gemv(Trans::Yes, -tau[i], Vtail, V.col(i) + i + 1, 1, 1.0, T.col(i), 1);
+      }
+      // T(0:i, i) := T(0:i, 0:i) * T(0:i, i)
+      if (i > 0) {
+        MatrixView ti{T.col(i), i, 1, T.ld};
+        trmm_left(UpLo::Upper, Trans::No, Diag::NonUnit,
+                  ConstMatrixView{T.a, i, i, T.ld}, ti);
+      }
+    }
+    T(i, i) = tau[i];
+  }
+}
+
+void larfb(Side side, Trans trans, ConstMatrixView V, ConstMatrixView T,
+           MatrixView C, Matrix& work) {
+  const int k = V.n;
+  if (k == 0) return;
+  if (side == Side::Left) {
+    TBSVD_CHECK(V.m == C.m, "larfb left: V/C row mismatch");
+    const int n = C.n;
+    // W (k x n) := V^T C = V1^T C1 + V2^T C2.
+    if (work.rows() < k || work.cols() < n) work = Matrix(k, n);
+    MatrixView W = work.view().block(0, 0, k, n);
+    copy(C.block(0, 0, k, n), W);
+    trmm_left(UpLo::Lower, Trans::Yes, Diag::Unit, V.block(0, 0, k, k), W);
+    if (V.m > k) {
+      gemm(Trans::Yes, Trans::No, 1.0, V.block(k, 0, V.m - k, k),
+           C.block(k, 0, C.m - k, n), 1.0, W);
+    }
+    // W := op(T) W.
+    trmm_left(UpLo::Upper, trans, Diag::NonUnit, T.block(0, 0, k, k), W);
+    // C2 -= V2 W ; C1 -= V1 W.
+    if (V.m > k) {
+      gemm(Trans::No, Trans::No, -1.0, V.block(k, 0, V.m - k, k), W, 1.0,
+           C.block(k, 0, C.m - k, n));
+    }
+    Matrix W2(k, n);
+    copy(W, W2.view());
+    trmm_left(UpLo::Lower, Trans::No, Diag::Unit, V.block(0, 0, k, k),
+              W2.view());
+    for (int j = 0; j < n; ++j) {
+      double* cj = C.col(j);
+      const double* wj = W2.view().col(j);
+      for (int i = 0; i < k; ++i) cj[i] -= wj[i];
+    }
+  } else {
+    TBSVD_CHECK(V.m == C.n, "larfb right: V/C col mismatch");
+    const int m = C.m;
+    // W (m x k) := C V = C1 V1 + C2 V2.
+    if (work.rows() < m || work.cols() < k) work = Matrix(m, k);
+    MatrixView W = work.view().block(0, 0, m, k);
+    copy(C.block(0, 0, m, k), W);
+    trmm_right(UpLo::Lower, Trans::No, Diag::Unit, W, V.block(0, 0, k, k));
+    if (V.m > k) {
+      gemm(Trans::No, Trans::No, 1.0, C.block(0, k, m, C.n - k),
+           V.block(k, 0, V.m - k, k), 1.0, W);
+    }
+    // W := W op(T). Note: right-multiplication by (I - V T V^T)^H uses T^H.
+    trmm_right(UpLo::Upper, trans, Diag::NonUnit, W, T.block(0, 0, k, k));
+    // C2 -= W V2^T ; C1 -= W V1^T.
+    if (V.m > k) {
+      gemm(Trans::No, Trans::Yes, -1.0, W, V.block(k, 0, V.m - k, k), 1.0,
+           C.block(0, k, m, C.n - k));
+    }
+    Matrix W2(m, k);
+    copy(W, W2.view());
+    trmm_right(UpLo::Lower, Trans::Yes, Diag::Unit, W2.view(),
+               V.block(0, 0, k, k));
+    for (int j = 0; j < k; ++j) {
+      double* cj = C.col(j);
+      const double* wj = W2.view().col(j);
+      for (int i = 0; i < m; ++i) cj[i] -= wj[i];
+    }
+  }
+}
+
+}  // namespace tbsvd

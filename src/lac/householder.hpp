@@ -1,0 +1,41 @@
+// Householder reflector generation and application (LAPACK larfg / larf /
+// larft / larfb equivalents, forward column-wise storage only).
+//
+// Conventions match LAPACK: H = I - tau * v * v^T with v(0) = 1. Block
+// reflectors are H_1 H_2 ... H_k = I - V T V^T with V unit lower trapezoidal
+// and T upper triangular.
+#pragma once
+
+#include "lac/blas.hpp"
+#include "lac/dense.hpp"
+
+namespace tbsvd {
+
+/// Generate an elementary reflector annihilating the n-1 entries of x below
+/// alpha: on exit alpha = beta (the surviving value), x holds v(1:n-1), and
+/// the return value is tau. Handles the n == 1 and zero-tail cases (tau = 0).
+double larfg(int n, double& alpha, double* x, int incx) noexcept;
+
+/// C := (I - tau v v^T) C. v has length C.m with v[0] == 1 stored by caller.
+void larf_left(double tau, const double* v, int incv, MatrixView C,
+               double* work);
+
+/// C := C (I - tau v v^T). v has length C.n with v[0] == 1 stored by caller.
+void larf_right(double tau, const double* v, int incv, MatrixView C,
+                double* work);
+
+/// Form the T factor of a block reflector from k reflectors stored forward
+/// column-wise in V (n x k, unit lower trapezoidal; entries on/above the
+/// diagonal are not referenced) with scalars tau. T is k x k upper
+/// triangular on exit (strictly-lower part untouched).
+void larft(ConstMatrixView V, const double* tau, MatrixView T);
+
+enum class Side { Left, Right };
+
+/// Apply a block reflector: C := op(I - V T V^T) C (Side::Left) or
+/// C := C op(I - V T V^T) (Side::Right), where op is transpose when
+/// trans == Trans::Yes. V is unit lower trapezoidal as produced by larft.
+void larfb(Side side, Trans trans, ConstMatrixView V, ConstMatrixView T,
+           MatrixView C, Matrix& work);
+
+}  // namespace tbsvd

@@ -1,0 +1,59 @@
+#include "lac/jacobi_svd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "lac/blas.hpp"
+#include "common/check.hpp"
+
+namespace tbsvd {
+
+std::vector<double> jacobi_singular_values(ConstMatrixView A, int max_sweeps) {
+  // Work on a copy W with rows >= cols.
+  const bool flip = A.m < A.n;
+  const int m = flip ? A.n : A.m;
+  const int n = flip ? A.m : A.n;
+  Matrix W(m, n);
+  if (flip) {
+    transpose(A, W.view());
+  } else {
+    copy(A, W.view());
+  }
+
+  const double eps = std::numeric_limits<double>::epsilon();
+  const double tol = 10.0 * eps;
+  bool converged = false;
+  for (int sweep = 0; sweep < max_sweeps && !converged; ++sweep) {
+    converged = true;
+    for (int p = 0; p < n - 1; ++p) {
+      for (int q = p + 1; q < n; ++q) {
+        double* cp = W.view().col(p);
+        double* cq = W.view().col(q);
+        const double app = dot(m, cp, 1, cp, 1);
+        const double aqq = dot(m, cq, 1, cq, 1);
+        const double apq = dot(m, cp, 1, cq, 1);
+        if (std::fabs(apq) <= tol * std::sqrt(app * aqq)) continue;
+        converged = false;
+        // Jacobi rotation diagonalizing [[app, apq], [apq, aqq]].
+        const double zeta = (aqq - app) / (2.0 * apq);
+        const double t = std::copysign(
+            1.0 / (std::fabs(zeta) + std::sqrt(1.0 + zeta * zeta)), zeta);
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = c * t;
+        for (int i = 0; i < m; ++i) {
+          const double wp = cp[i], wq = cq[i];
+          cp[i] = c * wp - s * wq;
+          cq[i] = s * wp + c * wq;
+        }
+      }
+    }
+  }
+
+  std::vector<double> sv(n);
+  for (int j = 0; j < n; ++j) sv[j] = nrm2(m, W.view().col(j), 1);
+  std::sort(sv.begin(), sv.end(), std::greater<>());
+  return sv;
+}
+
+}  // namespace tbsvd

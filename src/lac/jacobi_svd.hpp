@@ -1,0 +1,16 @@
+// One-sided Jacobi SVD (singular values only). Slow but extremely robust;
+// used throughout the test suite as the numerical oracle.
+#pragma once
+
+#include <vector>
+
+#include "lac/dense.hpp"
+
+namespace tbsvd {
+
+/// Singular values of A (any shape), sorted descending. One-sided Jacobi
+/// rotations on columns of A (or A^T when m < n) until convergence.
+std::vector<double> jacobi_singular_values(ConstMatrixView A,
+                                           int max_sweeps = 60);
+
+}  // namespace tbsvd

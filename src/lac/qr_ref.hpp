@@ -1,0 +1,34 @@
+// Reference dense QR / LQ factorizations (LAPACK geqr2/geqrf/orgqr-style).
+// Used as the correctness oracle for the tile kernels, by the test-matrix
+// generator (random orthogonal factors), and by the Chan / GEBRD baselines.
+#pragma once
+
+#include "lac/blas.hpp"
+#include "lac/dense.hpp"
+
+namespace tbsvd {
+
+/// Unblocked Householder QR: A (m x n) is overwritten with R in the upper
+/// triangle and the reflectors below the diagonal; tau has min(m,n) entries.
+void geqr2(MatrixView A, double* tau);
+
+/// Blocked Householder QR (panel width nb) via larft/larfb.
+void geqrf(MatrixView A, double* tau, int nb = 32);
+
+/// Form the leading ncols columns of Q (m x ncols) from a geqr2/geqrf
+/// factorization with k reflectors. Q must be m x ncols with ncols >= k.
+void orgqr(ConstMatrixView A, const double* tau, int k, MatrixView Q);
+
+/// Unblocked Householder LQ: A (m x n) overwritten with L in the lower
+/// triangle and reflectors right of the diagonal; tau has min(m,n) entries.
+void gelq2(MatrixView A, double* tau);
+
+/// Form the leading nrows rows of Q (nrows x n) from a gelq2 factorization
+/// with k reflectors.
+void orglq(ConstMatrixView A, const double* tau, int k, MatrixView Q);
+
+/// Multiply C := Q^T C (trans) or Q C, with Q from geqr2/geqrf stored in A.
+void ormqr_left(Trans trans, ConstMatrixView A, const double* tau, int k,
+                MatrixView C);
+
+}  // namespace tbsvd

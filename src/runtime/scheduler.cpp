@@ -1,0 +1,123 @@
+#include "runtime/scheduler.hpp"
+
+#include <thread>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+
+namespace tbsvd {
+
+Scheduler::Scheduler(TaskGraph& graph, int num_threads)
+    : graph_(graph), nthreads_(num_threads),
+      indegree_(graph.tasks_.size()), worker_traces_(num_threads) {
+  queues_.reserve(num_threads);
+  for (int i = 0; i < num_threads; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  for (std::size_t i = 0; i < graph.tasks_.size(); ++i) {
+    indegree_[i].store(graph.tasks_[i].indegree, std::memory_order_relaxed);
+  }
+  remaining_.store(graph.tasks_.size(), std::memory_order_relaxed);
+}
+
+void Scheduler::push_task(int wid, int task_id) {
+  {
+    std::lock_guard<std::mutex> lk(queues_[wid]->mtx);
+    queues_[wid]->heap.push(
+        Entry{graph_.tasks_[task_id].priority, task_id});
+  }
+  // Wake one sleeper; cheap enough at tile-task granularity.
+  work_signal_.fetch_add(1, std::memory_order_release);
+  idle_cv_.notify_one();
+}
+
+bool Scheduler::try_pop(int wid, int& task_id) {
+  std::lock_guard<std::mutex> lk(queues_[wid]->mtx);
+  if (queues_[wid]->heap.empty()) return false;
+  task_id = queues_[wid]->heap.top().task_id;
+  queues_[wid]->heap.pop();
+  return true;
+}
+
+bool Scheduler::try_steal(int thief, int& task_id) {
+  // Sweep all victims once, starting after the thief.
+  for (int d = 1; d < nthreads_; ++d) {
+    const int v = (thief + d) % nthreads_;
+    std::lock_guard<std::mutex> lk(queues_[v]->mtx);
+    if (!queues_[v]->heap.empty()) {
+      task_id = queues_[v]->heap.top().task_id;
+      queues_[v]->heap.pop();
+      return true;
+    }
+  }
+  return false;
+}
+
+void Scheduler::worker_loop(int wid) {
+  Trace& tr = worker_traces_[wid];
+  while (remaining_.load(std::memory_order_acquire) > 0) {
+    int task_id;
+    if (!try_pop(wid, task_id) && !try_steal(wid, task_id)) {
+      // Nothing runnable: sleep until new work is produced or all done.
+      std::unique_lock<std::mutex> lk(idle_mtx_);
+      const int sig = work_signal_.load(std::memory_order_acquire);
+      if (remaining_.load(std::memory_order_acquire) == 0) break;
+      idle_cv_.wait_for(lk, std::chrono::milliseconds(1), [&] {
+        return work_signal_.load(std::memory_order_acquire) != sig ||
+               remaining_.load(std::memory_order_acquire) == 0;
+      });
+      continue;
+    }
+
+    TaskGraph::Task& t = graph_.tasks_[task_id];
+    TraceEvent ev;
+    ev.task_id = task_id;
+    ev.worker = wid;
+    ev.name = t.name;
+    ev.t_start = WallTimer::now() - t0_;
+    t.fn();
+    ev.t_end = WallTimer::now() - t0_;
+    tr.record(ev);
+
+    // Release successors; newly-ready ones stay local (data reuse).
+    for (int s : t.successors) {
+      if (indegree_[s].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        push_task(wid, s);
+      }
+    }
+    if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      idle_cv_.notify_all();
+    }
+  }
+  idle_cv_.notify_all();
+}
+
+void Scheduler::run() {
+  t0_ = WallTimer::now();
+  // Seed initially-ready tasks round-robin across workers.
+  int wid = 0;
+  for (std::size_t i = 0; i < graph_.tasks_.size(); ++i) {
+    if (graph_.tasks_[i].indegree == 0) {
+      std::lock_guard<std::mutex> lk(queues_[wid]->mtx);
+      queues_[wid]->heap.push(
+          Entry{graph_.tasks_[i].priority, static_cast<int>(i)});
+      wid = (wid + 1) % nthreads_;
+    }
+  }
+  if (graph_.tasks_.empty()) return;
+
+  std::vector<std::thread> threads;
+  threads.reserve(nthreads_);
+  for (int i = 0; i < nthreads_; ++i) {
+    threads.emplace_back([this, i] { worker_loop(i); });
+  }
+  for (auto& th : threads) th.join();
+
+  TBSVD_CHECK(remaining_.load() == 0,
+              "scheduler finished with unexecuted tasks (cyclic graph?)");
+  graph_.trace_.reserve(graph_.tasks_.size());
+  for (auto& tr : worker_traces_) graph_.trace_.append(tr);
+}
+
+}  // namespace tbsvd

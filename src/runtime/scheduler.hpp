@@ -1,0 +1,57 @@
+// Multi-threaded executor for TaskGraph: per-worker priority deques with
+// locality-first scheduling (a completed task's newly-ready successors go to
+// the finishing worker, approximating PARSEC's data-reuse heuristic) and
+// random stealing for load balance.
+#pragma once
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <vector>
+
+#include "runtime/task_graph.hpp"
+
+namespace tbsvd {
+
+class Scheduler {
+ public:
+  Scheduler(TaskGraph& graph, int num_threads);
+
+  /// Runs the graph to completion; fills the graph's trace.
+  void run();
+
+ private:
+  struct Entry {
+    int priority;
+    int task_id;  // tie-break: lower id (earlier submission) first
+    bool operator<(const Entry& o) const noexcept {
+      // std::priority_queue is a max-heap; prefer high priority, low id.
+      if (priority != o.priority) return priority < o.priority;
+      return task_id > o.task_id;
+    }
+  };
+
+  struct WorkerQueue {
+    std::mutex mtx;
+    std::priority_queue<Entry> heap;
+  };
+
+  void worker_loop(int wid);
+  void push_task(int wid, int task_id);
+  bool try_pop(int wid, int& task_id);
+  bool try_steal(int thief, int& task_id);
+
+  TaskGraph& graph_;
+  int nthreads_;
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::atomic<int>> indegree_;
+  std::atomic<std::size_t> remaining_{0};
+  std::mutex idle_mtx_;
+  std::condition_variable idle_cv_;
+  std::atomic<int> work_signal_{0};
+  std::vector<Trace> worker_traces_;
+  double t0_ = 0.0;
+};
+
+}  // namespace tbsvd

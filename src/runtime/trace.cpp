@@ -1,0 +1,39 @@
+#include "runtime/trace.hpp"
+
+#include <algorithm>
+
+namespace tbsvd {
+
+double Trace::makespan() const noexcept {
+  if (events_.empty()) return 0.0;
+  double lo = events_.front().t_start, hi = events_.front().t_end;
+  for (const auto& e : events_) {
+    lo = std::min(lo, e.t_start);
+    hi = std::max(hi, e.t_end);
+  }
+  return hi - lo;
+}
+
+double Trace::busy_seconds() const noexcept {
+  double s = 0.0;
+  for (const auto& e : events_) s += e.t_end - e.t_start;
+  return s;
+}
+
+double Trace::utilization(int workers) const noexcept {
+  const double span = makespan();
+  if (span <= 0.0 || workers <= 0) return 0.0;
+  return busy_seconds() / (span * workers);
+}
+
+std::map<std::string, KernelStats> Trace::by_kernel() const {
+  std::map<std::string, KernelStats> out;
+  for (const auto& e : events_) {
+    auto& ks = out[e.name];
+    ks.count += 1;
+    ks.total_seconds += e.t_end - e.t_start;
+  }
+  return out;
+}
+
+}  // namespace tbsvd

@@ -1,0 +1,56 @@
+// Execution tracing for the task runtime: per-task (worker, start, end)
+// records, aggregated into makespan / utilization / per-kernel summaries.
+// The benchmarks use traces to report scheduler efficiency, mirroring the
+// paper's discussion of tree parallelism vs kernel efficiency.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace tbsvd {
+
+struct TraceEvent {
+  int task_id = -1;
+  int worker = -1;
+  const char* name = "";
+  double t_start = 0.0;  ///< seconds, relative to run() start
+  double t_end = 0.0;
+};
+
+/// Aggregated statistics per kernel name.
+struct KernelStats {
+  int count = 0;
+  double total_seconds = 0.0;
+};
+
+class Trace {
+ public:
+  void reserve(std::size_t n) { events_.reserve(n); }
+  void clear() { events_.clear(); }
+  void record(const TraceEvent& ev) { events_.push_back(ev); }
+  void append(const Trace& other) {
+    events_.insert(events_.end(), other.events_.begin(), other.events_.end());
+  }
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const noexcept {
+    return events_;
+  }
+
+  /// Wall time between the earliest start and the latest end.
+  [[nodiscard]] double makespan() const noexcept;
+
+  /// Sum of task durations divided by (makespan * workers): 1.0 = no idle.
+  [[nodiscard]] double utilization(int workers) const noexcept;
+
+  /// Total busy seconds across all events.
+  [[nodiscard]] double busy_seconds() const noexcept;
+
+  /// Per-kernel-name counts and accumulated seconds.
+  [[nodiscard]] std::map<std::string, KernelStats> by_kernel() const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace tbsvd

@@ -1,0 +1,14 @@
+#include "tile/distribution.hpp"
+
+#include <cmath>
+
+namespace tbsvd {
+
+Distribution Distribution::square_grid(int nodes) {
+  TBSVD_CHECK(nodes >= 1, "need at least one node");
+  int r = static_cast<int>(std::sqrt(static_cast<double>(nodes)));
+  while (r > 1 && nodes % r != 0) --r;
+  return {r, nodes / r};
+}
+
+}  // namespace tbsvd

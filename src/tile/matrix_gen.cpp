@@ -1,0 +1,91 @@
+#include "tile/matrix_gen.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "lac/blas.hpp"
+#include "lac/qr_ref.hpp"
+
+namespace tbsvd {
+
+std::vector<double> make_singular_values(int n, const GenOptions& opts) {
+  TBSVD_CHECK(n >= 1, "need n >= 1 singular values");
+  TBSVD_CHECK(opts.cond >= 1.0, "condition number must be >= 1");
+  std::vector<double> sv(n);
+  const double inv_cond = 1.0 / opts.cond;
+  switch (opts.profile) {
+    case SvProfile::Arithmetic:
+      for (int i = 0; i < n; ++i) {
+        sv[i] = (n == 1) ? 1.0
+                         : 1.0 - (static_cast<double>(i) / (n - 1)) *
+                                     (1.0 - inv_cond);
+      }
+      break;
+    case SvProfile::Geometric:
+      for (int i = 0; i < n; ++i) {
+        sv[i] = (n == 1) ? 1.0
+                         : std::pow(opts.cond,
+                                    -static_cast<double>(i) / (n - 1));
+      }
+      break;
+    case SvProfile::Clustered:
+      sv[0] = 1.0;
+      for (int i = 1; i < n; ++i) sv[i] = inv_cond;
+      break;
+    case SvProfile::Random: {
+      Rng rng(opts.seed ^ 0xC0FFEE);
+      for (int i = 0; i < n; ++i) sv[i] = rng.uniform(inv_cond, 1.0);
+      std::sort(sv.begin(), sv.end(), std::greater<>());
+      break;
+    }
+  }
+  return sv;
+}
+
+namespace {
+// Random m x k matrix with orthonormal columns (QR of a Gaussian matrix).
+Matrix random_orthonormal(int m, int k, Rng& rng) {
+  Matrix G(m, k);
+  for (int j = 0; j < k; ++j) {
+    for (int i = 0; i < m; ++i) G(i, j) = rng.normal();
+  }
+  std::vector<double> tau(k);
+  geqrf(G.view(), tau.data());
+  Matrix Q(m, k);
+  orgqr(G.cview(), tau.data(), k, Q.view());
+  return Q;
+}
+}  // namespace
+
+Matrix generate_matrix_with_sv(int m, int n, const std::vector<double>& sv,
+                               std::uint64_t seed) {
+  TBSVD_CHECK(m >= n, "generate_matrix_with_sv requires m >= n");
+  TBSVD_CHECK(static_cast<int>(sv.size()) == n, "sv must have n entries");
+  Rng rng(seed);
+  Matrix U = random_orthonormal(m, n, rng);
+  Matrix V = random_orthonormal(n, n, rng);
+  // A = (U * diag(sv)) * V^T.
+  for (int j = 0; j < n; ++j) scal(m, sv[j], U.view().col(j), 1);
+  Matrix A(m, n);
+  gemm(Trans::No, Trans::Yes, 1.0, U.cview(), V.cview(), 0.0, A.view());
+  return A;
+}
+
+Matrix generate_latms(int m, int n, const GenOptions& opts,
+                      std::vector<double>& sv_out) {
+  sv_out = make_singular_values(n, opts);
+  return generate_matrix_with_sv(m, n, sv_out, opts.seed);
+}
+
+Matrix generate_random(int m, int n, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix A(m, n);
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i < m; ++i) A(i, j) = rng.normal();
+  }
+  return A;
+}
+
+}  // namespace tbsvd

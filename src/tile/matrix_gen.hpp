@@ -1,0 +1,43 @@
+// Test-matrix generation with prescribed singular values (the role LAPACK
+// LATMS plays in the paper's experiments), plus plain random matrices for
+// performance runs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lac/dense.hpp"
+
+namespace tbsvd {
+
+/// Singular value profiles (sigma_max = 1).
+enum class SvProfile {
+  Arithmetic,  ///< sigma_i = 1 - (i/(n-1)) (1 - 1/cond)
+  Geometric,   ///< sigma_i = cond^(-i/(n-1))
+  Clustered,   ///< sigma_0 = 1, all others 1/cond
+  Random,      ///< uniform in [1/cond, 1], sorted descending
+};
+
+struct GenOptions {
+  SvProfile profile = SvProfile::Geometric;
+  double cond = 1e3;           ///< condition number sigma_max / sigma_min
+  std::uint64_t seed = 42;
+};
+
+/// Prescribed singular values for a rank-n profile.
+std::vector<double> make_singular_values(int n, const GenOptions& opts);
+
+/// A (m x n, m >= n) = U diag(sv) V^T with random orthonormal U (m x n) and
+/// V (n x n). sv must be length n.
+Matrix generate_matrix_with_sv(int m, int n, const std::vector<double>& sv,
+                               std::uint64_t seed = 42);
+
+/// Convenience: generate profile + matrix in one call; returns the matrix
+/// and fills sv_out with the prescribed values (sorted descending).
+Matrix generate_latms(int m, int n, const GenOptions& opts,
+                      std::vector<double>& sv_out);
+
+/// i.i.d. standard normal entries (for performance benchmarks).
+Matrix generate_random(int m, int n, std::uint64_t seed = 42);
+
+}  // namespace tbsvd

@@ -1,0 +1,60 @@
+#include "trees/hier_tree.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace tbsvd {
+
+StepPlan make_hier_plan(int u, int offset, const HierConfig& cfg) {
+  TBSVD_CHECK(u >= 1 && offset >= 0 && cfg.grid_dim >= 1,
+              "make_hier_plan: bad arguments");
+  if (cfg.grid_dim == 1) {
+    return make_step_plan(cfg.local, u,
+                          cfg.local == TreeKind::Auto ? &cfg.auto_cfg
+                                                      : nullptr);
+  }
+
+  // Group local indices by owning grid row (block-cyclic).
+  std::vector<std::vector<int>> groups(cfg.grid_dim);
+  for (int i = 0; i < u; ++i) groups[(offset + i) % cfg.grid_dim].push_back(i);
+
+  StepPlan plan;
+  std::vector<int> heads;
+  // Process the group that owns local index 0 first so its head (== 0)
+  // leads the heads list and survives the top-level reduction.
+  std::vector<int> order(cfg.grid_dim);
+  for (int g = 0; g < cfg.grid_dim; ++g) order[g] = (offset % cfg.grid_dim + g) % cfg.grid_dim;
+
+  for (int g : order) {
+    const auto& members = groups[g];
+    if (members.empty()) continue;
+    const int gsz = static_cast<int>(members.size());
+    StepPlan local = make_step_plan(
+        cfg.local, gsz,
+        cfg.local == TreeKind::Auto ? &cfg.auto_cfg : nullptr);
+    for (int loc : local.prep) plan.prep.push_back(members[loc]);
+    for (const Elim& e : local.elims) {
+      plan.elims.push_back(Elim{members[e.piv], members[e.row], e.kind});
+    }
+    heads.push_back(members[0]);
+  }
+  TBSVD_ASSERT(!heads.empty() && heads[0] == 0);
+
+  // Top-level TT reduction across node heads into heads[0].
+  const int h = static_cast<int>(heads.size());
+  if (cfg.top_greedy) {
+    for (int d = 1; d < h; d <<= 1) {
+      for (int i = 0; i + d < h; i += 2 * d) {
+        plan.elims.push_back(Elim{heads[i], heads[i + d], ElimKind::TT});
+      }
+    }
+  } else {
+    for (int i = 1; i < h; ++i) {
+      plan.elims.push_back(Elim{heads[0], heads[i], ElimKind::TT});
+    }
+  }
+  return plan;
+}
+
+}  // namespace tbsvd

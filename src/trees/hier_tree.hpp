@@ -1,0 +1,27 @@
+// Hierarchical (distributed-memory) reduction trees, Section V.
+//
+// Tiles of a panel are owned block-cyclically by `grid_dim` grid rows
+// (grid columns for LQ steps). Each node reduces its local tiles with a
+// shared-memory tree (FlatTS / FlatTT / Greedy / Auto); the surviving local
+// heads are then combined across nodes by a top-level tree of TT kernels —
+// flat for FlatTS/FlatTT configurations, binomial for Greedy/Auto, matching
+// the coupling used in the paper's experiments.
+#pragma once
+
+#include "trees/tree.hpp"
+
+namespace tbsvd {
+
+struct HierConfig {
+  int grid_dim = 1;                    ///< R (QR steps) or C (LQ steps)
+  bool top_greedy = true;              ///< binomial across nodes; else flat
+  TreeKind local = TreeKind::FlatTS;   ///< tree within each node
+  AutoConfig auto_cfg;                 ///< used when local == Auto
+};
+
+/// Plan for a panel of u tiles whose local index i corresponds to global
+/// index offset + i (so owner(i) = (offset + i) % grid_dim).
+[[nodiscard]] StepPlan make_hier_plan(int u, int offset,
+                                      const HierConfig& cfg);
+
+}  // namespace tbsvd

@@ -1,0 +1,178 @@
+// Band stage validation: band storage, BND2BD bulge chasing (singular
+// values preserved vs dense oracle), BD2VAL QR iteration vs Sturm
+// bisection vs Jacobi.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "band/band_matrix.hpp"
+#include "band/bd2val.hpp"
+#include "band/bnd2bd.hpp"
+#include "band/sturm.hpp"
+#include "common/rng.hpp"
+#include "lac/jacobi_svd.hpp"
+
+namespace tbsvd {
+namespace {
+
+BandMatrix random_band(int n, int ku, std::uint64_t seed) {
+  Rng rng(seed);
+  BandMatrix B(n, 0, ku);
+  for (int j = 0; j < n; ++j) {
+    for (int i = std::max(0, j - ku); i <= j; ++i) B.at(i, j) = rng.normal();
+  }
+  return B;
+}
+
+TEST(BandMatrix, StorageAndDense) {
+  BandMatrix B(6, 1, 2);
+  B.at(0, 0) = 1.0;
+  B.at(0, 2) = 2.0;
+  B.at(3, 2) = 3.0;  // subdiagonal slot
+  EXPECT_EQ(B.get(0, 0), 1.0);
+  EXPECT_EQ(B.get(0, 2), 2.0);
+  EXPECT_EQ(B.get(3, 2), 3.0);
+  EXPECT_EQ(B.get(0, 3), 0.0);   // outside band
+  EXPECT_EQ(B.get(5, 0), 0.0);   // outside band
+  EXPECT_FALSE(B.in_band(0, 3));
+  EXPECT_TRUE(B.in_band(3, 2));
+  Matrix D = B.to_dense();
+  EXPECT_EQ(D(0, 0), 1.0);
+  EXPECT_EQ(D(0, 2), 2.0);
+  EXPECT_EQ(D(3, 2), 3.0);
+  EXPECT_EQ(D(4, 0), 0.0);
+}
+
+class Bnd2bdP : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(Bnd2bdP, PreservesSingularValues) {
+  const auto [n, ku] = GetParam();
+  BandMatrix B = random_band(n, ku, 1234 + n * 100 + ku);
+  const auto ref = jacobi_singular_values(B.to_dense().cview());
+  Bidiagonal bd = bnd2bd(B);
+  // Build the bidiagonal as a dense matrix and compare spectra.
+  Matrix D(n, n);
+  for (int i = 0; i < n; ++i) D(i, i) = bd.d[i];
+  for (int i = 0; i + 1 < n; ++i) D(i, i + 1) = bd.e[i];
+  const auto got = jacobi_singular_values(D.cview());
+  ASSERT_EQ(got.size(), ref.size());
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_NEAR(got[i], ref[i], 1e-11 * (1.0 + ref[0])) << "sv " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndBandwidths, Bnd2bdP,
+    ::testing::Values(std::tuple{1, 1}, std::tuple{2, 1}, std::tuple{4, 2},
+                      std::tuple{8, 3}, std::tuple{16, 4}, std::tuple{16, 8},
+                      std::tuple{33, 5}, std::tuple{40, 16},
+                      std::tuple{64, 8}, std::tuple{50, 2},
+                      std::tuple{10, 9}, std::tuple{12, 1}));
+
+TEST(Bnd2bd, AlreadyBidiagonalIsUntouched) {
+  const int n = 10;
+  BandMatrix B(n, 0, 1);
+  Rng rng(5);
+  for (int i = 0; i < n; ++i) {
+    B.at(i, i) = rng.uniform(0.5, 2.0);
+    if (i + 1 < n) B.at(i, i + 1) = rng.uniform(-1.0, 1.0);
+  }
+  Bidiagonal bd = bnd2bd(B);
+  for (int i = 0; i < n; ++i) EXPECT_EQ(bd.d[i], B.get(i, i));
+  for (int i = 0; i + 1 < n; ++i) EXPECT_EQ(bd.e[i], B.get(i, i + 1));
+}
+
+TEST(Bnd2bd, DiagonalInput) {
+  BandMatrix B(5, 0, 3);
+  for (int i = 0; i < 5; ++i) B.at(i, i) = i + 1.0;
+  Bidiagonal bd = bnd2bd(B);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(bd.d[i], i + 1.0);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(bd.e[i], 0.0);
+}
+
+class Bd2valP : public ::testing::TestWithParam<int> {};
+
+TEST_P(Bd2valP, MatchesSturmAndJacobi) {
+  const int n = GetParam();
+  Rng rng(999 + n);
+  std::vector<double> d(n), e(std::max(0, n - 1));
+  for (auto& v : d) v = rng.normal();
+  for (auto& v : e) v = rng.normal();
+
+  auto qr = bd2val(d, e);
+  auto st = sturm_singular_values(d, e);
+  ASSERT_EQ(qr.size(), static_cast<std::size_t>(n));
+  double smax = st.empty() ? 1.0 : st[0];
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(qr[i], st[i], 1e-10 * (1.0 + smax)) << "sv " << i;
+  }
+
+  Matrix D(n, n);
+  for (int i = 0; i < n; ++i) D(i, i) = d[i];
+  for (int i = 0; i + 1 < n; ++i) D(i, i + 1) = e[i];
+  auto jac = jacobi_singular_values(D.cview());
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(qr[i], jac[i], 1e-10 * (1.0 + smax)) << "sv " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, Bd2valP,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 30, 64, 100,
+                                           200));
+
+TEST(Bd2val, ZeroMatrix) {
+  auto sv = bd2val(std::vector<double>(5, 0.0), std::vector<double>(4, 0.0));
+  for (double s : sv) EXPECT_EQ(s, 0.0);
+}
+
+TEST(Bd2val, ZeroDiagonalEntries) {
+  // Exact zero on the diagonal exercises the zero-shift path.
+  std::vector<double> d = {1.0, 0.0, 2.0, 0.5, 0.0};
+  std::vector<double> e = {0.5, 0.7, -0.3, 0.2};
+  auto qr = bd2val(d, e);
+  auto st = sturm_singular_values(d, e);
+  for (std::size_t i = 0; i < qr.size(); ++i)
+    EXPECT_NEAR(qr[i], st[i], 1e-11);
+}
+
+TEST(Bd2val, ClusteredValues) {
+  const int n = 50;
+  std::vector<double> d(n, 1.0), e(n - 1, 1e-8);
+  auto qr = bd2val(d, e);
+  for (double s : qr) EXPECT_NEAR(s, 1.0, 1e-6);
+}
+
+TEST(Bd2val, HugeDynamicRange) {
+  std::vector<double> d = {1e150, 1.0, 1e-150};
+  std::vector<double> e = {1e10, 1e-10};
+  auto qr = bd2val(d, e);
+  EXPECT_GT(qr[0], 9e149);
+  ASSERT_EQ(qr.size(), 3u);
+}
+
+TEST(Sturm, CountIsMonotonic) {
+  std::vector<double> d = {3.0, 1.0, 2.0};
+  std::vector<double> e = {0.5, 0.25};
+  int prev = 0;
+  for (double x = 0.0; x < 5.0; x += 0.25) {
+    const int c = tgk_sturm_count(d, e, x);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+  // All 6 eigenvalues of TGK are below a large bound; half below 0+.
+  EXPECT_EQ(tgk_sturm_count(d, e, 100.0), 6);
+  EXPECT_EQ(tgk_sturm_count(d, e, 1e-14), 3);
+}
+
+TEST(Sturm, ExactOnDiagonal) {
+  std::vector<double> d = {4.0, 2.0, 1.0};
+  std::vector<double> e = {0.0, 0.0};
+  auto sv = sturm_singular_values(d, e);
+  EXPECT_NEAR(sv[0], 4.0, 1e-12);
+  EXPECT_NEAR(sv[1], 2.0, 1e-12);
+  EXPECT_NEAR(sv[2], 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace tbsvd

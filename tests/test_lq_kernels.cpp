@@ -1,0 +1,220 @@
+// Tile LQ kernel validation. Besides explicit-Q reconstruction, every LQ
+// kernel is cross-checked against its QR mirror through transposition:
+// LQ(A) must produce exactly the transposed factors of QR(A^T) because the
+// larfg conventions coincide.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "common/rng.hpp"
+#include "kernels/lq_kernels.hpp"
+#include "kernels/qr_kernels.hpp"
+#include "lac/blas.hpp"
+#include "lac/dense.hpp"
+
+namespace tbsvd {
+namespace {
+
+using namespace tbsvd::kernels;
+
+Matrix random_matrix(int m, int n, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix A(m, n);
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < m; ++i) A(i, j) = rng.normal();
+  return A;
+}
+
+Matrix random_lower(int n, std::uint64_t seed) {
+  Matrix A = random_matrix(n, n, seed);
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < j; ++i) A(i, j) = 0.0;
+  return A;
+}
+
+Matrix transposed(ConstMatrixView A) {
+  Matrix B(A.n, A.m);
+  transpose(A, B.view());
+  return B;
+}
+
+Matrix mul(ConstMatrixView A, ConstMatrixView B) {
+  Matrix C(A.m, B.n);
+  gemm(Trans::No, Trans::No, 1.0, A, B, 0.0, C.view());
+  return C;
+}
+
+class LqKernelP : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(LqKernelP, GelqtMirrorsGeqrt) {
+  // LQ(A) and QR(A^T) produce transposed factors. The two code paths
+  // accumulate in different orders, so equality holds to rounding only.
+  const auto [n, ib] = GetParam();
+  Matrix A = random_matrix(n, n, 100 + n + ib);
+  Matrix At = transposed(A.cview());
+  Matrix Tl(ib, n), Tq(ib, n);
+  gelqt(A.view(), Tl.view(), ib);
+  geqrt(At.view(), Tq.view(), ib);
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < n; ++i) EXPECT_NEAR(A(i, j), At(j, i), 1e-12);
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < std::min(ib, n); ++i)
+      EXPECT_NEAR(Tl(i, j), Tq(i, j), 1e-12);
+}
+
+TEST_P(LqKernelP, GelqtReconstructs) {
+  const auto [n, ib] = GetParam();
+  Matrix A = random_matrix(n, n, 200 + n + ib);
+  Matrix A0 = A;
+  Matrix T(ib, n);
+  gelqt(A.view(), T.view(), ib);
+  // Explicit Q: I := I * Q via unmlq(No).
+  Matrix Q = Matrix::identity(n);
+  unmlq(Trans::No, A.cview(), T.cview(), Q.view(), ib);
+  EXPECT_LT(orthogonality_error(Q.cview()), 1e-12 * n);
+  Matrix L(n, n);
+  for (int j = 0; j < n; ++j)
+    for (int i = j; i < n; ++i) L(i, j) = A(i, j);
+  Matrix LQ = mul(L.cview(), Q.cview());
+  const double scale = 1.0 + norm_fro(A0.cview());
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < n; ++i) EXPECT_NEAR(LQ(i, j), A0(i, j), 1e-12 * scale);
+}
+
+TEST_P(LqKernelP, UnmlqRoundTrip) {
+  const auto [n, ib] = GetParam();
+  Matrix A = random_matrix(n, n, 300 + n + ib);
+  Matrix T(ib, n);
+  gelqt(A.view(), T.view(), ib);
+  Matrix C = random_matrix(n, n, 310 + n);
+  Matrix C0 = C;
+  unmlq(Trans::Yes, A.cview(), T.cview(), C.view(), ib);
+  unmlq(Trans::No, A.cview(), T.cview(), C.view(), ib);
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < n; ++i) EXPECT_NEAR(C(i, j), C0(i, j), 1e-12);
+}
+
+TEST_P(LqKernelP, TslqtMirrorsTsqrt) {
+  // tslqt(L1, A2^T) must mirror tsqrt(R1, A2) with L1 = R1^T, to rounding.
+  const auto [n, ib] = GetParam();
+  for (const int m2 : {n, 2 * n, std::max(1, n / 2)}) {
+    Matrix R1 = random_matrix(n, n, 400 + n + ib);
+    for (int j = 0; j < n; ++j)
+      for (int i = j + 1; i < n; ++i) R1(i, j) = 0.0;  // upper triangular
+    Matrix A2q = random_matrix(m2, n, 410 + n + ib + m2);
+    Matrix L1 = transposed(R1.cview());
+    Matrix A2l = transposed(A2q.cview());
+
+    Matrix Tq(ib, n), Tl(ib, n);
+    tsqrt(R1.view(), A2q.view(), Tq.view(), ib);
+    tslqt(L1.view(), A2l.view(), Tl.view(), ib);
+
+    for (int j = 0; j < n; ++j)
+      for (int i = 0; i < n; ++i) EXPECT_NEAR(L1(i, j), R1(j, i), 1e-12);
+    for (int j = 0; j < m2; ++j)
+      for (int i = 0; i < n; ++i) EXPECT_NEAR(A2l(i, j), A2q(j, i), 1e-12);
+    for (int j = 0; j < n; ++j)
+      for (int i = 0; i < std::min(ib, n); ++i)
+        EXPECT_NEAR(Tl(i, j), Tq(i, j), 1e-12);
+  }
+}
+
+TEST_P(LqKernelP, TslqtReconstructs) {
+  const auto [n, ib] = GetParam();
+  const int m2 = n + 3;
+  Matrix A1 = random_lower(n, 500 + n + ib);
+  Matrix A2 = random_matrix(n, m2, 510 + n + ib);
+  Matrix S0(n, n + m2);
+  copy(A1.cview(), S0.view().block(0, 0, n, n));
+  copy(A2.cview(), S0.view().block(0, n, n, m2));
+
+  Matrix T(ib, n);
+  tslqt(A1.view(), A2.view(), T.view(), ib);
+
+  // Explicit Q ((n+m2) x (n+m2)): I := I * Q via tsmlq(No).
+  Matrix Q(n + m2, n + m2);
+  for (int i = 0; i < n + m2; ++i) Q(i, i) = 1.0;
+  tsmlq(Trans::No, Q.view().block(0, 0, n + m2, n),
+        Q.view().block(0, n, n + m2, m2), A2.cview(), T.cview(), ib);
+  EXPECT_LT(orthogonality_error(Q.cview()), 1e-12 * (n + m2));
+
+  Matrix L(n, n + m2);
+  for (int j = 0; j < n; ++j)
+    for (int i = j; i < n; ++i) L(i, j) = A1(i, j);
+  Matrix LQ = mul(L.cview(), Q.cview());
+  const double scale = 1.0 + norm_fro(S0.cview());
+  for (int j = 0; j < n + m2; ++j)
+    for (int i = 0; i < n; ++i)
+      EXPECT_NEAR(LQ(i, j), S0(i, j), 1e-12 * scale);
+}
+
+TEST_P(LqKernelP, TsmlqTransZeroesEliminatedTile) {
+  const auto [n, ib] = GetParam();
+  const int m2 = n;
+  Matrix A1 = random_lower(n, 600 + n + ib);
+  Matrix A2 = random_matrix(n, m2, 610 + n + ib);
+  Matrix C1 = A1, C2 = A2;
+  Matrix T(ib, n);
+  tslqt(A1.view(), A2.view(), T.view(), ib);
+  tsmlq(Trans::Yes, C1.view(), C2.view(), A2.cview(), T.cview(), ib);
+  for (int j = 0; j < n; ++j)
+    for (int i = j; i < n; ++i) EXPECT_NEAR(C1(i, j), A1(i, j), 1e-11);
+  for (int j = 0; j < m2; ++j)
+    for (int i = 0; i < n; ++i) EXPECT_NEAR(C2(i, j), 0.0, 1e-11);
+}
+
+TEST_P(LqKernelP, TtlqtReconstructsAndKeepsStructure) {
+  const auto [n, ib] = GetParam();
+  Matrix A1 = random_lower(n, 700 + n + ib);
+  Matrix A2 = random_lower(n, 710 + n + ib);
+  Matrix S0(n, 2 * n);
+  copy(A1.cview(), S0.view().block(0, 0, n, n));
+  copy(A2.cview(), S0.view().block(0, n, n, n));
+
+  Matrix T(ib, n);
+  ttlqt(A1.view(), A2.view(), T.view(), ib);
+
+  // V2 must stay lower trapezoidal (no fill above the diagonal).
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < j; ++i) EXPECT_EQ(A2(i, j), 0.0);
+
+  Matrix Q(2 * n, 2 * n);
+  for (int i = 0; i < 2 * n; ++i) Q(i, i) = 1.0;
+  ttmlq(Trans::No, Q.view().block(0, 0, 2 * n, n),
+        Q.view().block(0, n, 2 * n, n), A2.cview(), T.cview(), ib);
+  EXPECT_LT(orthogonality_error(Q.cview()), 1e-12 * n);
+
+  Matrix L(n, 2 * n);
+  for (int j = 0; j < n; ++j)
+    for (int i = j; i < n; ++i) L(i, j) = A1(i, j);
+  Matrix LQ = mul(L.cview(), Q.cview());
+  const double scale = 1.0 + norm_fro(S0.cview());
+  for (int j = 0; j < 2 * n; ++j)
+    for (int i = 0; i < n; ++i)
+      EXPECT_NEAR(LQ(i, j), S0(i, j), 1e-12 * scale);
+}
+
+TEST_P(LqKernelP, TtmlqTransZeroesEliminatedTriangle) {
+  const auto [n, ib] = GetParam();
+  Matrix A1 = random_lower(n, 800 + n + ib);
+  Matrix A2 = random_lower(n, 810 + n + ib);
+  Matrix C1 = A1, C2 = A2;
+  Matrix T(ib, n);
+  ttlqt(A1.view(), A2.view(), T.view(), ib);
+  ttmlq(Trans::Yes, C1.view(), C2.view(), A2.cview(), T.cview(), ib);
+  for (int j = 0; j < n; ++j) {
+    for (int i = j; i < n; ++i) EXPECT_NEAR(C1(i, j), A1(i, j), 1e-11);
+    for (int i = 0; i < n; ++i) EXPECT_NEAR(C2(i, j), 0.0, 1e-11);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndBlocking, LqKernelP,
+    ::testing::Values(std::tuple{1, 1}, std::tuple{2, 1}, std::tuple{3, 2},
+                      std::tuple{8, 3}, std::tuple{16, 4}, std::tuple{16, 16},
+                      std::tuple{24, 8}, std::tuple{40, 7},
+                      std::tuple{64, 32}));
+
+}  // namespace
+}  // namespace tbsvd

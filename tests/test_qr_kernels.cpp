@@ -1,0 +1,232 @@
+// Tile QR kernel validation: every kernel is checked by forming the
+// explicit orthogonal factor with the corresponding *MQR kernel applied to
+// the identity, then verifying orthogonality and exact reconstruction of
+// the original stacked tiles. Parameterized over (n, ib) combinations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "kernels/qr_kernels.hpp"
+#include "lac/blas.hpp"
+#include "lac/dense.hpp"
+
+namespace tbsvd {
+namespace {
+
+using kernels::geqrt;
+using kernels::tsmqr;
+using kernels::tsqrt;
+using kernels::ttmqr;
+using kernels::ttqrt;
+using kernels::unmqr;
+
+Matrix random_matrix(int m, int n, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix A(m, n);
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < m; ++i) A(i, j) = rng.normal();
+  return A;
+}
+
+Matrix random_upper(int n, std::uint64_t seed) {
+  Matrix A = random_matrix(n, n, seed);
+  for (int j = 0; j < n; ++j)
+    for (int i = j + 1; i < n; ++i) A(i, j) = 0.0;
+  return A;
+}
+
+Matrix mul(ConstMatrixView A, ConstMatrixView B, Trans ta = Trans::No,
+           Trans tb = Trans::No) {
+  const int m = (ta == Trans::No) ? A.m : A.n;
+  const int n = (tb == Trans::No) ? B.n : B.m;
+  Matrix C(m, n);
+  gemm(ta, tb, 1.0, A, B, 0.0, C.view());
+  return C;
+}
+
+void expect_orthogonal(ConstMatrixView Q, double tol) {
+  EXPECT_LT(orthogonality_error(Q), tol) << "Q not orthogonal";
+}
+
+class QrKernelP : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(QrKernelP, GeqrtReconstructs) {
+  const auto [n, ib] = GetParam();
+  const int m = n;
+  Matrix A = random_matrix(m, n, 1000 + n + ib);
+  Matrix A0 = A;
+  Matrix T(ib, n);
+  geqrt(A.view(), T.view(), ib);
+
+  // Q := unmqr(No) applied to I.
+  Matrix Q = Matrix::identity(m);
+  unmqr(Trans::No, A.cview(), T.cview(), Q.view(), ib);
+  expect_orthogonal(Q.cview(), 1e-13 * m);
+
+  Matrix R(m, n);
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i <= j; ++i) R(i, j) = A(i, j);
+  Matrix QR = mul(Q.cview(), R.cview());
+  double err = 0.0;
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < m; ++i)
+      err = std::max(err, std::fabs(QR(i, j) - A0(i, j)));
+  EXPECT_LT(err, 1e-12 * (1.0 + norm_fro(A0.cview())));
+}
+
+TEST_P(QrKernelP, GeqrtTransThenNoTransIsIdentity) {
+  const auto [n, ib] = GetParam();
+  Matrix A = random_matrix(n, n, 1100 + n + ib);
+  Matrix T(ib, n);
+  geqrt(A.view(), T.view(), ib);
+  Matrix C = random_matrix(n, n, 1200 + n);
+  Matrix C0 = C;
+  unmqr(Trans::Yes, A.cview(), T.cview(), C.view(), ib);
+  unmqr(Trans::No, A.cview(), T.cview(), C.view(), ib);
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < n; ++i) EXPECT_NEAR(C(i, j), C0(i, j), 1e-12);
+}
+
+TEST_P(QrKernelP, TsqrtReconstructs) {
+  const auto [n, ib] = GetParam();
+  for (const int m2 : {n, 2 * n, std::max(1, n / 2)}) {
+    Matrix A1 = random_upper(n, 2000 + n + ib);
+    Matrix A2 = random_matrix(m2, n, 2100 + n + ib + m2);
+    // Stacked original S0 = [A1; A2].
+    Matrix S0(n + m2, n);
+    copy(A1.cview(), S0.view().block(0, 0, n, n));
+    copy(A2.cview(), S0.view().block(n, 0, m2, n));
+
+    Matrix T(ib, n);
+    tsqrt(A1.view(), A2.view(), T.view(), ib);
+
+    // Explicit Q from tsmqr(No) on identity: rows [0,n) are C1, rest C2.
+    Matrix Q(n + m2, n + m2);
+    for (int i = 0; i < n + m2; ++i) Q(i, i) = 1.0;
+    MatrixView C1 = Q.view().block(0, 0, n, n + m2);
+    MatrixView C2 = Q.view().block(n, 0, m2, n + m2);
+    tsmqr(Trans::No, C1, C2, A2.cview(), T.cview(), ib);
+    expect_orthogonal(Q.cview(), 1e-12 * (n + m2));
+
+    Matrix R(n + m2, n);
+    for (int j = 0; j < n; ++j)
+      for (int i = 0; i <= j; ++i) R(i, j) = A1(i, j);
+    Matrix QR = mul(Q.cview(), R.cview());
+    const double scale = norm_fro(S0.cview());
+    for (int j = 0; j < n; ++j)
+      for (int i = 0; i < n + m2; ++i)
+        EXPECT_NEAR(QR(i, j), S0(i, j), 1e-12 * scale)
+            << "m2=" << m2 << " at (" << i << "," << j << ")";
+  }
+}
+
+TEST_P(QrKernelP, TsmqrTransZeroesEliminatedTile) {
+  // Applying Q^T to the original stack must reproduce [R; 0].
+  const auto [n, ib] = GetParam();
+  const int m2 = n;
+  Matrix A1 = random_upper(n, 3000 + n + ib);
+  Matrix A2 = random_matrix(m2, n, 3100 + n + ib);
+  Matrix C1 = A1, C2 = A2;
+  Matrix T(ib, n);
+  tsqrt(A1.view(), A2.view(), T.view(), ib);
+  tsmqr(Trans::Yes, C1.view(), C2.view(), A2.cview(), T.cview(), ib);
+  // C1 must equal the R from tsqrt; C2 must be ~0.
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i <= j; ++i) EXPECT_NEAR(C1(i, j), A1(i, j), 1e-11);
+    for (int i = 0; i < m2; ++i) EXPECT_NEAR(C2(i, j), 0.0, 1e-11);
+  }
+}
+
+TEST_P(QrKernelP, TtqrtReconstructsAndKeepsStructure) {
+  const auto [n, ib] = GetParam();
+  Matrix A1 = random_upper(n, 4000 + n + ib);
+  Matrix A2 = random_upper(n, 4100 + n + ib);
+  Matrix S0(2 * n, n);
+  copy(A1.cview(), S0.view().block(0, 0, n, n));
+  copy(A2.cview(), S0.view().block(n, 0, n, n));
+
+  Matrix T(ib, n);
+  ttqrt(A1.view(), A2.view(), T.view(), ib);
+
+  // V2 must stay upper trapezoidal: strictly-below-diagonal entries zero.
+  for (int j = 0; j < n; ++j)
+    for (int i = j + 1; i < n; ++i)
+      EXPECT_EQ(A2(i, j), 0.0) << "fill-in below diagonal of V2";
+
+  Matrix Q(2 * n, 2 * n);
+  for (int i = 0; i < 2 * n; ++i) Q(i, i) = 1.0;
+  ttmqr(Trans::No, Q.view().block(0, 0, n, 2 * n),
+        Q.view().block(n, 0, n, 2 * n), A2.cview(), T.cview(), ib);
+  expect_orthogonal(Q.cview(), 1e-12 * n);
+
+  Matrix R(2 * n, n);
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i <= j; ++i) R(i, j) = A1(i, j);
+  Matrix QR = mul(Q.cview(), R.cview());
+  const double scale = norm_fro(S0.cview());
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < 2 * n; ++i)
+      EXPECT_NEAR(QR(i, j), S0(i, j), 1e-12 * scale);
+}
+
+TEST_P(QrKernelP, TtmqrTransZeroesEliminatedTriangle) {
+  const auto [n, ib] = GetParam();
+  Matrix A1 = random_upper(n, 5000 + n + ib);
+  Matrix A2 = random_upper(n, 5100 + n + ib);
+  Matrix C1 = A1, C2 = A2;
+  Matrix T(ib, n);
+  ttqrt(A1.view(), A2.view(), T.view(), ib);
+  ttmqr(Trans::Yes, C1.view(), C2.view(), A2.cview(), T.cview(), ib);
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i <= j; ++i) EXPECT_NEAR(C1(i, j), A1(i, j), 1e-11);
+    for (int i = 0; i < n; ++i) EXPECT_NEAR(C2(i, j), 0.0, 1e-11);
+  }
+}
+
+TEST_P(QrKernelP, UpdateKernelsPreserveFrobeniusNorm) {
+  // op(Q) is orthogonal, so every *MQR application preserves the stacked
+  // Frobenius norm — a cheap invariant under random updates.
+  const auto [n, ib] = GetParam();
+  Matrix A1 = random_upper(n, 6000 + n);
+  Matrix A2 = random_matrix(n, n, 6100 + n);
+  Matrix T(ib, n);
+  tsqrt(A1.view(), A2.view(), T.view(), ib);
+  Matrix C1 = random_matrix(n, n, 6200), C2 = random_matrix(n, n, 6300);
+  const double before = std::sqrt(
+      std::pow(norm_fro(C1.cview()), 2) + std::pow(norm_fro(C2.cview()), 2));
+  tsmqr(Trans::Yes, C1.view(), C2.view(), A2.cview(), T.cview(), ib);
+  const double after = std::sqrt(
+      std::pow(norm_fro(C1.cview()), 2) + std::pow(norm_fro(C2.cview()), 2));
+  EXPECT_NEAR(before, after, 1e-11 * before);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndBlocking, QrKernelP,
+    ::testing::Values(std::tuple{1, 1}, std::tuple{2, 1}, std::tuple{3, 2},
+                      std::tuple{8, 3}, std::tuple{16, 4}, std::tuple{16, 16},
+                      std::tuple{24, 8}, std::tuple{40, 7},
+                      std::tuple{64, 32}, std::tuple{64, 64}));
+
+TEST(QrKernelRect, GeqrtTallTile) {
+  // Rectangular tiles (m > n): used when forming Q factors.
+  const int m = 37, n = 16, ib = 5;
+  Matrix A = random_matrix(m, n, 7000);
+  Matrix A0 = A;
+  Matrix T(ib, n);
+  geqrt(A.view(), T.view(), ib);
+  Matrix Q = Matrix::identity(m);
+  unmqr(Trans::No, A.cview(), T.cview(), Q.view(), ib);
+  expect_orthogonal(Q.cview(), 1e-12 * m);
+  Matrix R(m, n);
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i <= j; ++i) R(i, j) = A(i, j);
+  Matrix QR = mul(Q.cview(), R.cview());
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < m; ++i) EXPECT_NEAR(QR(i, j), A0(i, j), 1e-11);
+}
+
+}  // namespace
+}  // namespace tbsvd
