@@ -1,0 +1,170 @@
+// GEMM backend benchmark: GFlop/s for the blocked packed-micro-kernel gemm
+// over the tile-size range the factorizations actually use (nb in 64..320),
+// the skinny ib-panel shapes that dominate inside geqrt/larfb (k = ib in
+// 8..48), and the re-derived Table-I kernel-weight calibration that
+// bench_common.hpp feeds to the critical-path / distributed simulators.
+//
+// Results are written to BENCH_gemm.json (a JSON array of
+// {"name", "nb", "ib", "gflops", "seconds"} records, replacing the file)
+// so the numbers are diffable across PRs. `--smoke` runs a seconds-long
+// subset intended for CI: it only
+// guards against perf-path compile regressions, not for measurement.
+//
+// Usage: bench_gemm [--smoke] [--out PATH]
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/flops.hpp"
+#include "lac/blas.hpp"
+
+namespace {
+
+using namespace tbsvd;
+using namespace tbsvd::bench;
+
+struct Record {
+  std::string name;
+  int nb;
+  int ib;
+  double seconds;
+  double gflops;
+};
+
+std::vector<Record> g_records;
+
+double time_best(int reps, const std::function<void()>& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    WallTimer w;
+    fn();
+    best = std::min(best, w.seconds());
+  }
+  return best;
+}
+
+void record(const std::string& name, int nb, int ib, double flops,
+            double seconds) {
+  g_records.push_back({name, nb, ib, seconds, flops / seconds / 1e9});
+}
+
+void sweep_square(bool smoke) {
+  const std::vector<int> sizes =
+      smoke ? std::vector<int>{64, 160}
+            : std::vector<int>{64, 96, 128, 160, 192, 224, 256, 288, 320};
+  const struct {
+    const char* name;
+    Trans ta, tb;
+  } variants[] = {{"gemm_nn", Trans::No, Trans::No},
+                  {"gemm_tn", Trans::Yes, Trans::No},
+                  {"gemm_nt", Trans::No, Trans::Yes},
+                  {"gemm_tt", Trans::Yes, Trans::Yes}};
+  print_header("GEMM square sweep (C := A B + C, double, 1 thread)",
+               {"nb", "nn", "tn", "nt", "tt"});
+  for (int nb : sizes) {
+    Matrix A = generate_random(nb, nb, 1);
+    Matrix B = generate_random(nb, nb, 2);
+    Matrix C = generate_random(nb, nb, 3);
+    const double flops = 2.0 * nb * nb * nb;
+    const int reps = smoke ? 2 : (nb <= 128 ? 20 : 8);
+    std::printf("%14d", nb);
+    for (const auto& v : variants) {
+      const double sec = time_best(reps, [&] {
+        gemm(v.ta, v.tb, 1.0, A.cview(), B.cview(), 1.0, C.view());
+        benchmark_keep(C.data());
+      });
+      record(v.name, nb, 0, flops, sec);
+      std::printf("%14.2f", flops / sec / 1e9);
+    }
+    std::printf("\n");
+  }
+}
+
+void sweep_panels(bool smoke) {
+  // larfb-shaped rank-ib updates: C (nb x nb) -= V (nb x ib) W (ib x nb).
+  const std::vector<int> nbs = smoke ? std::vector<int>{160}
+                                     : std::vector<int>{64, 160, 256, 320};
+  const std::vector<int> ibs =
+      smoke ? std::vector<int>{8, 32} : std::vector<int>{8, 16, 24, 32, 48};
+  print_header("GEMM ib-panel sweep (C -= V W, GFlop/s)",
+               {"nb", "ib=8", "ib=16", "ib=24", "ib=32", "ib=48"});
+  for (int nb : nbs) {
+    std::printf("%14d", nb);
+    for (int ib : ibs) {
+      Matrix V = generate_random(nb, ib, 4);
+      Matrix W = generate_random(ib, nb, 5);
+      Matrix C = generate_random(nb, nb, 6);
+      const double flops = 2.0 * nb * nb * ib;
+      const double sec = time_best(smoke ? 2 : 20, [&] {
+        gemm(Trans::No, Trans::No, -1.0, V.cview(), W.cview(), 1.0, C.view());
+        benchmark_keep(C.data());
+      });
+      record("gemm_panel", nb, ib, flops, sec);
+      std::printf("%14.2f", flops / sec / 1e9);
+    }
+    std::printf("\n");
+  }
+}
+
+void rederive_kernel_weights(bool smoke) {
+  // The same calibration the simulators consume; printed here so the
+  // measured weight table is re-derived and archived with every bench run.
+  const int nb = 160, ib = 32;
+  auto t = calibrate_kernels(nb, ib, smoke ? 1 : 5);
+  const double unit = t[Op::GEQRT] / 4.0;
+  print_header("Re-derived kernel weights (nb=160, ib=32; GEQRT == 4)",
+               {"kernel", "paper", "measured", "sec"});
+  const Op ops[] = {Op::GEQRT, Op::UNMQR, Op::TSQRT,
+                    Op::TSMQR, Op::TTQRT, Op::TTMQR};
+  for (Op op : ops) {
+    std::printf("%14s%14.0f%14.2f%14.6f\n", op_name(op), op_weight_units(op),
+                t[op] / unit, t[op]);
+    record(std::string("kernel_") + op_name(op), nb, ib,
+           op_weight_units(op) * kernel_unit_flops(nb), t[op]);
+  }
+}
+
+bool write_json(const char* path) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_gemm: cannot open %s\n", path);
+    return false;
+  }
+  std::fprintf(f, "[\n");
+  for (std::size_t i = 0; i < g_records.size(); ++i) {
+    const Record& r = g_records[i];
+    std::fprintf(f,
+                 "  {\"name\": \"%s\", \"nb\": %d, \"ib\": %d, "
+                 "\"seconds\": %.6e, \"gflops\": %.3f}%s\n",
+                 r.name.c_str(), r.nb, r.ib, r.seconds, r.gflops,
+                 i + 1 < g_records.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  std::printf("\nwrote %zu records to %s\n", g_records.size(), path);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  const char* out = "BENCH_gemm.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--out PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+  sweep_square(smoke);
+  sweep_panels(smoke);
+  rederive_kernel_weights(smoke);
+  return write_json(out) ? 0 : 1;
+}

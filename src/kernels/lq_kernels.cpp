@@ -12,7 +12,6 @@ namespace {
 
 thread_local std::vector<double> g_tau;
 thread_local std::vector<double> g_w;
-thread_local std::vector<double> g_w2;
 
 double* scratch(std::vector<double>& v, std::size_t n) {
   if (v.size() < n) v.resize(n);
@@ -84,16 +83,15 @@ void gelqt(MatrixView A, MatrixView T, int ib) {
         gemm(Trans::No, Trans::Yes, 1.0, Cb, V2p, 1.0, W);
       }
       trmm_right(UpLo::Upper, Trans::No, Diag::NonUnit, W, Tp);
-      MatrixView W2{scratch(g_w2, static_cast<std::size_t>(mr) * kb), mr, kb,
-                    mr};
-      copy(W, W2);
-      trmm_right(UpLo::Upper, Trans::No, Diag::Unit, W2, V1);
-      sub_inplace(Ca, W2);
+      // Trailing-block update first (it needs the untouched W), then the
+      // triangular product in place — W is dead afterwards, so no copy.
       if (ntail > 0) {
         ConstMatrixView V2p = A.block(i0, i0 + kb, kb, ntail);
         gemm(Trans::No, Trans::No, -1.0, W, V2p, 1.0,
              A.block(i0 + kb, i0 + kb, mr, ntail));
       }
+      trmm_right(UpLo::Upper, Trans::No, Diag::Unit, W, V1);
+      sub_inplace(Ca, W);
     }
   }
 }
@@ -122,15 +120,14 @@ void unmlq(Trans trans, ConstMatrixView V, ConstMatrixView T, MatrixView C,
     }
     trmm_right(UpLo::Upper, trans == Trans::Yes ? Trans::No : Trans::Yes,
                Diag::NonUnit, W, T.block(0, i0, kb, kb));
-    MatrixView W2{scratch(g_w2, static_cast<std::size_t>(mc) * kb), mc, kb,
-                  mc};
-    copy(W, W2);
-    trmm_right(UpLo::Upper, Trans::No, Diag::Unit, W2, V1);
-    sub_inplace(Ca, W2);
+    // Trailing-block update first (it needs the untouched W), then the
+    // triangular product in place — W is dead afterwards, so no copy.
     if (ntail > 0) {
       gemm(Trans::No, Trans::No, -1.0, W, V.block(i0, i0 + kb, kb, ntail),
            1.0, C.block(0, i0 + kb, mc, ntail));
     }
+    trmm_right(UpLo::Upper, Trans::No, Diag::Unit, W, V1);
+    sub_inplace(Ca, W);
   }
 }
 

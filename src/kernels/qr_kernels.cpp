@@ -21,6 +21,18 @@ double* scratch(std::vector<double>& v, std::size_t n) {
   return v.data();
 }
 
+// Size the shared larfb workspace once for a whole kernel invocation so the
+// per-panel larfb calls never have to grow it mid-factorization.
+void reserve_larfb_work(int rows, int cols) {
+  if (rows > 0 && cols > 0 &&
+      (g_larfb_work.rows() < rows || g_larfb_work.cols() < cols)) {
+    // Grow-only in each dimension: alternating kernel shapes must not shrink
+    // the other extent and force a reallocation per invocation.
+    g_larfb_work = Matrix(std::max(g_larfb_work.rows(), rows),
+                          std::max(g_larfb_work.cols(), cols));
+  }
+}
+
 }  // namespace
 
 void geqrt(MatrixView A, MatrixView T, int ib) {
@@ -29,6 +41,7 @@ void geqrt(MatrixView A, MatrixView T, int ib) {
   TBSVD_CHECK(ib >= 1 && T.m >= std::min(ib, k) && T.n >= k,
               "geqrt: bad ib or T shape");
   double* tau = scratch(g_tau, static_cast<std::size_t>(k));
+  reserve_larfb_work(std::min(ib, k), n - std::min(ib, k));
   for (int j0 = 0; j0 < k; j0 += ib) {
     const int kb = std::min(ib, k - j0);
     MatrixView panel = A.block(j0, j0, m - j0, kb);
@@ -46,6 +59,7 @@ void unmqr(Trans trans, ConstMatrixView V, ConstMatrixView T, MatrixView C,
            int ib) {
   const int k = std::min(V.m, V.n);
   TBSVD_CHECK(V.m == C.m, "unmqr: V/C row mismatch");
+  reserve_larfb_work(std::min(ib, k), C.n);
   const int npanels = (k + ib - 1) / ib;
   for (int b = 0; b < npanels; ++b) {
     // Q^T C applies panels forward; Q C applies them backward.

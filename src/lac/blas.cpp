@@ -1,30 +1,39 @@
 #include "lac/blas.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
+
+#include "lac/gemm_microkernel.hpp"
 
 namespace tbsvd {
 
 namespace {
 
-// C := alpha * A * B + C with A (m x k), B (k x n); axpy-ordered loops.
-void gemm_nn(double alpha, ConstMatrixView A, ConstMatrixView B,
-             MatrixView C) {
+// ---------------------------------------------------------------------------
+// Direct (un-packed) GEMM paths for small/skinny products. These keep the
+// seed loop orderings but drop the branchy exact-zero guards: the branches
+// defeated vectorization of the inner loops, and BLAS semantics do not
+// require skipping zero multiplicands (alpha == 0 is handled by the driver).
+// ---------------------------------------------------------------------------
+
+// C += alpha * A * B with A (m x k), B (k x n); axpy-ordered loops.
+void gemm_small_nn(double alpha, ConstMatrixView A, ConstMatrixView B,
+                   MatrixView C) {
   const int m = C.m, n = C.n, k = A.n;
   for (int j = 0; j < n; ++j) {
     double* cj = C.col(j);
     for (int l = 0; l < k; ++l) {
       const double blj = alpha * B(l, j);
-      if (blj == 0.0) continue;
       const double* al = A.col(l);
       for (int i = 0; i < m; ++i) cj[i] += blj * al[i];
     }
   }
 }
 
-// C := alpha * A^T * B + C with A (k x m), B (k x n); dot-ordered loops.
-void gemm_tn(double alpha, ConstMatrixView A, ConstMatrixView B,
-             MatrixView C) {
+// C += alpha * A^T * B with A (k x m), B (k x n); dot-ordered loops.
+void gemm_small_tn(double alpha, ConstMatrixView A, ConstMatrixView B,
+                   MatrixView C) {
   const int m = C.m, n = C.n, k = A.m;
   for (int j = 0; j < n; ++j) {
     const double* bj = B.col(j);
@@ -37,24 +46,23 @@ void gemm_tn(double alpha, ConstMatrixView A, ConstMatrixView B,
   }
 }
 
-// C := alpha * A * B^T + C with A (m x k), B (n x k).
-void gemm_nt(double alpha, ConstMatrixView A, ConstMatrixView B,
-             MatrixView C) {
+// C += alpha * A * B^T with A (m x k), B (n x k).
+void gemm_small_nt(double alpha, ConstMatrixView A, ConstMatrixView B,
+                   MatrixView C) {
   const int m = C.m, n = C.n, k = A.n;
   for (int l = 0; l < k; ++l) {
     const double* al = A.col(l);
     for (int j = 0; j < n; ++j) {
       const double bjl = alpha * B(j, l);
-      if (bjl == 0.0) continue;
       double* cj = C.col(j);
       for (int i = 0; i < m; ++i) cj[i] += bjl * al[i];
     }
   }
 }
 
-// C := alpha * A^T * B^T + C with A (k x m), B (n x k).
-void gemm_tt(double alpha, ConstMatrixView A, ConstMatrixView B,
-             MatrixView C) {
+// C += alpha * A^T * B^T with A (k x m), B (n x k).
+void gemm_small_tt(double alpha, ConstMatrixView A, ConstMatrixView B,
+                   MatrixView C) {
   const int m = C.m, n = C.n, k = A.m;
   for (int j = 0; j < n; ++j) {
     for (int i = 0; i < m; ++i) {
@@ -62,6 +70,53 @@ void gemm_tt(double alpha, ConstMatrixView A, ConstMatrixView B,
       double s = 0.0;
       for (int l = 0; l < k; ++l) s += ai[l] * B(j, l);
       C(i, j) += alpha * s;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Blocked packed path: one rank-KC update at a time, packed panels, MR x NR
+// register micro-kernel (see gemm_microkernel.hpp for the layout contract).
+// ---------------------------------------------------------------------------
+
+void gemm_blocked(bool transa, bool transb, double alpha, ConstMatrixView A,
+                  ConstMatrixView B, MatrixView C, int k) {
+  using namespace detail;
+  const int m = C.m, n = C.n;
+  const int nc_max = std::min(kNC, n);
+  const int kc_max = std::min(kKC, k);
+  const int mc_max = std::min(kMC, (m + kMR - 1) / kMR * kMR);
+  double* bp = pack_b_workspace().ensure(static_cast<std::size_t>(kc_max) *
+                                         ((nc_max + kNR - 1) / kNR * kNR));
+  double* ap = pack_a_workspace().ensure(static_cast<std::size_t>(kc_max) *
+                                         mc_max);
+  for (int jc = 0; jc < n; jc += kNC) {
+    const int nc = std::min(kNC, n - jc);
+    for (int pc = 0; pc < k; pc += kKC) {
+      const int kc = std::min(kKC, k - pc);
+      pack_b(transb, B, pc, jc, kc, nc, bp);
+      for (int ic = 0; ic < m; ic += kMC) {
+        const int mc = std::min(kMC, m - ic);
+        pack_a(transa, alpha, A, ic, pc, mc, kc, ap);
+        for (int jr = 0; jr < nc; jr += kNR) {
+          const int nr = std::min(kNR, nc - jr);
+          const double* bs = bp + static_cast<std::size_t>(jr) * kc;
+          for (int ir = 0; ir < mc; ir += kMR) {
+            const int mr = std::min(kMR, mc - ir);
+            const double* as = ap + static_cast<std::size_t>(ir) * kc;
+            if (mr == kMR && nr == kNR) {
+              micro_kernel(kc, as, bs, &C(ic + ir, jc + jr), C.ld);
+            } else {
+              double tmp[kMR * kNR] = {};
+              micro_kernel(kc, as, bs, tmp, kMR);
+              for (int j = 0; j < nr; ++j) {
+                double* cj = &C(ic + ir, jc + jr + j);
+                for (int i = 0; i < mr; ++i) cj[i] += tmp[j * kMR + i];
+              }
+            }
+          }
+        }
+      }
     }
   }
 }
@@ -88,15 +143,23 @@ void gemm(Trans ta, Trans tb, double alpha, ConstMatrixView A,
   }
   if (alpha == 0.0 || ka == 0 || C.m == 0 || C.n == 0) return;
 
-  if (ta == Trans::No && tb == Trans::No) {
-    gemm_nn(alpha, A, B, C);
-  } else if (ta == Trans::Yes && tb == Trans::No) {
-    gemm_tn(alpha, A, B, C);
-  } else if (ta == Trans::No && tb == Trans::Yes) {
-    gemm_nt(alpha, A, B, C);
-  } else {
-    gemm_tt(alpha, A, B, C);
+  // Packing only pays off once the product is big enough; the ib-panel
+  // products inside geqrt/tsqrt (k <= ib slivers, tiny C blocks) go direct.
+  const bool small = (ka <= detail::kSmallK) ||
+                     (static_cast<long long>(C.m) * C.n <= detail::kSmallMN);
+  if (small) {
+    if (ta == Trans::No && tb == Trans::No) {
+      gemm_small_nn(alpha, A, B, C);
+    } else if (ta == Trans::Yes && tb == Trans::No) {
+      gemm_small_tn(alpha, A, B, C);
+    } else if (ta == Trans::No && tb == Trans::Yes) {
+      gemm_small_nt(alpha, A, B, C);
+    } else {
+      gemm_small_tt(alpha, A, B, C);
+    }
+    return;
   }
+  gemm_blocked(ta == Trans::Yes, tb == Trans::Yes, alpha, A, B, C, ka);
 }
 
 void gemv(Trans ta, double alpha, ConstMatrixView A, const double* x, int incx,
@@ -109,7 +172,6 @@ void gemv(Trans ta, double alpha, ConstMatrixView A, const double* x, int incx,
   if (ta == Trans::No) {
     for (int j = 0; j < A.n; ++j) {
       const double xj = alpha * x[j * incx];
-      if (xj == 0.0) continue;
       const double* aj = A.col(j);
       if (incy == 1) {
         for (int i = 0; i < A.m; ++i) y[i] += xj * aj[i];
@@ -223,9 +285,14 @@ double orthogonality_error(ConstMatrixView A) {
 
 namespace tbsvd {
 
-void trmm_left(UpLo uplo, Trans trans, Diag diag, ConstMatrixView T,
-               MatrixView W) {
-  TBSVD_CHECK(T.m == T.n && T.m == W.m, "trmm_left shape mismatch");
+namespace {
+
+// Triangular block size above which trmm recurses into gemm off-diagonal
+// updates. Diagonal blocks fall through to the sweeps below.
+constexpr int kTrmmBlock = 64;
+
+void trmm_left_small(UpLo uplo, Trans trans, Diag diag, ConstMatrixView T,
+                     MatrixView W) {
   const int k = T.m;
   const bool unit = (diag == Diag::Unit);
   for (int c = 0; c < W.n; ++c) {
@@ -266,9 +333,8 @@ void trmm_left(UpLo uplo, Trans trans, Diag diag, ConstMatrixView T,
   }
 }
 
-void trmm_right(UpLo uplo, Trans trans, Diag diag, MatrixView W,
-                ConstMatrixView T) {
-  TBSVD_CHECK(T.m == T.n && T.m == W.n, "trmm_right shape mismatch");
+void trmm_right_small(UpLo uplo, Trans trans, Diag diag, MatrixView W,
+                      ConstMatrixView T) {
   const int k = T.m;
   const int m = W.m;
   const bool unit = (diag == Diag::Unit);
@@ -301,6 +367,91 @@ void trmm_right(UpLo uplo, Trans trans, Diag diag, MatrixView W,
     for (int j = k - 1; j >= 0; --j) {
       if (!unit) scale_col(j, T(j, j));
       for (int i = 0; i < j; ++i) axpy_col(j, i, T(j, i));
+    }
+  }
+}
+
+}  // namespace
+
+void trmm_left(UpLo uplo, Trans trans, Diag diag, ConstMatrixView T,
+               MatrixView W) {
+  TBSVD_CHECK(T.m == T.n && T.m == W.m, "trmm_left shape mismatch");
+  const int k = T.m;
+  if (k <= kTrmmBlock || W.n == 0) {
+    trmm_left_small(uplo, trans, diag, T, W);
+    return;
+  }
+  // Partition the triangle into kTrmmBlock panels: the diagonal blocks use
+  // the sweep kernels above, the off-diagonal blocks go through the blocked
+  // gemm. Row-block i of the result only reads row blocks that have not
+  // been overwritten yet given the sweep direction below.
+  const int nblk = (k + kTrmmBlock - 1) / kTrmmBlock;
+  auto blk = [&](int b, int& b0, int& bs) {
+    b0 = b * kTrmmBlock;
+    bs = std::min(kTrmmBlock, k - b0);
+  };
+  const bool upper = (uplo == UpLo::Upper);
+  const bool notrans = (trans == Trans::No);
+  // Ascending when result row-block i depends only on blocks j > i
+  // (Upper/NoTrans, Lower/Trans); descending otherwise.
+  const bool ascending = (upper == notrans);
+  for (int s = 0; s < nblk; ++s) {
+    const int bi = ascending ? s : nblk - 1 - s;
+    int i0, is;
+    blk(bi, i0, is);
+    MatrixView Wi = W.block(i0, 0, is, W.n);
+    trmm_left_small(uplo, trans, diag, T.block(i0, i0, is, is), Wi);
+    for (int bj = 0; bj < nblk; ++bj) {
+      if (bj == bi) continue;
+      // op(T)(i, j) block is nonzero iff (upper, notrans): j > i;
+      // (upper, trans): j < i; (lower, notrans): j < i; (lower, trans): j > i.
+      const bool live = notrans ? (upper ? bj > bi : bj < bi)
+                                : (upper ? bj < bi : bj > bi);
+      if (!live) continue;
+      int j0, js;
+      blk(bj, j0, js);
+      ConstMatrixView Tij = notrans ? T.block(i0, j0, is, js)
+                                    : T.block(j0, i0, js, is);
+      gemm(trans, Trans::No, 1.0, Tij, W.block(j0, 0, js, W.n), 1.0, Wi);
+    }
+  }
+}
+
+void trmm_right(UpLo uplo, Trans trans, Diag diag, MatrixView W,
+                ConstMatrixView T) {
+  TBSVD_CHECK(T.m == T.n && T.m == W.n, "trmm_right shape mismatch");
+  const int k = T.m;
+  if (k <= kTrmmBlock || W.m == 0) {
+    trmm_right_small(uplo, trans, diag, W, T);
+    return;
+  }
+  const int nblk = (k + kTrmmBlock - 1) / kTrmmBlock;
+  auto blk = [&](int b, int& b0, int& bs) {
+    b0 = b * kTrmmBlock;
+    bs = std::min(kTrmmBlock, k - b0);
+  };
+  const bool upper = (uplo == UpLo::Upper);
+  const bool notrans = (trans == Trans::No);
+  // Result col-block j reads W col-blocks i where op(T)(i, j) is nonzero:
+  // (upper, notrans): i < j → descending; (upper, trans): i > j → ascending;
+  // (lower, notrans): i > j → ascending; (lower, trans): i < j → descending.
+  const bool ascending = (upper != notrans);
+  for (int s = 0; s < nblk; ++s) {
+    const int bj = ascending ? s : nblk - 1 - s;
+    int j0, js;
+    blk(bj, j0, js);
+    MatrixView Wj = W.block(0, j0, W.m, js);
+    trmm_right_small(uplo, trans, diag, Wj, T.block(j0, j0, js, js));
+    for (int bi = 0; bi < nblk; ++bi) {
+      if (bi == bj) continue;
+      const bool live = notrans ? (upper ? bi < bj : bi > bj)
+                                : (upper ? bi > bj : bi < bj);
+      if (!live) continue;
+      int i0, is;
+      blk(bi, i0, is);
+      ConstMatrixView Tij = notrans ? T.block(i0, j0, is, js)
+                                    : T.block(j0, i0, js, is);
+      gemm(Trans::No, trans, 1.0, W.block(0, i0, W.m, is), Tij, 1.0, Wj);
     }
   }
 }

@@ -1,6 +1,7 @@
 // Minimal BLAS-like dense operations (hand-written; no external BLAS is
-// available in this environment). Loop nests are arranged column-major /
-// axpy-style so the compiler can vectorize them.
+// available in this environment). gemm and the trmm variants run on a
+// cache-blocked, packed micro-kernel backend (see gemm_microkernel.hpp);
+// small/skinny products take direct vectorized loops.
 #pragma once
 
 #include "lac/dense.hpp"

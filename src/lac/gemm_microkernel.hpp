@@ -1,0 +1,161 @@
+// Internal building blocks of the blocked GEMM backend: cache-block sizing,
+// 64-byte-aligned thread-local packing buffers, panel packing for all four
+// transpose combinations, and the register-tiled micro-kernel.
+//
+// The design follows the BLIS/GotoBLAS decomposition: C is computed as a sum
+// of rank-KC updates; for each (jc, pc, ic) cache block, op(B) is packed into
+// KC x NC row-panels of NR-wide strips and op(A) into MC x KC column-panels
+// of MR-tall strips, and an MR x NR micro-kernel sweeps the packed panels
+// with all accumulators held in registers. Strips are zero-padded to full
+// MR/NR width so the micro-kernel never sees a partial tile; edge tiles land
+// in a local buffer and only the valid region is added back to C.
+//
+// This header is an implementation detail of src/lac/blas.cpp; it is exposed
+// as a header only so tests and benches can reach the micro-kernel directly.
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+#include "lac/dense.hpp"
+
+namespace tbsvd::detail {
+
+// Register micro-tile. The shapes are chosen so that the accumulator block
+// (MR x NR doubles) fits the vector register file exactly and GCC keeps it
+// fully in registers: 16 zmm accumulators for AVX-512, 12 ymm for AVX2.
+#if defined(__AVX512F__)
+inline constexpr int kMR = 32;
+inline constexpr int kNR = 4;
+#elif defined(__AVX2__)
+inline constexpr int kMR = 12;
+inline constexpr int kNR = 4;
+#else
+inline constexpr int kMR = 8;
+inline constexpr int kNR = 4;
+#endif
+
+// Cache blocking: KC x NR B-strips stay in L1 (~8 KB), the packed MC x KC
+// A-panel stays in L2 (256 * 240 * 8 B ~ 480 KB), and NC bounds the
+// packed-B footprint.
+inline constexpr int kKC = 240;
+inline constexpr int kMC = (256 / kMR) * kMR;
+inline constexpr int kNC = 1024;
+
+// Shapes below this are served by the direct (un-packed) loops in blas.cpp:
+// packing costs more than it saves on the skinny ib-panel products inside
+// geqrt/tsqrt.
+inline constexpr int kSmallK = 4;
+inline constexpr int kSmallMN = 64;
+
+/// Grow-only 64-byte-aligned buffer; one per thread per panel role, so the
+/// packing storage is reused across gemm calls like the kernel scratch in
+/// qr_kernels.cpp.
+class AlignedWorkspace {
+ public:
+  AlignedWorkspace() = default;
+  AlignedWorkspace(const AlignedWorkspace&) = delete;
+  AlignedWorkspace& operator=(const AlignedWorkspace&) = delete;
+  ~AlignedWorkspace() { release(); }
+
+  double* ensure(std::size_t n) {
+    if (cap_ < n) {
+      release();
+      data_ = static_cast<double*>(
+          ::operator new[](n * sizeof(double), std::align_val_t{64}));
+      cap_ = n;
+    }
+    return data_;
+  }
+
+ private:
+  void release() {
+    if (data_ != nullptr) {
+      ::operator delete[](data_, std::align_val_t{64});
+      data_ = nullptr;
+      cap_ = 0;
+    }
+  }
+  double* data_ = nullptr;
+  std::size_t cap_ = 0;
+};
+
+inline AlignedWorkspace& pack_a_workspace() {
+  thread_local AlignedWorkspace ws;
+  return ws;
+}
+inline AlignedWorkspace& pack_b_workspace() {
+  thread_local AlignedWorkspace ws;
+  return ws;
+}
+
+/// Pack op(A)(ic:ic+mc, pc:pc+kc), scaled by alpha, into MR-tall strips:
+/// strip ir holds kc consecutive groups of MR values, zero-padded past mc.
+inline void pack_a(bool transa, double alpha, ConstMatrixView A, int ic,
+                   int pc, int mc, int kc, double* __restrict dst) {
+  for (int ir = 0; ir < mc; ir += kMR) {
+    const int mr = (mc - ir < kMR) ? mc - ir : kMR;
+    double* d = dst + static_cast<std::size_t>(ir) * kc;
+    if (!transa) {
+      for (int l = 0; l < kc; ++l) {
+        const double* src = A.col(pc + l) + ic + ir;
+        for (int i = 0; i < mr; ++i) d[i] = alpha * src[i];
+        for (int i = mr; i < kMR; ++i) d[i] = 0.0;
+        d += kMR;
+      }
+    } else {
+      // op(A)(i, l) = A(l, i): each strip row i is a contiguous column of A.
+      for (int l = 0; l < kc; ++l) {
+        for (int i = 0; i < mr; ++i) d[i] = alpha * A(pc + l, ic + ir + i);
+        for (int i = mr; i < kMR; ++i) d[i] = 0.0;
+        d += kMR;
+      }
+    }
+  }
+}
+
+/// Pack op(B)(pc:pc+kc, jc:jc+nc) into NR-wide strips: strip jr holds kc
+/// consecutive groups of NR values, zero-padded past nc.
+inline void pack_b(bool transb, ConstMatrixView B, int pc, int jc, int kc,
+                   int nc, double* __restrict dst) {
+  for (int jr = 0; jr < nc; jr += kNR) {
+    const int nr = (nc - jr < kNR) ? nc - jr : kNR;
+    double* d = dst + static_cast<std::size_t>(jr) * kc;
+    if (!transb) {
+      for (int l = 0; l < kc; ++l) {
+        for (int j = 0; j < nr; ++j) d[j] = B(pc + l, jc + jr + j);
+        for (int j = nr; j < kNR; ++j) d[j] = 0.0;
+        d += kNR;
+      }
+    } else {
+      // op(B)(l, j) = B(j, l): each strip row j is a contiguous column of B.
+      for (int l = 0; l < kc; ++l) {
+        const double* src = B.col(pc + l) + jc + jr;
+        for (int j = 0; j < nr; ++j) d[j] = src[j];
+        for (int j = nr; j < kNR; ++j) d[j] = 0.0;
+        d += kNR;
+      }
+    }
+  }
+}
+
+/// C(0:MR, 0:NR) += packed_A_strip * packed_B_strip over kc. The fixed trip
+/// counts let the compiler keep the whole accumulator block in vector
+/// registers (one FMA per (i, j) lane per l).
+inline void micro_kernel(int kc, const double* __restrict ap,
+                         const double* __restrict bp, double* __restrict c,
+                         int ldc) {
+  double acc[kNR][kMR] __attribute__((aligned(64))) = {};
+  for (int l = 0; l < kc; ++l) {
+    const double* a = ap + static_cast<std::size_t>(l) * kMR;
+    const double* b = bp + static_cast<std::size_t>(l) * kNR;
+    for (int j = 0; j < kNR; ++j)
+      for (int i = 0; i < kMR; ++i) acc[j][i] += a[i] * b[j];
+  }
+  for (int j = 0; j < kNR; ++j) {
+    double* cj = c + static_cast<std::size_t>(j) * ldc;
+    for (int i = 0; i < kMR; ++i) cj[i] += acc[j][i];
+  }
+}
+
+}  // namespace tbsvd::detail

@@ -118,8 +118,11 @@ void larfb(Side side, Trans trans, ConstMatrixView V, ConstMatrixView T,
   if (side == Side::Left) {
     TBSVD_CHECK(V.m == C.m, "larfb left: V/C row mismatch");
     const int n = C.n;
-    // W (k x n) := V^T C = V1^T C1 + V2^T C2.
-    if (work.rows() < k || work.cols() < n) work = Matrix(k, n);
+    // W (k x n) := V^T C = V1^T C1 + V2^T C2. Workspace grows per dimension
+    // so alternating call shapes never shrink-and-reallocate it.
+    if (work.rows() < k || work.cols() < n) {
+      work = Matrix(std::max(work.rows(), k), std::max(work.cols(), n));
+    }
     MatrixView W = work.view().block(0, 0, k, n);
     copy(C.block(0, 0, k, n), W);
     trmm_left(UpLo::Lower, Trans::Yes, Diag::Unit, V.block(0, 0, k, k), W);
@@ -129,25 +132,25 @@ void larfb(Side side, Trans trans, ConstMatrixView V, ConstMatrixView T,
     }
     // W := op(T) W.
     trmm_left(UpLo::Upper, trans, Diag::NonUnit, T.block(0, 0, k, k), W);
-    // C2 -= V2 W ; C1 -= V1 W.
+    // C2 -= V2 W, then C1 -= V1 W with the triangular product formed in
+    // place (W is dead afterwards, so no second workspace is needed).
     if (V.m > k) {
       gemm(Trans::No, Trans::No, -1.0, V.block(k, 0, V.m - k, k), W, 1.0,
            C.block(k, 0, C.m - k, n));
     }
-    Matrix W2(k, n);
-    copy(W, W2.view());
-    trmm_left(UpLo::Lower, Trans::No, Diag::Unit, V.block(0, 0, k, k),
-              W2.view());
+    trmm_left(UpLo::Lower, Trans::No, Diag::Unit, V.block(0, 0, k, k), W);
     for (int j = 0; j < n; ++j) {
       double* cj = C.col(j);
-      const double* wj = W2.view().col(j);
+      const double* wj = W.col(j);
       for (int i = 0; i < k; ++i) cj[i] -= wj[i];
     }
   } else {
     TBSVD_CHECK(V.m == C.n, "larfb right: V/C col mismatch");
     const int m = C.m;
     // W (m x k) := C V = C1 V1 + C2 V2.
-    if (work.rows() < m || work.cols() < k) work = Matrix(m, k);
+    if (work.rows() < m || work.cols() < k) {
+      work = Matrix(std::max(work.rows(), m), std::max(work.cols(), k));
+    }
     MatrixView W = work.view().block(0, 0, m, k);
     copy(C.block(0, 0, m, k), W);
     trmm_right(UpLo::Lower, Trans::No, Diag::Unit, W, V.block(0, 0, k, k));
@@ -157,18 +160,15 @@ void larfb(Side side, Trans trans, ConstMatrixView V, ConstMatrixView T,
     }
     // W := W op(T). Note: right-multiplication by (I - V T V^T)^H uses T^H.
     trmm_right(UpLo::Upper, trans, Diag::NonUnit, W, T.block(0, 0, k, k));
-    // C2 -= W V2^T ; C1 -= W V1^T.
+    // C2 -= W V2^T, then C1 -= W V1^T with the triangular product in place.
     if (V.m > k) {
       gemm(Trans::No, Trans::Yes, -1.0, W, V.block(k, 0, V.m - k, k), 1.0,
            C.block(0, k, m, C.n - k));
     }
-    Matrix W2(m, k);
-    copy(W, W2.view());
-    trmm_right(UpLo::Lower, Trans::Yes, Diag::Unit, W2.view(),
-               V.block(0, 0, k, k));
+    trmm_right(UpLo::Lower, Trans::Yes, Diag::Unit, W, V.block(0, 0, k, k));
     for (int j = 0; j < k; ++j) {
       double* cj = C.col(j);
-      const double* wj = W2.view().col(j);
+      const double* wj = W.col(j);
       for (int i = 0; i < m; ++i) cj[i] -= wj[i];
     }
   }
