@@ -1,15 +1,19 @@
 // Shared helpers for the benchmark harnesses: kernel-time calibration (the
 // measured cost model driving the 24-core / multi-node simulators), table
-// printing, and workload sizing.
+// printing, best-of-N timing, and the JSON record emitter used for
+// cross-PR perf tracking (BENCH_gemm.json, BENCH_kernels.json).
 //
 // Every bench prints the series of one paper table/figure. Absolute GFlop/s
 // differ from the paper (hand-written kernels on a small container vs MKL
 // on a 24-core Haswell); the *shape* — which tree/algorithm wins, where
-// crossovers fall — is the reproduction target (see EXPERIMENTS.md).
+// crossovers fall — is the reproduction target. docs/EXPERIMENTS.md maps
+// each bench binary to its paper table or figure.
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -33,6 +37,57 @@ inline bool full_mode() {
 template <class T>
 inline void benchmark_keep(const T& v) {
   asm volatile("" : : "g"(&v) : "memory");
+}
+
+/// Best-of-N wall time of `fn` (minimum filters scheduler noise).
+inline double time_best(int reps, const std::function<void()>& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    WallTimer w;
+    fn();
+    best = std::min(best, w.seconds());
+  }
+  return best;
+}
+
+/// One benchmark measurement, serialized to the BENCH_*.json artifacts that
+/// make perf diffable across PRs. The weight fields are Table-I normalized
+/// kernel weights and are emitted only when set (weight_paper >= 0).
+struct Record {
+  std::string name;
+  int nb = 0;
+  int ib = 0;
+  double seconds = 0.0;
+  double gflops = 0.0;
+  double weight_measured = -1.0;  ///< measured time normalized to GEQRT == 4
+  double weight_paper = -1.0;     ///< the paper's Table-I weight
+};
+
+/// Write records as a JSON array, replacing `path`. Returns false (with a
+/// message on stderr) if the file cannot be opened.
+inline bool write_json(const char* path, const std::vector<Record>& recs) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench: cannot open %s\n", path);
+    return false;
+  }
+  std::fprintf(f, "[\n");
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    const Record& r = recs[i];
+    std::fprintf(f,
+                 "  {\"name\": \"%s\", \"nb\": %d, \"ib\": %d, "
+                 "\"seconds\": %.6e, \"gflops\": %.3f",
+                 r.name.c_str(), r.nb, r.ib, r.seconds, r.gflops);
+    if (r.weight_paper >= 0.0) {
+      std::fprintf(f, ", \"weight_measured\": %.3f, \"weight_paper\": %.0f",
+                   r.weight_measured, r.weight_paper);
+    }
+    std::fprintf(f, "}%s\n", i + 1 < recs.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  std::printf("\nwrote %zu records to %s\n", recs.size(), path);
+  return true;
 }
 
 /// Measured seconds per tile kernel at (nb, ib): the cost model that turns

@@ -26,29 +26,17 @@ namespace {
 using namespace tbsvd;
 using namespace tbsvd::bench;
 
-struct Record {
-  std::string name;
-  int nb;
-  int ib;
-  double seconds;
-  double gflops;
-};
-
 std::vector<Record> g_records;
-
-double time_best(int reps, const std::function<void()>& fn) {
-  double best = 1e300;
-  for (int r = 0; r < reps; ++r) {
-    WallTimer w;
-    fn();
-    best = std::min(best, w.seconds());
-  }
-  return best;
-}
 
 void record(const std::string& name, int nb, int ib, double flops,
             double seconds) {
-  g_records.push_back({name, nb, ib, seconds, flops / seconds / 1e9});
+  Record r;
+  r.name = name;
+  r.nb = nb;
+  r.ib = ib;
+  r.seconds = seconds;
+  r.gflops = flops / seconds / 1e9;
+  g_records.push_back(r);
 }
 
 void sweep_square(bool smoke) {
@@ -124,28 +112,9 @@ void rederive_kernel_weights(bool smoke) {
                 t[op] / unit, t[op]);
     record(std::string("kernel_") + op_name(op), nb, ib,
            op_weight_units(op) * kernel_unit_flops(nb), t[op]);
+    g_records.back().weight_measured = t[op] / unit;
+    g_records.back().weight_paper = op_weight_units(op);
   }
-}
-
-bool write_json(const char* path) {
-  std::FILE* f = std::fopen(path, "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "bench_gemm: cannot open %s\n", path);
-    return false;
-  }
-  std::fprintf(f, "[\n");
-  for (std::size_t i = 0; i < g_records.size(); ++i) {
-    const Record& r = g_records[i];
-    std::fprintf(f,
-                 "  {\"name\": \"%s\", \"nb\": %d, \"ib\": %d, "
-                 "\"seconds\": %.6e, \"gflops\": %.3f}%s\n",
-                 r.name.c_str(), r.nb, r.ib, r.seconds, r.gflops,
-                 i + 1 < g_records.size() ? "," : "");
-  }
-  std::fprintf(f, "]\n");
-  std::fclose(f);
-  std::printf("\nwrote %zu records to %s\n", g_records.size(), path);
-  return true;
 }
 
 }  // namespace
@@ -166,5 +135,5 @@ int main(int argc, char** argv) {
   sweep_square(smoke);
   sweep_panels(smoke);
   rederive_kernel_weights(smoke);
-  return write_json(out) ? 0 : 1;
+  return write_json(out, g_records) ? 0 : 1;
 }

@@ -1,9 +1,19 @@
-// Table I reproduction: costs of the six QR tile kernels (and their LQ
-// mirrors) in units of nb^3/3 flops. The paper's weights are
+// Table I reproduction: costs of the six QR tile kernels (the LQ mirrors
+// share them — verified by test_lq_kernels) in units of nb^3/3 flops. The
+// paper's weights are
 //   GEQRT 4, UNMQR 6, TSQRT 6, TSMQR 12, TTQRT 2, TTMQR 6.
-// We print measured times normalized so that GEQRT == 4 and the absolute
-// achieved GFlop/s per kernel (google-benchmark timings).
-#include <benchmark/benchmark.h>
+// For each (nb, ib) configuration we print the measured time normalized so
+// that GEQRT == 4, the per-kernel seconds, and the achieved GFlop/s at the
+// Table-I flop counts, plus the same comparison for the retained level-2
+// reference TT kernels (the pre-BLAS3 formulation) so the gemm_trap
+// speedup is re-measured on the current machine with every run.
+//
+// Results are appended to BENCH_kernels.json (same Record schema as
+// BENCH_gemm.json, with the normalized weights attached) so kernel-weight
+// drift is diffable across PRs; see docs/EXPERIMENTS.md.
+//
+// Usage: table1_kernels [--smoke] [--out PATH]
+#include <cstring>
 
 #include "bench_common.hpp"
 #include "common/flops.hpp"
@@ -13,85 +23,119 @@ namespace {
 using namespace tbsvd;
 using namespace tbsvd::bench;
 
-void report_table(int nb, int ib) {
-  auto t = calibrate_kernels(nb, ib, 5);
+std::vector<Record> g_records;
+
+void report_table(int nb, int ib, int reps) {
+  auto t = calibrate_kernels(nb, ib, reps);
   const double unit = t[Op::GEQRT] / 4.0;  // normalize GEQRT to weight 4
   print_header("Table I — kernel weights (nb=" + std::to_string(nb) +
                    ", ib=" + std::to_string(ib) + ")",
-               {"kernel", "paper", "measured", "sec"});
+               {"kernel", "paper", "measured", "sec", "GFlop/s"});
   const Op ops[] = {Op::GEQRT, Op::UNMQR, Op::TSQRT,
                     Op::TSMQR, Op::TTQRT, Op::TTMQR};
   for (Op op : ops) {
-    std::printf("%14s%14.0f%14.2f%14.6f\n", op_name(op), op_weight_units(op),
-                t[op] / unit, t[op]);
+    const double flops = op_weight_units(op) * kernel_unit_flops(nb);
+    std::printf("%14s%14.0f%14.2f%14.6f%14.2f\n", op_name(op),
+                op_weight_units(op), t[op] / unit, t[op],
+                flops / t[op] / 1e9);
+    Record r;
+    r.name = op_name(op);
+    r.nb = nb;
+    r.ib = ib;
+    r.seconds = t[op];
+    r.gflops = flops / t[op] / 1e9;
+    r.weight_measured = t[op] / unit;
+    r.weight_paper = op_weight_units(op);
+    g_records.push_back(r);
   }
 }
 
-template <int NB, int IB>
-void BM_GEQRT(benchmark::State& state) {
-  Matrix a = generate_random(NB, NB, 1);
-  Matrix t(IB, NB);
-  Matrix a0 = a;
-  for (auto _ : state) {
-    a = a0;
-    kernels::geqrt(a.view(), t.view(), IB);
-    benchmark::DoNotOptimize(a.data());
-  }
-  state.counters["GFlop/s"] = benchmark::Counter(
-      kernels::flops_geqrt(NB, NB) * static_cast<double>(state.iterations()) /
-          1e9,
-      benchmark::Counter::kIsRate);
-}
+// Blocked vs reference TT kernels, timed head to head in this process so
+// the speedup column of docs/PERF.md is reproducible on any machine.
+void report_tt_speedup(int nb, int ib, int reps) {
+  using namespace tbsvd::kernels;
+  Matrix u1 = generate_random(nb, nb, 21), u2 = generate_random(nb, nb, 22);
+  for (int j = 0; j < nb; ++j)
+    for (int i = j + 1; i < nb; ++i) {
+      u1(i, j) = 0.0;
+      u2(i, j) = 0.0;
+    }
+  Matrix t(ib, nb), u1c = u1, u2c = u2;
+  Matrix c1 = generate_random(nb, nb, 23), c2 = generate_random(nb, nb, 24);
 
-template <int NB, int IB>
-void BM_TSQRT(benchmark::State& state) {
-  Matrix a1 = generate_random(NB, NB, 2), a2 = generate_random(NB, NB, 3);
-  for (int j = 0; j < NB; ++j)
-    for (int i = j + 1; i < NB; ++i) a1(i, j) = 0;
-  Matrix t(IB, NB), a1c = a1, a2c = a2;
-  for (auto _ : state) {
-    a1c = a1;
-    a2c = a2;
-    kernels::tsqrt(a1c.view(), a2c.view(), t.view(), IB);
-    benchmark::DoNotOptimize(a1c.data());
-  }
-  state.counters["GFlop/s"] = benchmark::Counter(
-      kernels::flops_tsqrt(NB, NB) * static_cast<double>(state.iterations()) /
-          1e9,
-      benchmark::Counter::kIsRate);
-}
+  auto factor_time = [&](auto&& fn) {
+    double best = 1e300;
+    for (int r = 0; r < reps; ++r) {
+      Matrix x1 = u1, x2 = u2;
+      WallTimer w;
+      fn(x1, x2);
+      best = std::min(best, w.seconds());
+    }
+    return best;
+  };
+  const double tq_ref = factor_time([&](Matrix& x1, Matrix& x2) {
+    ttqrt_ref(x1.view(), x2.view(), t.view(), ib);
+  });
+  const double tq_new = factor_time([&](Matrix& x1, Matrix& x2) {
+    ttqrt(x1.view(), x2.view(), t.view(), ib);
+  });
+  // Factor the pristine copies so the update kernels get a valid (V2, T).
+  ttqrt(u1c.view(), u2c.view(), t.view(), ib);
+  const double tm_ref = time_best(reps, [&] {
+    ttmqr_ref(Trans::Yes, c1.view(), c2.view(), u2c.cview(), t.cview(), ib);
+    benchmark_keep(c1.data());
+  });
+  const double tm_new = time_best(reps, [&] {
+    ttmqr(Trans::Yes, c1.view(), c2.view(), u2c.cview(), t.cview(), ib);
+    benchmark_keep(c1.data());
+  });
 
-template <int NB, int IB>
-void BM_TSMQR(benchmark::State& state) {
-  Matrix r1 = generate_random(NB, NB, 4), v2 = generate_random(NB, NB, 5);
-  for (int j = 0; j < NB; ++j)
-    for (int i = j + 1; i < NB; ++i) r1(i, j) = 0;
-  Matrix t(IB, NB);
-  kernels::tsqrt(r1.view(), v2.view(), t.view(), IB);
-  Matrix c1 = generate_random(NB, NB, 6), c2 = generate_random(NB, NB, 7);
-  for (auto _ : state) {
-    kernels::tsmqr(Trans::Yes, c1.view(), c2.view(), v2.cview(), t.cview(),
-                   IB);
-    benchmark::DoNotOptimize(c1.data());
-  }
-  state.counters["GFlop/s"] = benchmark::Counter(
-      kernels::flops_tsmqr(NB, NB, NB) *
-          static_cast<double>(state.iterations()) / 1e9,
-      benchmark::Counter::kIsRate);
+  print_header("TT kernels, level-2 reference vs blocked (nb=" +
+                   std::to_string(nb) + ", ib=" + std::to_string(ib) + ")",
+               {"kernel", "ref sec", "blocked sec", "speedup"});
+  std::printf("%14s%14.6f%14.6f%13.2fx\n", "TTQRT", tq_ref, tq_new,
+              tq_ref / tq_new);
+  std::printf("%14s%14.6f%14.6f%13.2fx\n", "TTMQR", tm_ref, tm_new,
+              tm_ref / tm_new);
+  Record rq;
+  rq.name = "TTQRT_ref";
+  rq.nb = nb;
+  rq.ib = ib;
+  rq.seconds = tq_ref;
+  rq.gflops = kernels::flops_ttqrt(nb) / tq_ref / 1e9;
+  g_records.push_back(rq);
+  Record rm;
+  rm.name = "TTMQR_ref";
+  rm.nb = nb;
+  rm.ib = ib;
+  rm.seconds = tm_ref;
+  rm.gflops = kernels::flops_ttmqr(nb, nb) / tm_ref / 1e9;
+  g_records.push_back(rm);
 }
-
-BENCHMARK(BM_GEQRT<128, 32>);
-BENCHMARK(BM_GEQRT<160, 32>);
-BENCHMARK(BM_TSQRT<160, 32>);
-BENCHMARK(BM_TSMQR<160, 32>);
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  report_table(160, 32);
-  report_table(128, 16);
-  report_table(64, 8);
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  bool smoke = false;
+  const char* out = "BENCH_kernels.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--out PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+  if (smoke) {
+    report_table(160, 32, 2);
+    report_tt_speedup(160, 32, 2);
+  } else {
+    report_table(160, 32, 5);
+    report_table(128, 16, 5);
+    report_table(64, 8, 5);
+    report_tt_speedup(160, 32, 8);
+  }
+  return write_json(out, g_records) ? 0 : 1;
 }

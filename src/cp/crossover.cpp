@@ -1,5 +1,7 @@
 #include "cp/crossover.hpp"
 
+#include <vector>
+
 #include "common/check.hpp"
 #include "core/alg_gen.hpp"
 #include "cp/cp_formulas.hpp"
@@ -7,18 +9,37 @@
 
 namespace tbsvd {
 
-CrossoverResult find_crossover(TreeKind tree, int q, int p_max) {
+namespace {
+
+// Ops of the first QR step of a q x q grid: the panel factorization of tile
+// column 0 plus its updates of all trailing columns. A valid standalone
+// stream (step 1 has no external predecessors), so analyze_dag on it yields
+// CP(QR step 1) under any cost model — the subtraction term of the paper's
+// no-overlap R-BIDIAG estimate.
+std::vector<TileOp> first_qr_step_ops(int q, const AlgConfig& cfg) {
+  std::vector<TileOp> out;
+  for (const TileOp& t : build_hqr_ops(q, q, cfg)) {
+    if (t.k == 0) out.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace
+
+CrossoverResult find_crossover(TreeKind tree, int q, int p_max,
+                               const OpCost& cost) {
   TBSVD_CHECK(q >= 1, "find_crossover: need q >= 1");
   if (p_max <= 0) p_max = 16 * q + 16;
   AlgConfig cfg;
   cfg.qr_tree = tree;
   cfg.lq_tree = tree;
+  const OpCost c = cost ? cost : unit_cost();
 
   CrossoverResult res;
   res.q = q;
   for (int p = q; p <= p_max; ++p) {
-    const double b = analyze_dag(build_bidiag_ops(p, q, cfg)).critical_path;
-    const double r = analyze_dag(build_rbidiag_ops(p, q, cfg)).critical_path;
+    const double b = analyze_dag(build_bidiag_ops(p, q, cfg), c).critical_path;
+    const double r = analyze_dag(build_rbidiag_ops(p, q, cfg), c).critical_path;
     if (r < b) {
       res.p_switch = p;
       res.delta_s = static_cast<double>(p) / q;
@@ -31,7 +52,8 @@ CrossoverResult find_crossover(TreeKind tree, int q, int p_max) {
   return res;
 }
 
-CrossoverResult find_crossover_estimate(TreeKind tree, int q, int p_max) {
+CrossoverResult find_crossover_estimate(TreeKind tree, int q, int p_max,
+                                        const OpCost& cost) {
   TBSVD_CHECK(q >= 1, "find_crossover_estimate: need q >= 1");
   if (p_max <= 0) p_max = 24 * q + 24;
   AlgConfig cfg;
@@ -40,11 +62,38 @@ CrossoverResult find_crossover_estimate(TreeKind tree, int q, int p_max) {
 
   CrossoverResult res;
   res.q = q;
+  if (!cost) {
+    // Unit weights: closed forms for BIDIAG, DAG only for the QR phase.
+    for (int p = q; p <= p_max; ++p) {
+      const double b = bidiag_cp(tree, p, q);
+      const double hqr = analyze_dag(build_hqr_ops(p, q, cfg)).critical_path;
+      const double r = rbidiag_cp_estimate(tree, p, q, hqr);
+      if (r < b) {
+        res.p_switch = p;
+        res.delta_s = static_cast<double>(p) / q;
+        res.bidiag_cp_at_switch = b;
+        res.rbidiag_cp_at_switch = r;
+        return res;
+      }
+    }
+    res.p_switch = -1;
+    return res;
+  }
+
+  // Measured (or otherwise non-unit) weights: no closed forms exist, so
+  // every term of the Section IV.B estimate is re-derived from the same op
+  // streams the unit formulas were validated against. The p-independent
+  // terms are hoisted out of the scan.
+  const double bidiag_qq =
+      analyze_dag(build_bidiag_ops(q, q, cfg), cost).critical_path;
+  const double qr_step1 =
+      analyze_dag(first_qr_step_ops(q, cfg), cost).critical_path;
   for (int p = q; p <= p_max; ++p) {
-    const double b = bidiag_cp(tree, p, q);
+    const double b =
+        analyze_dag(build_bidiag_ops(p, q, cfg), cost).critical_path;
     const double hqr =
-        analyze_dag(build_hqr_ops(p, q, cfg)).critical_path;
-    const double r = rbidiag_cp_estimate(tree, p, q, hqr);
+        analyze_dag(build_hqr_ops(p, q, cfg), cost).critical_path;
+    const double r = hqr + bidiag_qq - qr_step1;
     if (r < b) {
       res.p_switch = p;
       res.delta_s = static_cast<double>(p) / q;

@@ -2,8 +2,15 @@
 // the ratio p/q beyond which R-BIDIAG has the shorter critical path. The
 // paper reports that delta_s is a complicated function of q oscillating
 // between 5 and 8 for Greedy trees.
+//
+// Both scans accept an optional per-kernel cost model. With the default
+// (empty) cost the critical paths are weighted by the paper's Table-I unit
+// weights; benchmarks pass bench::measured_cost(calibrate_kernels(...)) to
+// study how the measured kernel times of this implementation move delta_s
+// relative to the paper's prediction (the "calibration drift" question).
 #pragma once
 
+#include "cp/dag_analysis.hpp"
 #include "trees/tree.hpp"
 
 namespace tbsvd {
@@ -19,14 +26,20 @@ struct CrossoverResult {
 /// Exact DAG-based crossover for the given tree (scans p upward from q;
 /// p_max caps the scan). Uses the true overlapped R-BIDIAG DAG, which
 /// favours R-BIDIAG more than the paper's no-overlap estimate, so this
-/// delta_s sits below the paper's 5..8 band.
+/// delta_s sits below the paper's 5..8 band. An empty `cost` means Table-I
+/// unit weights.
 [[nodiscard]] CrossoverResult find_crossover(TreeKind tree, int q,
-                                             int p_max = 0);
+                                             int p_max = 0,
+                                             const OpCost& cost = {});
 
 /// Paper-style crossover: R-BIDIAG costed as CP(QR(p,q)) + CP(BIDIAG(q,q))
 /// - CP(QR step 1) with no phase overlap (Section IV.B). This is the
-/// quantity whose delta_s the paper reports oscillating in [5, 8].
+/// quantity whose delta_s the paper reports oscillating in [5, 8]. With an
+/// empty `cost` the closed forms of Section IV.A are used; with a cost
+/// model every term is re-derived from the op-stream DAGs under that model
+/// (identical to the closed forms at unit weights).
 [[nodiscard]] CrossoverResult find_crossover_estimate(TreeKind tree, int q,
-                                                      int p_max = 0);
+                                                      int p_max = 0,
+                                                      const OpCost& cost = {});
 
 }  // namespace tbsvd

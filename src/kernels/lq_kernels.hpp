@@ -37,11 +37,21 @@ void tsmlq(Trans trans, MatrixView C1, MatrixView C2, ConstMatrixView V2,
            ConstMatrixView T, int ib);
 
 /// LQ of [A1 | A2] with both tiles (n x n) lower triangular. On exit A2
-/// holds V2 (lower trapezoidal rows: row i has support columns 0..i).
+/// holds V2 (lower trapezoidal rows: row i has support columns 0..i). The
+/// T accumulation and trailing update run through the support-masked BLAS3
+/// path (gemm_trap); storage outside the row supports is neither read nor
+/// written.
 void ttlqt(MatrixView A1, MatrixView A2, MatrixView T, int ib);
 
-/// [C1 | C2] := [C1 | C2] op(Q) with Q from ttlqt (triangular V2).
+/// [C1 | C2] := [C1 | C2] op(Q) with Q from ttlqt (triangular V2). C1, C2
+/// and V2 must all have exactly k = V2.m columns (triangular-tile contract).
 void ttmlq(Trans trans, MatrixView C1, MatrixView C2, ConstMatrixView V2,
            ConstMatrixView T, int ib);
+
+/// Reference level-2 TT kernels (per-row-support gemv/axpy loops), retained
+/// for test cross-validation of the blocked path; not on the hot path.
+void ttlqt_ref(MatrixView A1, MatrixView A2, MatrixView T, int ib);
+void ttmlq_ref(Trans trans, MatrixView C1, MatrixView C2, ConstMatrixView V2,
+               ConstMatrixView T, int ib);
 
 }  // namespace tbsvd::kernels

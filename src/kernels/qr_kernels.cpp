@@ -14,6 +14,7 @@ namespace {
 // Per-thread scratch to avoid per-task allocation in the runtime's hot path.
 thread_local std::vector<double> g_tau;
 thread_local std::vector<double> g_w;
+thread_local std::vector<double> g_gram;  // V2^T V2 Gram block in ttqrt
 thread_local Matrix g_larfb_work;
 
 double* scratch(std::vector<double>& v, std::size_t n) {
@@ -152,6 +153,8 @@ void tsmqr(Trans trans, MatrixView C1, MatrixView C2, ConstMatrixView V2,
 void ttqrt(MatrixView A1, MatrixView A2, MatrixView T, int ib) {
   const int n = A1.n;
   TBSVD_CHECK(A1.m == n && A2.m == n && A2.n == n, "ttqrt: shape mismatch");
+  TBSVD_CHECK(ib >= 1 && (n == 0 || (T.m >= std::min(ib, n) && T.n >= n)),
+              "ttqrt: bad ib or T shape");
   double* tau = scratch(g_tau, static_cast<std::size_t>(n));
 
   for (int j0 = 0; j0 < n; j0 += ib) {
@@ -167,10 +170,117 @@ void ttqrt(MatrixView A1, MatrixView A2, MatrixView T, int ib) {
         axpy(j + 1, -w, A2.col(j), 1, A2.col(jj), 1);
       }
     }
-    // --- Accumulate T. Each previous reflector v_{jp} has support rows
-    // 0..jp only; entries below are unrelated storage (e.g. GEQRT
-    // Householder data when the tile came from a triangularization), so
-    // dot lengths must follow the supports rather than a dense rectangle.
+    // The panel's V2 columns form an upper trapezoid of height j0 + kb:
+    // column l has support rows 0..j0+l, and anything below is unrelated
+    // storage (e.g. GEQRT Householder data when the tile came from a
+    // triangularization), so every product runs through gemm_trap with the
+    // support masked during packing.
+    const int mv = j0 + kb;
+    ConstMatrixView V2p{A2.col(j0), mv, kb, A2.ld};
+    // --- Accumulate T: the strictly-upper Gram matrix V2p^T V2p over the
+    // pairwise-common supports (pair (pl, jl), pl < jl, integrates over the
+    // shorter support 0..j0+pl, which the mask enforces; the polluted lower
+    // triangle of M is never read). ---
+    MatrixView Tp = T.block(0, j0, kb, kb);
+    if (kb > 1) {
+      MatrixView M{scratch(g_gram, static_cast<std::size_t>(kb) * kb), kb, kb,
+                   kb};
+      gemm_trap(Trans::Yes, Trans::No, 1.0, V2p, V2p, 0.0, M, TrapSide::A,
+                UpLo::Upper, j0);
+      for (int jl = 1; jl < kb; ++jl) {
+        const double tj = tau[j0 + jl];
+        for (int pl = 0; pl < jl; ++pl) Tp(pl, jl) = -tj * M(pl, jl);
+      }
+    }
+    for (int jl = 0; jl < kb; ++jl) {
+      if (jl > 0) {
+        MatrixView tcol{Tp.col(jl), jl, 1, Tp.ld};
+        trmm_left(UpLo::Upper, Trans::No, Diag::NonUnit,
+                  ConstMatrixView{Tp.a, jl, jl, Tp.ld}, tcol);
+      }
+      Tp(jl, jl) = tau[j0 + jl];
+    }
+    // --- Trailing update: W = C1 + V2p^T C2, C2 -= V2p W, both through the
+    // masked BLAS3 path. Rows 0..mv-1 of every trailing column are valid R
+    // data (the column's own support reaches further right), so the dense
+    // writes never touch unrelated storage. ---
+    const int nc = n - j0 - kb;
+    if (nc > 0) {
+      MatrixView C1 = A1.block(j0, j0 + kb, kb, nc);
+      MatrixView C2 = A2.block(0, j0 + kb, mv, nc);
+      MatrixView W{scratch(g_w, static_cast<std::size_t>(kb) * nc), kb, nc, kb};
+      copy(C1, W);
+      gemm_trap(Trans::Yes, Trans::No, 1.0, V2p, C2, 1.0, W, TrapSide::A,
+                UpLo::Upper, j0);
+      trmm_left(UpLo::Upper, Trans::Yes, Diag::NonUnit, Tp, W);
+      for (int j = 0; j < nc; ++j) {
+        for (int i = 0; i < kb; ++i) C1(i, j) -= W(i, j);
+      }
+      gemm_trap(Trans::No, Trans::No, -1.0, V2p, W, 1.0, C2, TrapSide::A,
+                UpLo::Upper, j0);
+    }
+  }
+}
+
+void ttmqr(Trans trans, MatrixView C1, MatrixView C2, ConstMatrixView V2,
+           ConstMatrixView T, int ib) {
+  const int k = V2.n;
+  const int nc = C1.n;
+  TBSVD_CHECK(V2.m == k, "ttmqr: V2 must be square (triangular reflector)");
+  TBSVD_CHECK(C1.m == k && C2.m == k && C2.n == nc, "ttmqr: shape mismatch");
+  TBSVD_CHECK(ib >= 1 && (k == 0 || (T.m >= std::min(ib, k) && T.n >= k)),
+              "ttmqr: bad ib or T shape");
+  if (k == 0 || nc == 0) return;
+  const int npanels = (k + ib - 1) / ib;
+  for (int b = 0; b < npanels; ++b) {
+    const int pb = (trans == Trans::Yes) ? b : npanels - 1 - b;
+    const int j0 = pb * ib;
+    const int kb = std::min(ib, k - j0);
+    // V2 column jl has support rows 0..jl (below is unrelated tile
+    // storage); the panel is an upper trapezoid of height j0 + kb handled
+    // by gemm_trap's support mask.
+    const int mv = j0 + kb;
+    ConstMatrixView V2p{V2.col(j0), mv, kb, V2.ld};
+    ConstMatrixView Tp = T.block(0, j0, kb, kb);
+    MatrixView C1p = C1.block(j0, 0, kb, nc);
+    MatrixView C2p = C2.block(0, 0, mv, nc);
+    MatrixView W{scratch(g_w, static_cast<std::size_t>(kb) * nc), kb, nc, kb};
+    copy(C1p, W);
+    gemm_trap(Trans::Yes, Trans::No, 1.0, V2p, C2p, 1.0, W, TrapSide::A,
+              UpLo::Upper, j0);
+    trmm_left(UpLo::Upper, trans, Diag::NonUnit, Tp, W);
+    for (int j = 0; j < nc; ++j) {
+      for (int i = 0; i < kb; ++i) C1p(i, j) -= W(i, j);
+    }
+    gemm_trap(Trans::No, Trans::No, -1.0, V2p, W, 1.0, C2p, TrapSide::A,
+              UpLo::Upper, j0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Reference TT kernels: the original per-column-support level-2 formulation
+// (gemv/axpy over each reflector's triangular support). Retained so the
+// tests can cross-validate the blocked gemm_trap path above against an
+// independent implementation; not used on the execution path.
+// ---------------------------------------------------------------------------
+
+void ttqrt_ref(MatrixView A1, MatrixView A2, MatrixView T, int ib) {
+  const int n = A1.n;
+  TBSVD_CHECK(A1.m == n && A2.m == n && A2.n == n, "ttqrt_ref: shape mismatch");
+  double* tau = scratch(g_tau, static_cast<std::size_t>(n));
+
+  for (int j0 = 0; j0 < n; j0 += ib) {
+    const int kb = std::min(ib, n - j0);
+    for (int jl = 0; jl < kb; ++jl) {
+      const int j = j0 + jl;
+      tau[j] = larfg(j + 2, A1(j, j), A2.col(j), 1);
+      for (int jj = j + 1; jj < j0 + kb; ++jj) {
+        double w = A1(j, jj) + dot(j + 1, A2.col(j), 1, A2.col(jj), 1);
+        w *= tau[j];
+        A1(j, jj) -= w;
+        axpy(j + 1, -w, A2.col(j), 1, A2.col(jj), 1);
+      }
+    }
     MatrixView Tp = T.block(0, j0, kb, kb);
     for (int jl = 0; jl < kb; ++jl) {
       const int j = j0 + jl;
@@ -185,7 +295,6 @@ void ttqrt(MatrixView A1, MatrixView A2, MatrixView T, int ib) {
       }
       Tp(jl, jl) = tau[j];
     }
-    // --- Trailing update with per-column supports: W = C1 + V2^T C2. ---
     const int nc = n - j0 - kb;
     if (nc > 0) {
       MatrixView C1 = A1.block(j0, j0 + kb, kb, nc);
@@ -210,11 +319,12 @@ void ttqrt(MatrixView A1, MatrixView A2, MatrixView T, int ib) {
   }
 }
 
-void ttmqr(Trans trans, MatrixView C1, MatrixView C2, ConstMatrixView V2,
-           ConstMatrixView T, int ib) {
+void ttmqr_ref(Trans trans, MatrixView C1, MatrixView C2, ConstMatrixView V2,
+               ConstMatrixView T, int ib) {
   const int k = V2.n;
   const int nc = C1.n;
-  TBSVD_CHECK(C1.m >= k && C2.n == nc && C2.m >= k, "ttmqr: shape mismatch");
+  TBSVD_CHECK(C1.m >= k && C2.n == nc && C2.m >= k,
+              "ttmqr_ref: shape mismatch");
   const int npanels = (k + ib - 1) / ib;
   for (int b = 0; b < npanels; ++b) {
     const int pb = (trans == Trans::Yes) ? b : npanels - 1 - b;
@@ -224,8 +334,6 @@ void ttmqr(Trans trans, MatrixView C1, MatrixView C2, ConstMatrixView V2,
     MatrixView C1p = C1.block(j0, 0, kb, nc);
     MatrixView W{scratch(g_w, static_cast<std::size_t>(kb) * nc), kb, nc, kb};
     copy(C1p, W);
-    // W += V2^T C2 with per-column supports (v2 of column jl lives in rows
-    // 0..jl; anything below is unrelated tile storage).
     for (int l = 0; l < kb; ++l) {
       const int jl = j0 + l;
       gemv(Trans::Yes, 1.0, C2.block(0, 0, jl + 1, nc), V2.col(jl), 1, 1.0,

@@ -42,12 +42,22 @@ void tsmqr(Trans trans, MatrixView C1, MatrixView C2, ConstMatrixView V2,
 
 /// QR of [A1; A2] where both A1 and A2 (n x n) are upper triangular.
 /// On exit A1 holds the new R, A2 holds V2 (upper trapezoidal columns:
-/// column j has support rows 0..j), T as above.
+/// column j has support rows 0..j), T as above. The T accumulation and the
+/// trailing update run through the support-masked BLAS3 path (gemm_trap);
+/// storage outside the triangular supports is neither read nor written.
 void ttqrt(MatrixView A1, MatrixView A2, MatrixView T, int ib);
 
-/// [C1; C2] := op(Q) [C1; C2] with Q from ttqrt (triangular V2).
+/// [C1; C2] := op(Q) [C1; C2] with Q from ttqrt (triangular V2). C1, C2 and
+/// V2 must all have exactly k = V2.n rows (the triangular-tile contract).
 void ttmqr(Trans trans, MatrixView C1, MatrixView C2, ConstMatrixView V2,
            ConstMatrixView T, int ib);
+
+/// Reference level-2 TT kernels (per-column-support gemv/axpy loops, the
+/// pre-BLAS3 formulation). Retained so tests can cross-validate the blocked
+/// kernels against an independent implementation; not on the hot path.
+void ttqrt_ref(MatrixView A1, MatrixView A2, MatrixView T, int ib);
+void ttmqr_ref(Trans trans, MatrixView C1, MatrixView C2, ConstMatrixView V2,
+               ConstMatrixView T, int ib);
 
 /// Leading-order flop counts (for GFlop/s reporting in benches).
 constexpr double flops_geqrt(double m, double n) {

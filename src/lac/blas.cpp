@@ -79,8 +79,18 @@ void gemm_small_tt(double alpha, ConstMatrixView A, ConstMatrixView B,
 // register micro-kernel (see gemm_microkernel.hpp for the layout contract).
 // ---------------------------------------------------------------------------
 
+// Support mask of a trapezoidal operand (see gemm_trap in blas.hpp).
+// Inactive by default, in which case gemm_blocked packs densely.
+struct TrapMask {
+  bool on = false;
+  bool on_a = false;  ///< masked operand: A (true) or B (false)
+  bool upper = false;
+  int off = 0;
+};
+
 void gemm_blocked(bool transa, bool transb, double alpha, ConstMatrixView A,
-                  ConstMatrixView B, MatrixView C, int k) {
+                  ConstMatrixView B, MatrixView C, int k,
+                  const TrapMask& trap = {}) {
   using namespace detail;
   const int m = C.m, n = C.n;
   const int nc_max = std::min(kNC, n);
@@ -94,10 +104,19 @@ void gemm_blocked(bool transa, bool transb, double alpha, ConstMatrixView A,
     const int nc = std::min(kNC, n - jc);
     for (int pc = 0; pc < k; pc += kKC) {
       const int kc = std::min(kKC, k - pc);
-      pack_b(transb, B, pc, jc, kc, nc, bp);
+      if (trap.on && !trap.on_a) {
+        pack_b_trap(transb, B, pc, jc, kc, nc, trap.upper, trap.off, bp);
+      } else {
+        pack_b(transb, B, pc, jc, kc, nc, bp);
+      }
       for (int ic = 0; ic < m; ic += kMC) {
         const int mc = std::min(kMC, m - ic);
-        pack_a(transa, alpha, A, ic, pc, mc, kc, ap);
+        if (trap.on && trap.on_a) {
+          pack_a_trap(transa, alpha, A, ic, pc, mc, kc, trap.upper, trap.off,
+                      ap);
+        } else {
+          pack_a(transa, alpha, A, ic, pc, mc, kc, ap);
+        }
         for (int jr = 0; jr < nc; jr += kNR) {
           const int nr = std::min(kNR, nc - jr);
           const double* bs = bp + static_cast<std::size_t>(jr) * kc;
@@ -121,6 +140,33 @@ void gemm_blocked(bool transa, bool transb, double alpha, ConstMatrixView A,
   }
 }
 
+// C := beta * C (the shared prologue of the gemm drivers).
+void scale_c(double beta, MatrixView C) {
+  if (beta == 1.0) return;
+  for (int j = 0; j < C.n; ++j) {
+    double* cj = C.col(j);
+    if (beta == 0.0) {
+      for (int i = 0; i < C.m; ++i) cj[i] = 0.0;
+    } else {
+      for (int i = 0; i < C.m; ++i) cj[i] *= beta;
+    }
+  }
+}
+
+// Dispatch to the direct (un-packed) loops by transpose combination.
+void gemm_small(Trans ta, Trans tb, double alpha, ConstMatrixView A,
+                ConstMatrixView B, MatrixView C) {
+  if (ta == Trans::No && tb == Trans::No) {
+    gemm_small_nn(alpha, A, B, C);
+  } else if (ta == Trans::Yes && tb == Trans::No) {
+    gemm_small_tn(alpha, A, B, C);
+  } else if (ta == Trans::No && tb == Trans::Yes) {
+    gemm_small_nt(alpha, A, B, C);
+  } else {
+    gemm_small_tt(alpha, A, B, C);
+  }
+}
+
 }  // namespace
 
 void gemm(Trans ta, Trans tb, double alpha, ConstMatrixView A,
@@ -131,16 +177,7 @@ void gemm(Trans ta, Trans tb, double alpha, ConstMatrixView A,
   const int nb = (tb == Trans::No) ? B.n : B.m;
   TBSVD_CHECK(ka == kb && ma == C.m && nb == C.n, "gemm shape mismatch");
 
-  if (beta != 1.0) {
-    for (int j = 0; j < C.n; ++j) {
-      double* cj = C.col(j);
-      if (beta == 0.0) {
-        for (int i = 0; i < C.m; ++i) cj[i] = 0.0;
-      } else {
-        for (int i = 0; i < C.m; ++i) cj[i] *= beta;
-      }
-    }
-  }
+  scale_c(beta, C);
   if (alpha == 0.0 || ka == 0 || C.m == 0 || C.n == 0) return;
 
   // Packing only pays off once the product is big enough; the ib-panel
@@ -148,18 +185,60 @@ void gemm(Trans ta, Trans tb, double alpha, ConstMatrixView A,
   const bool small = (ka <= detail::kSmallK) ||
                      (static_cast<long long>(C.m) * C.n <= detail::kSmallMN);
   if (small) {
-    if (ta == Trans::No && tb == Trans::No) {
-      gemm_small_nn(alpha, A, B, C);
-    } else if (ta == Trans::Yes && tb == Trans::No) {
-      gemm_small_tn(alpha, A, B, C);
-    } else if (ta == Trans::No && tb == Trans::Yes) {
-      gemm_small_nt(alpha, A, B, C);
-    } else {
-      gemm_small_tt(alpha, A, B, C);
-    }
+    gemm_small(ta, tb, alpha, A, B, C);
     return;
   }
   gemm_blocked(ta == Trans::Yes, tb == Trans::Yes, alpha, A, B, C, ka);
+}
+
+void gemm_trap(Trans ta, Trans tb, double alpha, ConstMatrixView A,
+               ConstMatrixView B, double beta, MatrixView C, TrapSide side,
+               UpLo uplo, int off) {
+  const int ka = (ta == Trans::No) ? A.n : A.m;
+  const int kb = (tb == Trans::No) ? B.m : B.n;
+  const int ma = (ta == Trans::No) ? A.m : A.n;
+  const int nb = (tb == Trans::No) ? B.n : B.m;
+  TBSVD_CHECK(ka == kb && ma == C.m && nb == C.n, "gemm_trap shape mismatch");
+
+  scale_c(beta, C);
+  if (alpha == 0.0 || ka == 0 || C.m == 0 || C.n == 0) return;
+
+  const bool upper = (uplo == UpLo::Upper);
+  const bool small = (ka <= detail::kSmallK) ||
+                     (static_cast<long long>(C.m) * C.n <= detail::kSmallMN);
+  if (small) {
+    // Densify the masked operand into scratch (valid support copied,
+    // everything else zeroed) and reuse the direct loops: masked packing
+    // only pays off on the blocked path.
+    const ConstMatrixView& X = (side == TrapSide::A) ? A : B;
+    thread_local std::vector<double> dense;
+    const std::size_t need =
+        static_cast<std::size_t>(X.m) * static_cast<std::size_t>(X.n);
+    if (dense.size() < need) dense.resize(need);
+    MatrixView D{dense.data(), X.m, X.n, X.m};
+    for (int c = 0; c < X.n; ++c) {
+      // Upper keeps (r, c) with r <= off + c; Lower keeps c <= off + r.
+      // Both bounds clamp to [0, X.m]: a column lying entirely outside the
+      // support (c - off > X.m, or off + c < 0) densifies to all zeros.
+      int lo = upper ? 0 : std::min(X.m, std::max(0, c - off));
+      int hi = upper ? std::max(0, std::min(X.m, off + c + 1)) : X.m;
+      if (hi < lo) hi = lo;
+      double* d = D.col(c);
+      const double* s = X.col(c);
+      int i = 0;
+      for (; i < lo; ++i) d[i] = 0.0;
+      for (; i < hi; ++i) d[i] = s[i];
+      for (; i < X.m; ++i) d[i] = 0.0;
+    }
+    if (side == TrapSide::A) {
+      gemm_small(ta, tb, alpha, ConstMatrixView{D}, B, C);
+    } else {
+      gemm_small(ta, tb, alpha, A, ConstMatrixView{D}, C);
+    }
+    return;
+  }
+  const TrapMask mask{true, side == TrapSide::A, upper, off};
+  gemm_blocked(ta == Trans::Yes, tb == Trans::Yes, alpha, A, B, C, ka, mask);
 }
 
 void gemv(Trans ta, double alpha, ConstMatrixView A, const double* x, int incx,

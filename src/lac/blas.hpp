@@ -16,6 +16,22 @@ enum class Diag { Unit, NonUnit };
 void gemm(Trans ta, Trans tb, double alpha, ConstMatrixView A,
           ConstMatrixView B, double beta, MatrixView C);
 
+/// Which operand of gemm_trap carries the trapezoidal support mask.
+enum class TrapSide { A, B };
+
+/// C := alpha * op(A) * op(B) + beta * C where the operand selected by
+/// `side` is trapezoidal in storage: only entries (r, c) of the *stored*
+/// (untransposed) operand with r <= off + c (UpLo::Upper) or c <= off + r
+/// (UpLo::Lower) are read; everything outside that support is treated as
+/// exactly zero regardless of what the storage holds. The TT kernels use
+/// this to run their triangular V2 panels — whose out-of-support entries
+/// are unrelated Householder data — through the packed micro-kernel at
+/// blocked-gemm speed, with the mask applied during panel packing instead
+/// of densifying the operand first.
+void gemm_trap(Trans ta, Trans tb, double alpha, ConstMatrixView A,
+               ConstMatrixView B, double beta, MatrixView C, TrapSide side,
+               UpLo uplo, int off);
+
 /// y := alpha * op(A) * x + beta * y  (x, y contiguous with given strides).
 void gemv(Trans ta, double alpha, ConstMatrixView A, const double* x, int incx,
           double beta, double* y, int incy);

@@ -14,6 +14,7 @@
 // as a header only so tests and benches can reach the micro-kernel directly.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <new>
 
@@ -135,6 +136,81 @@ inline void pack_b(bool transb, ConstMatrixView B, int pc, int jc, int kc,
         for (int j = nr; j < kNR; ++j) d[j] = 0.0;
         d += kNR;
       }
+    }
+  }
+}
+
+/// pack_a with a trapezoidal support mask on the *stored* matrix A: `upper`
+/// keeps elements (r, c) with r <= off + c, otherwise (lower) elements with
+/// c <= off + r; everything outside the support packs as zero regardless of
+/// what the storage holds. This is how the TT kernels feed triangular V2
+/// panels (whose out-of-support entries are unrelated Householder data)
+/// through the micro-kernel without densifying them first.
+inline void pack_a_trap(bool transa, double alpha, ConstMatrixView A, int ic,
+                        int pc, int mc, int kc, bool upper, int off,
+                        double* __restrict dst) {
+  // Within one MR strip the valid op(A) entries of column l form a prefix
+  // or a suffix of the segment; only [lo, hi) is copied, the rest packs as
+  // zero exactly like the mc-edge padding.
+  const bool prefix = (transa != upper);
+  for (int ir = 0; ir < mc; ir += kMR) {
+    const int mr = (mc - ir < kMR) ? mc - ir : kMR;
+    double* d = dst + static_cast<std::size_t>(ir) * kc;
+    const int base = ic + ir;
+    for (int l = 0; l < kc; ++l) {
+      int lo = 0, hi = mr;
+      if (prefix) {
+        hi = std::min(mr, off + pc + l + 1 - base);
+        if (hi < 0) hi = 0;
+      } else {
+        lo = std::max(0, pc + l - off - base);
+        if (lo > mr) lo = mr;
+      }
+      if (hi < lo) hi = lo;
+      int i = 0;
+      if (!transa) {
+        const double* src = A.col(pc + l) + base;
+        for (; i < lo; ++i) d[i] = 0.0;
+        for (; i < hi; ++i) d[i] = alpha * src[i];
+      } else {
+        for (; i < lo; ++i) d[i] = 0.0;
+        for (; i < hi; ++i) d[i] = alpha * A(pc + l, base + i);
+      }
+      for (; i < kMR; ++i) d[i] = 0.0;
+      d += kMR;
+    }
+  }
+}
+
+/// pack_b with the same stored-index trapezoidal mask as pack_a_trap.
+inline void pack_b_trap(bool transb, ConstMatrixView B, int pc, int jc, int kc,
+                        int nc, bool upper, int off, double* __restrict dst) {
+  const bool prefix = (transb == upper);
+  for (int jr = 0; jr < nc; jr += kNR) {
+    const int nr = (nc - jr < kNR) ? nc - jr : kNR;
+    double* d = dst + static_cast<std::size_t>(jr) * kc;
+    const int base = jc + jr;
+    for (int l = 0; l < kc; ++l) {
+      int lo = 0, hi = nr;
+      if (prefix) {
+        hi = std::min(nr, off + pc + l + 1 - base);
+        if (hi < 0) hi = 0;
+      } else {
+        lo = std::max(0, pc + l - off - base);
+        if (lo > nr) lo = nr;
+      }
+      if (hi < lo) hi = lo;
+      int j = 0;
+      if (!transb) {
+        for (; j < lo; ++j) d[j] = 0.0;
+        for (; j < hi; ++j) d[j] = B(pc + l, base + j);
+      } else {
+        const double* src = B.col(pc + l) + base;
+        for (; j < lo; ++j) d[j] = 0.0;
+        for (; j < hi; ++j) d[j] = src[j];
+      }
+      for (; j < kNR; ++j) d[j] = 0.0;
+      d += kNR;
     }
   }
 }

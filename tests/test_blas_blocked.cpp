@@ -182,6 +182,126 @@ TEST(BlasBlocked, TrmmRightMatchesExplicitProduct) {
   }
 }
 
+// Densified reference for gemm_trap: copy the valid support, zero the rest.
+Matrix densify_trap(ConstMatrixView X, UpLo uplo, int off) {
+  Matrix D(X.m, X.n);
+  for (int c = 0; c < X.n; ++c) {
+    for (int r = 0; r < X.m; ++r) {
+      const bool valid =
+          (uplo == UpLo::Upper) ? (r <= off + c) : (c <= off + r);
+      D(r, c) = valid ? X(r, c) : 0.0;
+    }
+  }
+  return D;
+}
+
+void check_gemm_trap_case(Trans ta, Trans tb, TrapSide side, UpLo uplo,
+                          int off, int m, int n, int k, double alpha,
+                          double beta) {
+  const int am = (ta == Trans::No) ? m : k;
+  const int an = (ta == Trans::No) ? k : m;
+  const int bm = (tb == Trans::No) ? k : n;
+  const int bn = (tb == Trans::No) ? n : k;
+  // Poison the out-of-support region so any read of it shows up loudly.
+  Matrix A = random_matrix(am, an, 5000 + m * 3 + n * 5 + k * 7 + off);
+  Matrix B = random_matrix(bm, bn, 6000 + m * 3 + n * 5 + k * 7 + off);
+  Matrix X = (side == TrapSide::A) ? A : B;  // copy before poisoning
+  Matrix& P = (side == TrapSide::A) ? A : B;
+  for (int c = 0; c < P.cols(); ++c)
+    for (int r = 0; r < P.rows(); ++r) {
+      const bool valid =
+          (uplo == UpLo::Upper) ? (r <= off + c) : (c <= off + r);
+      if (!valid) P(r, c) = 1e30;
+    }
+  Matrix C = random_matrix(m, n, 7000 + m + n + k + off);
+  Matrix Cref = C;
+  gemm_trap(ta, tb, alpha, A.cview(), B.cview(), beta, C.view(), side, uplo,
+            off);
+  const Matrix D = densify_trap(X.cview(), uplo, off);
+  if (side == TrapSide::A) {
+    ref_gemm(ta, tb, alpha, D.cview(), B.cview(), beta, Cref.view());
+  } else {
+    ref_gemm(ta, tb, alpha, A.cview(), D.cview(), beta, Cref.view());
+  }
+  EXPECT_LT(max_abs_diff(C.cview(), Cref.cview()), 1e-12 * (k + 1))
+      << "ta=" << (ta == Trans::Yes) << " tb=" << (tb == Trans::Yes)
+      << " side=" << (side == TrapSide::A ? 'A' : 'B')
+      << " uplo=" << (uplo == UpLo::Upper ? 'U' : 'L') << " off=" << off
+      << " m=" << m << " n=" << n << " k=" << k;
+}
+
+TEST(BlasBlocked, GemmTrapAllMaskCombosSmallAndBlocked) {
+  for (TrapSide side : {TrapSide::A, TrapSide::B}) {
+    for (UpLo uplo : {UpLo::Upper, UpLo::Lower}) {
+      for (Trans ta : {Trans::No, Trans::Yes}) {
+        for (Trans tb : {Trans::No, Trans::Yes}) {
+          for (int off : {0, 3, 17}) {
+            check_gemm_trap_case(ta, tb, side, uplo, off, 5, 4, 6, 1.0, 1.0);
+            check_gemm_trap_case(ta, tb, side, uplo, off, 33, 41, 29, -1.0,
+                                 1.0);
+            check_gemm_trap_case(ta, tb, side, uplo, off, 70, 65, 80, 0.37,
+                                 0.0);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(BlasBlocked, GemmTrapTtKernelShapes) {
+  // The exact shapes the TT kernels produce: upper trapezoid as op(A)
+  // (TTQRT/TTMQR panels, mv = off + kb) and lower trapezoid as op(B)
+  // (TTLQT/TTMLQ panels), at tile-sized operands crossing the KC boundary.
+  for (int kb : {8, 32}) {
+    for (int off : {0, 32, 128, 240}) {
+      const int mv = off + kb;
+      check_gemm_trap_case(Trans::Yes, Trans::No, TrapSide::A, UpLo::Upper,
+                           off, kb, 160, mv, 1.0, 1.0);
+      check_gemm_trap_case(Trans::No, Trans::No, TrapSide::A, UpLo::Upper,
+                           off, mv, 160, kb, -1.0, 1.0);
+      check_gemm_trap_case(Trans::No, Trans::Yes, TrapSide::B, UpLo::Lower,
+                           off, 160, kb, mv, 1.0, 1.0);
+      check_gemm_trap_case(Trans::No, Trans::No, TrapSide::B, UpLo::Lower,
+                           off, 160, mv, kb, -1.0, 1.0);
+    }
+  }
+}
+
+TEST(BlasBlocked, GemmTrapColumnsEntirelyOutsideSupport) {
+  // Wide-and-short Lower operands where trailing columns lie entirely
+  // outside the support (c - off > rows): those columns must densify /
+  // pack to all zeros, not write past the column end (regression: the
+  // small-path densify used an unclamped lower bound).
+  for (TrapSide side : {TrapSide::A, TrapSide::B}) {
+    for (int off : {0, 2}) {
+      // side A: A stored 6 x 20 (ta = No -> m=6, k=20); side B: B stored
+      // 12 x 18 (tb = Yes -> n=12, k=18). Small C keeps the densify path.
+      const int m = (side == TrapSide::A) ? 6 : 5;
+      const int n = (side == TrapSide::A) ? 4 : 12;
+      const int k = (side == TrapSide::A) ? 20 : 18;
+      check_gemm_trap_case(Trans::No, (side == TrapSide::A) ? Trans::No
+                                                            : Trans::Yes,
+                           side, UpLo::Lower, off, m, n, k, 1.0, 1.0);
+      // And the blocked path for the same support pattern.
+      check_gemm_trap_case(Trans::No, (side == TrapSide::A) ? Trans::No
+                                                            : Trans::Yes,
+                           side, UpLo::Lower, off, 40, 50, 90, 1.0, 0.0);
+    }
+  }
+}
+
+TEST(BlasBlocked, GemmTrapFullSupportMatchesGemm) {
+  // A mask wide enough to cover the whole operand must reduce to plain
+  // gemm exactly (same blocked path, same packing layout).
+  const int m = 50, n = 40, k = 45;
+  Matrix A = random_matrix(m, k, 91), B = random_matrix(k, n, 92);
+  Matrix C = random_matrix(m, n, 93), Cref = C;
+  gemm_trap(Trans::No, Trans::No, 1.0, A.cview(), B.cview(), 1.0, C.view(),
+            TrapSide::A, UpLo::Upper, m);  // off >= m - 1: everything valid
+  gemm(Trans::No, Trans::No, 1.0, A.cview(), B.cview(), 1.0, Cref.view());
+  EXPECT_EQ(max_abs_diff(C.cview(), Cref.cview()), 0.0);
+}
+
 TEST(BlasBlocked, GeqrtUnmqrRoundTrip) {
   // Factor, rebuild Q R, and demand reconstruction at the level the seed
   // backend achieved (well below 1e-13 relative) — a regression gate on the

@@ -187,6 +187,41 @@ TEST(Crossover, EstimateDeltaSInPaperBallpark) {
   }
 }
 
+TEST(Crossover, ExplicitUnitCostMatchesDefault) {
+  // Passing unit_cost() explicitly must reproduce the default (no-cost)
+  // results exactly. For the estimate this is a real cross-check: the
+  // explicit-cost path re-derives every Section IV.B term from op-stream
+  // DAGs (including the filtered first-QR-step DAG), while the default
+  // path uses the closed forms of Section IV.A.
+  const OpCost unit = unit_cost();
+  for (int q : {2, 3, 4, 6}) {
+    const auto d_ex = find_crossover(TreeKind::Greedy, q);
+    const auto c_ex = find_crossover(TreeKind::Greedy, q, 0, unit);
+    EXPECT_EQ(d_ex.p_switch, c_ex.p_switch) << "q=" << q;
+    EXPECT_DOUBLE_EQ(d_ex.bidiag_cp_at_switch, c_ex.bidiag_cp_at_switch);
+    const auto d_est = find_crossover_estimate(TreeKind::Greedy, q);
+    const auto c_est = find_crossover_estimate(TreeKind::Greedy, q, 0, unit);
+    EXPECT_EQ(d_est.p_switch, c_est.p_switch) << "q=" << q;
+    EXPECT_DOUBLE_EQ(d_est.bidiag_cp_at_switch, c_est.bidiag_cp_at_switch);
+    EXPECT_DOUBLE_EQ(d_est.rbidiag_cp_at_switch, c_est.rbidiag_cp_at_switch);
+  }
+}
+
+TEST(Crossover, ScaledCostLeavesSwitchPointInvariant) {
+  // The crossover compares two critical paths under the same cost model,
+  // so a uniform rescale of every kernel time must not move p*.
+  const OpCost unit = unit_cost();
+  const OpCost scaled = [unit](const TileOp& t) { return 3.5e-4 * unit(t); };
+  for (int q : {2, 4}) {
+    const auto a = find_crossover(TreeKind::Greedy, q);
+    const auto b = find_crossover(TreeKind::Greedy, q, 0, scaled);
+    EXPECT_EQ(a.p_switch, b.p_switch) << "q=" << q;
+    const auto ae = find_crossover_estimate(TreeKind::Greedy, q);
+    const auto be = find_crossover_estimate(TreeKind::Greedy, q, 0, scaled);
+    EXPECT_EQ(ae.p_switch, be.p_switch) << "q=" << q;
+  }
+}
+
 TEST(SimSched, OneProcessorEqualsTotalWork) {
   AlgConfig cfg;
   cfg.qr_tree = cfg.lq_tree = TreeKind::Greedy;

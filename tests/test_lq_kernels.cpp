@@ -209,11 +209,84 @@ TEST_P(LqKernelP, TtmlqTransZeroesEliminatedTriangle) {
   }
 }
 
+TEST_P(LqKernelP, TtBlockedMatchesReference) {
+  // Blocked (gemm_trap) TT kernels against the retained level-2 reference,
+  // with the storage right of each V2 row's support poisoned: that region
+  // is unrelated data (e.g. GELQT Householder rows) and must be neither
+  // read nor written by either path.
+  const auto [n, ib] = GetParam();
+  Matrix A1 = random_lower(n, 900 + n + ib);
+  Matrix A2 = random_lower(n, 910 + n + ib);
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < j; ++i) A2(i, j) = 1e30;  // poison above diagonal
+  Matrix A1r = A1, A2r = A2;
+  Matrix T(ib, n), Tr(ib, n);
+  ttlqt(A1.view(), A2.view(), T.view(), ib);
+  ttlqt_ref(A1r.view(), A2r.view(), Tr.view(), ib);
+
+  const double scale = 1.0 + norm_fro(A1r.cview());
+  for (int j = 0; j < n; ++j) {
+    for (int i = j; i < n; ++i) {
+      EXPECT_NEAR(A1(i, j), A1r(i, j), 1e-12 * scale) << i << "," << j;
+      EXPECT_NEAR(A2(i, j), A2r(i, j), 1e-12 * scale) << i << "," << j;
+    }
+    for (int i = 0; i < j; ++i) {
+      EXPECT_EQ(A2(i, j), 1e30);
+      EXPECT_EQ(A2r(i, j), 1e30);
+    }
+    for (int i = 0; i < std::min(ib, n); ++i)
+      EXPECT_NEAR(T(i, j), Tr(i, j), 1e-12) << "T at " << i << "," << j;
+  }
+
+  for (Trans trans : {Trans::Yes, Trans::No}) {
+    Matrix C1 = random_matrix(n, n, 920 + n), C2 = random_matrix(n, n, 930 + n);
+    Matrix C1r = C1, C2r = C2;
+    ttmlq(trans, C1.view(), C2.view(), A2.cview(), T.cview(), ib);
+    ttmlq_ref(trans, C1r.view(), C2r.view(), A2.cview(), T.cview(), ib);
+    const double cscale = 1.0 + norm_fro(C1r.cview()) + norm_fro(C2r.cview());
+    for (int j = 0; j < n; ++j)
+      for (int i = 0; i < n; ++i) {
+        EXPECT_NEAR(C1(i, j), C1r(i, j), 1e-12 * cscale);
+        EXPECT_NEAR(C2(i, j), C2r(i, j), 1e-12 * cscale);
+      }
+  }
+}
+
+TEST_P(LqKernelP, TtmlqRoundTripRestoresOperand) {
+  const auto [n, ib] = GetParam();
+  Matrix A1 = random_lower(n, 940 + n + ib);
+  Matrix A2 = random_lower(n, 950 + n + ib);
+  Matrix T(ib, n);
+  ttlqt(A1.view(), A2.view(), T.view(), ib);
+  Matrix C1 = random_matrix(n, n, 960 + n), C2 = random_matrix(n, n, 970 + n);
+  Matrix C10 = C1, C20 = C2;
+  ttmlq(Trans::Yes, C1.view(), C2.view(), A2.cview(), T.cview(), ib);
+  ttmlq(Trans::No, C1.view(), C2.view(), A2.cview(), T.cview(), ib);
+  const double scale = 1.0 + norm_fro(C10.cview()) + norm_fro(C20.cview());
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < n; ++i) {
+      EXPECT_NEAR(C1(i, j), C10(i, j), 1e-12 * scale);
+      EXPECT_NEAR(C2(i, j), C20(i, j), 1e-12 * scale);
+    }
+}
+
+TEST(LqKernelEdge, TtmlqEmptyOperandIsANoop) {
+  // mc == 0 (no rows to update) must early-out cleanly.
+  const int n = 16, ib = 4;
+  Matrix A1 = random_lower(n, 980), A2 = random_lower(n, 981);
+  Matrix T(ib, n);
+  ttlqt(A1.view(), A2.view(), T.view(), ib);
+  Matrix C1(0, n), C2(0, n);
+  ttmlq(Trans::Yes, C1.view(), C2.view(), A2.cview(), T.cview(), ib);
+  SUCCEED();
+}
+
 INSTANTIATE_TEST_SUITE_P(
     SizesAndBlocking, LqKernelP,
     ::testing::Values(std::tuple{1, 1}, std::tuple{2, 1}, std::tuple{3, 2},
-                      std::tuple{8, 3}, std::tuple{16, 4}, std::tuple{16, 16},
-                      std::tuple{24, 8}, std::tuple{40, 7},
+                      std::tuple{7, 8}, std::tuple{8, 3}, std::tuple{16, 4},
+                      std::tuple{16, 16}, std::tuple{24, 8},
+                      std::tuple{33, 32}, std::tuple{40, 7},
                       std::tuple{64, 32}));
 
 }  // namespace

@@ -20,7 +20,9 @@ using kernels::geqrt;
 using kernels::tsmqr;
 using kernels::tsqrt;
 using kernels::ttmqr;
+using kernels::ttmqr_ref;
 using kernels::ttqrt;
+using kernels::ttqrt_ref;
 using kernels::unmqr;
 
 Matrix random_matrix(int m, int n, std::uint64_t seed) {
@@ -203,11 +205,109 @@ TEST_P(QrKernelP, UpdateKernelsPreserveFrobeniusNorm) {
   EXPECT_NEAR(before, after, 1e-11 * before);
 }
 
+TEST_P(QrKernelP, TtBlockedMatchesReference) {
+  // The blocked (gemm_trap) TT kernels against the retained level-2
+  // reference, on inputs whose out-of-support storage is poisoned: the TT
+  // contract is that entries below V2's diagonal are unrelated data (e.g.
+  // GEQRT Householder vectors) that must be neither read nor written.
+  const auto [n, ib] = GetParam();
+  Matrix A1 = random_upper(n, 8000 + n + ib);
+  Matrix A2 = random_upper(n, 8100 + n + ib);
+  for (int j = 0; j < n; ++j)
+    for (int i = j + 1; i < n; ++i) A2(i, j) = 1e30;  // poison
+  Matrix A1r = A1, A2r = A2;
+  Matrix T(ib, n), Tr(ib, n);
+  ttqrt(A1.view(), A2.view(), T.view(), ib);
+  ttqrt_ref(A1r.view(), A2r.view(), Tr.view(), ib);
+
+  const double scale = 1.0 + norm_fro(A1r.cview());
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i <= j; ++i) {
+      EXPECT_NEAR(A1(i, j), A1r(i, j), 1e-12 * scale) << i << "," << j;
+      EXPECT_NEAR(A2(i, j), A2r(i, j), 1e-12 * scale) << i << "," << j;
+    }
+    // Poison below the diagonal must be bitwise untouched by both paths.
+    for (int i = j + 1; i < n; ++i) {
+      EXPECT_EQ(A2(i, j), 1e30);
+      EXPECT_EQ(A2r(i, j), 1e30);
+    }
+    for (int i = 0; i < std::min(ib, n); ++i)
+      EXPECT_NEAR(T(i, j), Tr(i, j), 1e-12) << "T at " << i << "," << j;
+  }
+
+  // Same cross-check for the update kernel, applied with the factored
+  // (still-poisoned) V2.
+  for (Trans trans : {Trans::Yes, Trans::No}) {
+    Matrix C1 = random_matrix(n, n, 8200 + n), C2 = random_matrix(n, n, 8300 + n);
+    Matrix C1r = C1, C2r = C2;
+    ttmqr(trans, C1.view(), C2.view(), A2.cview(), T.cview(), ib);
+    ttmqr_ref(trans, C1r.view(), C2r.view(), A2.cview(), T.cview(), ib);
+    const double cscale = 1.0 + norm_fro(C1r.cview()) + norm_fro(C2r.cview());
+    for (int j = 0; j < n; ++j)
+      for (int i = 0; i < n; ++i) {
+        EXPECT_NEAR(C1(i, j), C1r(i, j), 1e-12 * cscale);
+        EXPECT_NEAR(C2(i, j), C2r(i, j), 1e-12 * cscale);
+      }
+  }
+}
+
+TEST_P(QrKernelP, TtmqrRoundTripRestoresOperand) {
+  // Q^T then Q (and Q then Q^T) must restore [C1; C2]: the round-trip
+  // orthogonality check of the blocked TT pipeline.
+  const auto [n, ib] = GetParam();
+  Matrix A1 = random_upper(n, 9000 + n + ib);
+  Matrix A2 = random_upper(n, 9100 + n + ib);
+  Matrix T(ib, n);
+  ttqrt(A1.view(), A2.view(), T.view(), ib);
+  Matrix C1 = random_matrix(n, n, 9200 + n), C2 = random_matrix(n, n, 9300 + n);
+  Matrix C10 = C1, C20 = C2;
+  ttmqr(Trans::Yes, C1.view(), C2.view(), A2.cview(), T.cview(), ib);
+  ttmqr(Trans::No, C1.view(), C2.view(), A2.cview(), T.cview(), ib);
+  const double scale = 1.0 + norm_fro(C10.cview()) + norm_fro(C20.cview());
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < n; ++i) {
+      EXPECT_NEAR(C1(i, j), C10(i, j), 1e-12 * scale);
+      EXPECT_NEAR(C2(i, j), C20(i, j), 1e-12 * scale);
+    }
+}
+
+TEST(QrKernelEdge, TtmqrEmptyTrailingBlockIsANoop) {
+  // nc == 0 (an empty update block) must early-out without touching W
+  // scratch or the (empty) views.
+  const int n = 16, ib = 4;
+  Matrix A1 = random_upper(n, 9400), A2 = random_upper(n, 9410);
+  Matrix T(ib, n);
+  ttqrt(A1.view(), A2.view(), T.view(), ib);
+  Matrix C1(n, 0), C2(n, 0);
+  ttmqr(Trans::Yes, C1.view(), C2.view(), A2.cview(), T.cview(), ib);
+  SUCCEED();
+}
+
+TEST(QrKernelEdge, TtSingleColumnAndIbLargerThanN) {
+  // n == 1 (single column, single reflector) and ib > n (one short panel,
+  // kb == n < ib) must both work and agree with the reference.
+  for (const auto& [n, ib] : {std::pair{1, 1}, std::pair{1, 4},
+                              std::pair{5, 8}, std::pair{7, 16}}) {
+    Matrix A1 = random_upper(n, 9500 + n + ib);
+    Matrix A2 = random_upper(n, 9510 + n + ib);
+    Matrix A1r = A1, A2r = A2;
+    Matrix T(ib, n), Tr(ib, n);
+    ttqrt(A1.view(), A2.view(), T.view(), ib);
+    ttqrt_ref(A1r.view(), A2r.view(), Tr.view(), ib);
+    for (int j = 0; j < n; ++j)
+      for (int i = 0; i <= j; ++i) {
+        EXPECT_NEAR(A1(i, j), A1r(i, j), 1e-12) << n << " " << ib;
+        EXPECT_NEAR(A2(i, j), A2r(i, j), 1e-12) << n << " " << ib;
+      }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(
     SizesAndBlocking, QrKernelP,
     ::testing::Values(std::tuple{1, 1}, std::tuple{2, 1}, std::tuple{3, 2},
-                      std::tuple{8, 3}, std::tuple{16, 4}, std::tuple{16, 16},
-                      std::tuple{24, 8}, std::tuple{40, 7},
+                      std::tuple{7, 8}, std::tuple{8, 3}, std::tuple{16, 4},
+                      std::tuple{16, 16}, std::tuple{24, 8},
+                      std::tuple{33, 32}, std::tuple{40, 7},
                       std::tuple{64, 32}, std::tuple{64, 64}));
 
 TEST(QrKernelRect, GeqrtTallTile) {
