@@ -1,0 +1,33 @@
+#!/bin/sh
+# Record the current build's bench artifacts into bench/history/<sha>/.
+# Run from anywhere inside the repo after producing BENCH_gemm.json and
+# BENCH_kernels.json (both looked for in the current directory).
+set -eu
+
+repo_root=$(git rev-parse --show-toplevel)
+sha=$(git rev-parse --short HEAD)
+if ! git diff --quiet || ! git diff --cached --quiet; then
+  sha="${sha}-dirty"
+fi
+dest="${repo_root}/bench/history/${sha}"
+mkdir -p "${dest}"
+
+found=0
+for f in BENCH_gemm.json BENCH_kernels.json; do
+  if [ -f "${f}" ]; then
+    cp "${f}" "${dest}/"
+    found=1
+  fi
+done
+if [ "${found}" -eq 0 ]; then
+  echo "record.sh: no BENCH_*.json in $(pwd); run the benches first" >&2
+  exit 1
+fi
+
+{
+  echo "date: $(date -u +%Y-%m-%dT%H:%M:%SZ)"
+  echo "uname: $(uname -srm)"
+  grep -m1 'model name' /proc/cpuinfo 2>/dev/null || true
+} > "${dest}/meta.txt"
+
+echo "recorded $(ls "${dest}" | tr '\n' ' ')-> ${dest}"

@@ -12,6 +12,12 @@
 // BENCH_gemm.json, with the normalized weights attached) so kernel-weight
 // drift is diffable across PRs; see docs/EXPERIMENTS.md.
 //
+// Besides the TT comparison, the recursive-BLAS3-panel kernels
+// (GEQRT/GELQT/TSQRT/TSLQT) are timed head-to-head against their retained
+// level-2-panel *_ref implementations, so the panel speedup is re-measured
+// on the current machine with every run (acceptance floor: GEQRT >= 1.8x
+// at nb = 160, ib = 32).
+//
 // Usage: table1_kernels [--smoke] [--out PATH]
 #include <cstring>
 
@@ -113,6 +119,104 @@ void report_tt_speedup(int nb, int ib, int reps) {
   g_records.push_back(rm);
 }
 
+// Recursive-BLAS3-panel kernels vs the retained level-2-panel references,
+// timed head to head in this process (same operands, best-of-N).
+void report_panel_speedup(int nb, int ib, int reps) {
+  using namespace tbsvd::kernels;
+  Matrix t(ib, nb);
+
+  auto factor_time = [&](const Matrix& x1, auto&& fn) {
+    double best = 1e300;
+    for (int r = 0; r < reps; ++r) {
+      Matrix a = x1;
+      WallTimer w;
+      fn(a);
+      best = std::min(best, w.seconds());
+    }
+    return best;
+  };
+  auto pair_time = [&](const Matrix& x1, const Matrix& x2, auto&& fn) {
+    double best = 1e300;
+    for (int r = 0; r < reps; ++r) {
+      Matrix a = x1, b = x2;
+      WallTimer w;
+      fn(a, b);
+      best = std::min(best, w.seconds());
+    }
+    return best;
+  };
+
+  struct Row {
+    const char* name;
+    double ref, rec, flops;
+  };
+  std::vector<Row> rows;
+
+  Matrix ge = generate_random(nb, nb, 31);
+  rows.push_back({"GEQRT",
+                  factor_time(ge, [&](Matrix& a) {
+                    geqrt_ref(a.view(), t.view(), ib);
+                  }),
+                  factor_time(ge, [&](Matrix& a) {
+                    geqrt(a.view(), t.view(), ib);
+                  }),
+                  flops_geqrt(nb, nb)});
+  rows.push_back({"GELQT",
+                  factor_time(ge, [&](Matrix& a) {
+                    gelqt_ref(a.view(), t.view(), ib);
+                  }),
+                  factor_time(ge, [&](Matrix& a) {
+                    gelqt(a.view(), t.view(), ib);
+                  }),
+                  flops_geqrt(nb, nb)});
+
+  Matrix r1 = generate_random(nb, nb, 32), v2 = generate_random(nb, nb, 33);
+  for (int j = 0; j < nb; ++j)
+    for (int i = j + 1; i < nb; ++i) r1(i, j) = 0.0;
+  rows.push_back({"TSQRT",
+                  pair_time(r1, v2, [&](Matrix& a, Matrix& b) {
+                    tsqrt_ref(a.view(), b.view(), t.view(), ib);
+                  }),
+                  pair_time(r1, v2, [&](Matrix& a, Matrix& b) {
+                    tsqrt(a.view(), b.view(), t.view(), ib);
+                  }),
+                  flops_tsqrt(nb, nb)});
+  Matrix l1(nb, nb), v2l(nb, nb);
+  for (int j = 0; j < nb; ++j)
+    for (int i = 0; i < nb; ++i) {
+      l1(i, j) = (i >= j) ? r1(j, i) : 0.0;
+      v2l(i, j) = v2(j, i);
+    }
+  rows.push_back({"TSLQT",
+                  pair_time(l1, v2l, [&](Matrix& a, Matrix& b) {
+                    tslqt_ref(a.view(), b.view(), t.view(), ib);
+                  }),
+                  pair_time(l1, v2l, [&](Matrix& a, Matrix& b) {
+                    tslqt(a.view(), b.view(), t.view(), ib);
+                  }),
+                  flops_tsqrt(nb, nb)});
+
+  print_header("Panel kernels, level-2 ref vs recursive BLAS3 (nb=" +
+                   std::to_string(nb) + ", ib=" + std::to_string(ib) + ")",
+               {"kernel", "ref sec", "rec sec", "speedup"});
+  for (const Row& row : rows) {
+    std::printf("%14s%14.6f%14.6f%13.2fx\n", row.name, row.ref, row.rec,
+                row.ref / row.rec);
+    // Both sides of the head-to-head go into the artifact: _ref is the
+    // frozen level-2-panel kernel, _rec the recursive path (GELQT/TSLQT
+    // have no row in the Table-I section, so this is their only record).
+    for (const bool is_ref : {true, false}) {
+      Record r;
+      r.name = std::string(row.name) + (is_ref ? "_ref" : "_rec");
+      r.nb = nb;
+      r.ib = ib;
+      r.seconds = is_ref ? row.ref : row.rec;
+      r.gflops = row.flops / r.seconds / 1e9;
+      g_records.push_back(r);
+    }
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -131,11 +235,14 @@ int main(int argc, char** argv) {
   if (smoke) {
     report_table(160, 32, 2);
     report_tt_speedup(160, 32, 2);
+    report_panel_speedup(160, 32, 3);
   } else {
     report_table(160, 32, 5);
     report_table(128, 16, 5);
     report_table(64, 8, 5);
     report_tt_speedup(160, 32, 8);
+    report_panel_speedup(160, 32, 10);
+    report_panel_speedup(128, 16, 10);
   }
   return write_json(out, g_records) ? 0 : 1;
 }

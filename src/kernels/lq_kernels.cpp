@@ -5,6 +5,7 @@
 
 #include "common/check.hpp"
 #include "lac/householder.hpp"
+#include "lac/qr_rec.hpp"
 
 namespace tbsvd::kernels {
 
@@ -13,19 +14,11 @@ namespace {
 thread_local std::vector<double> g_tau;
 thread_local std::vector<double> g_w;
 thread_local std::vector<double> g_gram;  // V2 V2^T Gram block in ttlqt
+thread_local Matrix g_apply_work;         // larfb_right_rows / larfb_ts
 
 double* scratch(std::vector<double>& v, std::size_t n) {
   if (v.size() < n) v.resize(n);
   return v.data();
-}
-
-// W -= W2 element-wise helper for subtracting triangular products.
-void sub_inplace(MatrixView C, ConstMatrixView W) {
-  for (int j = 0; j < C.n; ++j) {
-    double* cj = C.col(j);
-    const double* wj = W.col(j);
-    for (int i = 0; i < C.m; ++i) cj[i] -= wj[i];
-  }
 }
 
 }  // namespace
@@ -35,6 +28,26 @@ void gelqt(MatrixView A, MatrixView T, int ib) {
   const int k = std::min(m, n);
   TBSVD_CHECK(ib >= 1 && T.m >= std::min(ib, k) && T.n >= k,
               "gelqt: bad ib or T shape");
+
+  for (int i0 = 0; i0 < k; i0 += ib) {
+    const int kb = std::min(ib, k - i0);
+    // --- Recursive BLAS3 row panel (factor + T in one pass). ---
+    MatrixView Tp = T.block(0, i0, kb, kb);
+    gelqf_rec(A.block(i0, i0, kb, n - i0), Tp);
+    // --- Apply the block reflector to trailing rows. ---
+    const int mr = m - i0 - kb;
+    if (mr > 0) {
+      larfb_right_rows(Trans::Yes, A.block(i0, i0, kb, n - i0), Tp,
+                       A.block(i0 + kb, i0, mr, n - i0), g_apply_work);
+    }
+  }
+}
+
+void gelqt_ref(MatrixView A, MatrixView T, int ib) {
+  const int m = A.m, n = A.n;
+  const int k = std::min(m, n);
+  TBSVD_CHECK(ib >= 1 && T.m >= std::min(ib, k) && T.n >= k,
+              "gelqt_ref: bad ib or T shape");
   double* tau = scratch(g_tau, static_cast<std::size_t>(k));
 
   for (int i0 = 0; i0 < k; i0 += ib) {
@@ -84,8 +97,6 @@ void gelqt(MatrixView A, MatrixView T, int ib) {
         gemm(Trans::No, Trans::Yes, 1.0, Cb, V2p, 1.0, W);
       }
       trmm_right(UpLo::Upper, Trans::No, Diag::NonUnit, W, Tp);
-      // Trailing-block update first (it needs the untouched W), then the
-      // triangular product in place — W is dead afterwards, so no copy.
       if (ntail > 0) {
         ConstMatrixView V2p = A.block(i0, i0 + kb, kb, ntail);
         gemm(Trans::No, Trans::No, -1.0, W, V2p, 1.0,
@@ -101,7 +112,6 @@ void unmlq(Trans trans, ConstMatrixView V, ConstMatrixView T, MatrixView C,
            int ib) {
   const int k = std::min(V.m, V.n);
   const int n = V.n;
-  const int mc = C.m;
   TBSVD_CHECK(C.n == n, "unmlq: V/C column mismatch");
   const int npanels = (k + ib - 1) / ib;
   for (int b = 0; b < npanels; ++b) {
@@ -109,26 +119,9 @@ void unmlq(Trans trans, ConstMatrixView V, ConstMatrixView T, MatrixView C,
     const int pb = (trans == Trans::Yes) ? b : npanels - 1 - b;
     const int i0 = pb * ib;
     const int kb = std::min(ib, k - i0);
-    ConstMatrixView V1 = V.block(i0, i0, kb, kb);
-    MatrixView Ca = C.block(0, i0, mc, kb);
-    MatrixView W{scratch(g_w, static_cast<std::size_t>(mc) * kb), mc, kb, mc};
-    copy(Ca, W);
-    trmm_right(UpLo::Upper, Trans::Yes, Diag::Unit, W, V1);
-    const int ntail = n - i0 - kb;
-    if (ntail > 0) {
-      gemm(Trans::No, Trans::Yes, 1.0, C.block(0, i0 + kb, mc, ntail),
-           V.block(i0, i0 + kb, kb, ntail), 1.0, W);
-    }
-    trmm_right(UpLo::Upper, trans == Trans::Yes ? Trans::No : Trans::Yes,
-               Diag::NonUnit, W, T.block(0, i0, kb, kb));
-    // Trailing-block update first (it needs the untouched W), then the
-    // triangular product in place — W is dead afterwards, so no copy.
-    if (ntail > 0) {
-      gemm(Trans::No, Trans::No, -1.0, W, V.block(i0, i0 + kb, kb, ntail),
-           1.0, C.block(0, i0 + kb, mc, ntail));
-    }
-    trmm_right(UpLo::Upper, Trans::No, Diag::Unit, W, V1);
-    sub_inplace(Ca, W);
+    larfb_right_rows(trans, V.block(i0, i0, kb, n - i0),
+                     T.block(0, i0, kb, kb), C.block(0, i0, C.m, n - i0),
+                     g_apply_work);
   }
 }
 
@@ -136,6 +129,37 @@ void tslqt(MatrixView A1, MatrixView A2, MatrixView T, int ib) {
   const int n1 = A1.m;
   const int m2 = A2.n;
   TBSVD_CHECK(A1.n == n1 && A2.m == n1, "tslqt: shape mismatch");
+
+  for (int i0 = 0; i0 < n1; i0 += ib) {
+    const int kb = std::min(ib, n1 - i0);
+    // --- Recursive BLAS3 row panel: reflectors live in A2's rows, T comes
+    // out of the recursion. ---
+    MatrixView Tp = T.block(0, i0, kb, kb);
+    tslqf_rec(A1.block(i0, i0, kb, kb), A2.block(i0, 0, kb, m2), Tp);
+    // --- Trailing rows of [A1 | A2] (identity V1 part: no trmm). ---
+    const int mr = n1 - i0 - kb;
+    if (mr > 0) {
+      larfb_ts(Side::Right, Trans::Yes, A2.block(i0, 0, kb, m2), Tp,
+               A1.block(i0 + kb, i0, mr, kb), A2.block(i0 + kb, 0, mr, m2),
+               g_apply_work);
+    }
+  }
+}
+
+void tslqt_ref(MatrixView A1, MatrixView A2, MatrixView T, int ib) {
+  const int n1 = A1.m;
+  const int m2 = A2.n;
+  TBSVD_CHECK(A1.n == n1 && A2.m == n1, "tslqt_ref: shape mismatch");
+  if (m2 == 0) {
+    // Empty-edge tile: identity reflectors, L untouched, T triangles zero.
+    for (int i0 = 0; i0 < n1; i0 += ib) {
+      const int kb = std::min(ib, n1 - i0);
+      MatrixView Tp = T.block(0, i0, kb, kb);
+      for (int il = 0; il < kb; ++il)
+        for (int pl = 0; pl <= il; ++pl) Tp(pl, il) = 0.0;
+    }
+    return;
+  }
   double* tau = scratch(g_tau, static_cast<std::size_t>(n1));
 
   for (int i0 = 0; i0 < n1; i0 += ib) {
@@ -194,16 +218,9 @@ void tsmlq(Trans trans, MatrixView C1, MatrixView C2, ConstMatrixView V2,
     const int pb = (trans == Trans::Yes) ? b : npanels - 1 - b;
     const int i0 = pb * ib;
     const int kb = std::min(ib, k - i0);
-    ConstMatrixView V2p = V2.block(i0, 0, kb, m2);
-    ConstMatrixView Tp = T.block(0, i0, kb, kb);
-    MatrixView C1p = C1.block(0, i0, mc, kb);
-    MatrixView W{scratch(g_w, static_cast<std::size_t>(mc) * kb), mc, kb, mc};
-    copy(C1p, W);
-    gemm(Trans::No, Trans::Yes, 1.0, C2, V2p, 1.0, W);
-    trmm_right(UpLo::Upper, trans == Trans::Yes ? Trans::No : Trans::Yes,
-               Diag::NonUnit, W, Tp);
-    sub_inplace(C1p, W);
-    gemm(Trans::No, Trans::No, -1.0, W, V2p, 1.0, C2);
+    larfb_ts(Side::Right, trans, V2.block(i0, 0, kb, m2),
+             T.block(0, i0, kb, kb), C1.block(0, i0, mc, kb), C2,
+             g_apply_work);
   }
 }
 

@@ -20,7 +20,8 @@
 namespace tbsvd::kernels {
 
 /// LQ of an m x n tile: L in the lower triangle, row reflectors above the
-/// diagonal; T is ib x m (one triangle per row panel).
+/// diagonal; T is ib x m (one triangle per row panel). Row panels are
+/// factored by the recursive BLAS3 path (lac/qr_rec.hpp).
 void gelqt(MatrixView A, MatrixView T, int ib);
 
 /// C := C Q^T (Trans::Yes) or C Q, with (V, T) from gelqt; C.n == V.n.
@@ -47,6 +48,12 @@ void ttlqt(MatrixView A1, MatrixView A2, MatrixView T, int ib);
 /// and V2 must all have exactly k = V2.m columns (triangular-tile contract).
 void ttmlq(Trans trans, MatrixView C1, MatrixView C2, ConstMatrixView V2,
            ConstMatrixView T, int ib);
+
+/// Reference kernels with level-2 (gelq2-style) panel factorization,
+/// retained for test cross-validation of the recursive BLAS3 panel path
+/// and for re-measuring the panel speedup; not on the execution path.
+void gelqt_ref(MatrixView A, MatrixView T, int ib);
+void tslqt_ref(MatrixView A1, MatrixView A2, MatrixView T, int ib);
 
 /// Reference level-2 TT kernels (per-row-support gemv/axpy loops), retained
 /// for test cross-validation of the blocked path; not on the hot path.

@@ -5,6 +5,7 @@
 
 #include "common/check.hpp"
 #include "lac/householder.hpp"
+#include "lac/qr_rec.hpp"
 #include "lac/qr_ref.hpp"
 
 namespace tbsvd::kernels {
@@ -41,6 +42,25 @@ void geqrt(MatrixView A, MatrixView T, int ib) {
   const int k = std::min(m, n);
   TBSVD_CHECK(ib >= 1 && T.m >= std::min(ib, k) && T.n >= k,
               "geqrt: bad ib or T shape");
+  reserve_larfb_work(n - std::min(ib, k), std::min(ib, k));
+  for (int j0 = 0; j0 < k; j0 += ib) {
+    const int kb = std::min(ib, k - j0);
+    MatrixView panel = A.block(j0, j0, m - j0, kb);
+    MatrixView Tp = T.block(0, j0, kb, kb);
+    // Recursive BLAS3 panel: V, R and the full kb x kb T in one pass.
+    geqrf_rec(panel, Tp);
+    if (j0 + kb < n) {
+      larfb_left_t(Trans::Yes, panel, Tp,
+                   A.block(j0, j0 + kb, m - j0, n - j0 - kb), g_larfb_work);
+    }
+  }
+}
+
+void geqrt_ref(MatrixView A, MatrixView T, int ib) {
+  const int m = A.m, n = A.n;
+  const int k = std::min(m, n);
+  TBSVD_CHECK(ib >= 1 && T.m >= std::min(ib, k) && T.n >= k,
+              "geqrt_ref: bad ib or T shape");
   double* tau = scratch(g_tau, static_cast<std::size_t>(k));
   reserve_larfb_work(std::min(ib, k), n - std::min(ib, k));
   for (int j0 = 0; j0 < k; j0 += ib) {
@@ -60,16 +80,16 @@ void unmqr(Trans trans, ConstMatrixView V, ConstMatrixView T, MatrixView C,
            int ib) {
   const int k = std::min(V.m, V.n);
   TBSVD_CHECK(V.m == C.m, "unmqr: V/C row mismatch");
-  reserve_larfb_work(std::min(ib, k), C.n);
+  reserve_larfb_work(C.n, std::min(ib, k));
   const int npanels = (k + ib - 1) / ib;
   for (int b = 0; b < npanels; ++b) {
     // Q^T C applies panels forward; Q C applies them backward.
     const int pb = (trans == Trans::Yes) ? b : npanels - 1 - b;
     const int j0 = pb * ib;
     const int kb = std::min(ib, k - j0);
-    larfb(Side::Left, trans, V.block(j0, j0, V.m - j0, kb),
-          T.block(0, j0, kb, kb), C.block(j0, 0, C.m - j0, C.n),
-          g_larfb_work);
+    larfb_left_t(trans, V.block(j0, j0, V.m - j0, kb),
+                 T.block(0, j0, kb, kb), C.block(j0, 0, C.m - j0, C.n),
+                 g_larfb_work);
   }
 }
 
@@ -77,6 +97,40 @@ void tsqrt(MatrixView A1, MatrixView A2, MatrixView T, int ib) {
   const int n = A1.n;
   const int m2 = A2.m;
   TBSVD_CHECK(A1.m == n && A2.n == n, "tsqrt: shape mismatch");
+
+  for (int j0 = 0; j0 < n; j0 += ib) {
+    const int kb = std::min(ib, n - j0);
+    // --- Recursive BLAS3 panel: reflectors live entirely in A2's columns,
+    // and the full kb x kb T triangle comes out of the recursion. ---
+    MatrixView Tp = T.block(0, j0, kb, kb);
+    tsqrf_rec(A1.block(j0, j0, kb, kb), A2.block(0, j0, m2, kb), Tp);
+    // --- Apply the block reflector to trailing columns of [A1; A2]
+    // (larfb_ts keeps its workspace transposed so the T product runs on
+    // the vectorizable trmm_right sweep). ---
+    const int nc = n - j0 - kb;
+    if (nc > 0) {
+      ConstMatrixView V2p{A2.col(j0), m2, kb, A2.ld};
+      larfb_ts(Side::Left, Trans::Yes, V2p, Tp,
+               A1.block(j0, j0 + kb, kb, nc), A2.block(0, j0 + kb, m2, nc),
+               g_larfb_work);
+    }
+  }
+}
+
+void tsqrt_ref(MatrixView A1, MatrixView A2, MatrixView T, int ib) {
+  const int n = A1.n;
+  const int m2 = A2.m;
+  TBSVD_CHECK(A1.m == n && A2.n == n, "tsqrt_ref: shape mismatch");
+  if (m2 == 0) {
+    // Empty-edge tile: identity reflectors, R untouched, T triangles zero.
+    for (int j0 = 0; j0 < n; j0 += ib) {
+      const int kb = std::min(ib, n - j0);
+      MatrixView Tp = T.block(0, j0, kb, kb);
+      for (int jl = 0; jl < kb; ++jl)
+        for (int il = 0; il <= jl; ++il) Tp(il, jl) = 0.0;
+    }
+    return;
+  }
   double* tau = scratch(g_tau, static_cast<std::size_t>(n));
 
   for (int j0 = 0; j0 < n; j0 += ib) {
@@ -138,15 +192,8 @@ void tsmqr(Trans trans, MatrixView C1, MatrixView C2, ConstMatrixView V2,
     const int kb = std::min(ib, k - j0);
     ConstMatrixView V2p{V2.col(j0), m2, kb, V2.ld};
     ConstMatrixView Tp = T.block(0, j0, kb, kb);
-    MatrixView C1p = C1.block(j0, 0, kb, nc);
-    MatrixView W{scratch(g_w, static_cast<std::size_t>(kb) * nc), kb, nc, kb};
-    copy(C1p, W);
-    gemm(Trans::Yes, Trans::No, 1.0, V2p, C2, 1.0, W);
-    trmm_left(UpLo::Upper, trans, Diag::NonUnit, Tp, W);
-    for (int j = 0; j < nc; ++j) {
-      for (int i = 0; i < kb; ++i) C1p(i, j) -= W(i, j);
-    }
-    gemm(Trans::No, Trans::No, -1.0, V2p, W, 1.0, C2);
+    larfb_ts(Side::Left, trans, V2p, Tp, C1.block(j0, 0, kb, nc), C2,
+             g_larfb_work);
   }
 }
 
@@ -200,23 +247,23 @@ void ttqrt(MatrixView A1, MatrixView A2, MatrixView T, int ib) {
       }
       Tp(jl, jl) = tau[j0 + jl];
     }
-    // --- Trailing update: W = C1 + V2p^T C2, C2 -= V2p W, both through the
-    // masked BLAS3 path. Rows 0..mv-1 of every trailing column are valid R
-    // data (the column's own support reaches further right), so the dense
-    // writes never touch unrelated storage. ---
+    // --- Trailing update: W = (C1 + V2p^T C2)^T, C2 -= V2p W^T, both
+    // through the masked BLAS3 path with a transposed workspace (the T
+    // product rides the vectorizable trmm_right sweep). Rows 0..mv-1 of
+    // every trailing column are valid R data (the column's own support
+    // reaches further right), so the dense writes never touch unrelated
+    // storage. ---
     const int nc = n - j0 - kb;
     if (nc > 0) {
       MatrixView C1 = A1.block(j0, j0 + kb, kb, nc);
       MatrixView C2 = A2.block(0, j0 + kb, mv, nc);
-      MatrixView W{scratch(g_w, static_cast<std::size_t>(kb) * nc), kb, nc, kb};
-      copy(C1, W);
-      gemm_trap(Trans::Yes, Trans::No, 1.0, V2p, C2, 1.0, W, TrapSide::A,
+      MatrixView W{scratch(g_w, static_cast<std::size_t>(kb) * nc), nc, kb, nc};
+      transpose(C1, W);
+      gemm_trap(Trans::Yes, Trans::No, 1.0, C2, V2p, 1.0, W, TrapSide::B,
                 UpLo::Upper, j0);
-      trmm_left(UpLo::Upper, Trans::Yes, Diag::NonUnit, Tp, W);
-      for (int j = 0; j < nc; ++j) {
-        for (int i = 0; i < kb; ++i) C1(i, j) -= W(i, j);
-      }
-      gemm_trap(Trans::No, Trans::No, -1.0, V2p, W, 1.0, C2, TrapSide::A,
+      trmm_right(UpLo::Upper, Trans::No, Diag::NonUnit, W, Tp);
+      sub_transposed(C1, W);
+      gemm_trap(Trans::No, Trans::Yes, -1.0, V2p, W, 1.0, C2, TrapSide::A,
                 UpLo::Upper, j0);
     }
   }
@@ -244,15 +291,14 @@ void ttmqr(Trans trans, MatrixView C1, MatrixView C2, ConstMatrixView V2,
     ConstMatrixView Tp = T.block(0, j0, kb, kb);
     MatrixView C1p = C1.block(j0, 0, kb, nc);
     MatrixView C2p = C2.block(0, 0, mv, nc);
-    MatrixView W{scratch(g_w, static_cast<std::size_t>(kb) * nc), kb, nc, kb};
-    copy(C1p, W);
-    gemm_trap(Trans::Yes, Trans::No, 1.0, V2p, C2p, 1.0, W, TrapSide::A,
+    MatrixView W{scratch(g_w, static_cast<std::size_t>(kb) * nc), nc, kb, nc};
+    transpose(C1p, W);
+    gemm_trap(Trans::Yes, Trans::No, 1.0, C2p, V2p, 1.0, W, TrapSide::B,
               UpLo::Upper, j0);
-    trmm_left(UpLo::Upper, trans, Diag::NonUnit, Tp, W);
-    for (int j = 0; j < nc; ++j) {
-      for (int i = 0; i < kb; ++i) C1p(i, j) -= W(i, j);
-    }
-    gemm_trap(Trans::No, Trans::No, -1.0, V2p, W, 1.0, C2p, TrapSide::A,
+    trmm_right(UpLo::Upper, trans == Trans::Yes ? Trans::No : Trans::Yes,
+               Diag::NonUnit, W, Tp);
+    sub_transposed(C1p, W);
+    gemm_trap(Trans::No, Trans::Yes, -1.0, V2p, W, 1.0, C2p, TrapSide::A,
               UpLo::Upper, j0);
   }
 }

@@ -24,6 +24,8 @@ namespace tbsvd::kernels {
 
 /// QR of an m x n tile. On exit A holds R (upper) and V (below diagonal);
 /// T (ib x n, ld >= ib) holds the panel T triangles. 1 <= ib <= n.
+/// Panels are factored by the recursive BLAS3 path (lac/qr_rec.hpp), which
+/// also produces each panel's T directly (no separate larft pass).
 void geqrt(MatrixView A, MatrixView T, int ib);
 
 /// C := Q^T C (Trans::Yes) or Q C, with (V, T) from geqrt(A) where V is the
@@ -51,6 +53,14 @@ void ttqrt(MatrixView A1, MatrixView A2, MatrixView T, int ib);
 /// V2 must all have exactly k = V2.n rows (the triangular-tile contract).
 void ttmqr(Trans trans, MatrixView C1, MatrixView C2, ConstMatrixView V2,
            ConstMatrixView T, int ib);
+
+/// Reference kernels with level-2 (geqr2-style) panel factorization: the
+/// pre-recursive formulation, retained so the tests can cross-validate the
+/// recursive BLAS3 panel path against an independent implementation and so
+/// the benches can re-measure the panel speedup on the current machine.
+/// Not on the execution path.
+void geqrt_ref(MatrixView A, MatrixView T, int ib);
+void tsqrt_ref(MatrixView A1, MatrixView A2, MatrixView T, int ib);
 
 /// Reference level-2 TT kernels (per-column-support gemv/axpy loops, the
 /// pre-BLAS3 formulation). Retained so tests can cross-validate the blocked

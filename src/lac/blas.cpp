@@ -182,8 +182,13 @@ void gemm(Trans ta, Trans tb, double alpha, ConstMatrixView A,
 
   // Packing only pays off once the product is big enough; the ib-panel
   // products inside geqrt/tsqrt (k <= ib slivers, tiny C blocks) go direct.
-  const bool small = (ka <= detail::kSmallK) ||
-                     (static_cast<long long>(C.m) * C.n <= detail::kSmallMN);
+  // A tiny C with a long accumulation dimension (the recursive panels' base
+  // applies: 8x8 output, k = tile height) still wants the packed kernel —
+  // the dot-ordered loops are latency-bound there.
+  const bool small =
+      (ka <= detail::kSmallK) ||
+      (static_cast<long long>(C.m) * C.n <= detail::kSmallMN &&
+       ka <= detail::kSmallDirectK);
   if (small) {
     gemm_small(ta, tb, alpha, A, B, C);
     return;
@@ -204,8 +209,10 @@ void gemm_trap(Trans ta, Trans tb, double alpha, ConstMatrixView A,
   if (alpha == 0.0 || ka == 0 || C.m == 0 || C.n == 0) return;
 
   const bool upper = (uplo == UpLo::Upper);
-  const bool small = (ka <= detail::kSmallK) ||
-                     (static_cast<long long>(C.m) * C.n <= detail::kSmallMN);
+  const bool small =
+      (ka <= detail::kSmallK) ||
+      (static_cast<long long>(C.m) * C.n <= detail::kSmallMN &&
+       ka <= detail::kSmallDirectK);
   if (small) {
     // Densify the masked operand into scratch (valid support copied,
     // everything else zeroed) and reuse the direct loops: masked packing
@@ -322,6 +329,7 @@ void scal(int n, double a, double* x, int incx) noexcept {
 
 void copy(ConstMatrixView A, MatrixView B) {
   TBSVD_CHECK(A.m == B.m && A.n == B.n, "copy shape mismatch");
+  if (A.m == 0) return;  // empty views may be null-backed; memcpy rejects null
   for (int j = 0; j < A.n; ++j) {
     std::memcpy(B.col(j), A.col(j), static_cast<std::size_t>(A.m) * sizeof(double));
   }
@@ -332,6 +340,23 @@ void transpose(ConstMatrixView A, MatrixView B) {
   for (int j = 0; j < A.n; ++j) {
     const double* aj = A.col(j);
     for (int i = 0; i < A.m; ++i) B(j, i) = aj[i];
+  }
+}
+
+void sub_inplace(MatrixView C, ConstMatrixView W) {
+  TBSVD_CHECK(C.m == W.m && C.n == W.n, "sub_inplace shape mismatch");
+  for (int j = 0; j < C.n; ++j) {
+    double* cj = C.col(j);
+    const double* wj = W.col(j);
+    for (int i = 0; i < C.m; ++i) cj[i] -= wj[i];
+  }
+}
+
+void sub_transposed(MatrixView C, ConstMatrixView W) {
+  TBSVD_CHECK(C.m == W.n && C.n == W.m, "sub_transposed shape mismatch");
+  for (int j = 0; j < C.n; ++j) {
+    double* cj = C.col(j);
+    for (int i = 0; i < C.m; ++i) cj[i] -= W(j, i);
   }
 }
 

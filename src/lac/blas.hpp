@@ -64,6 +64,12 @@ void copy(ConstMatrixView A, MatrixView B);
 /// B := A^T.
 void transpose(ConstMatrixView A, MatrixView B);
 
+/// C -= W elementwise (the block-reflector "subtract the W product" step).
+void sub_inplace(MatrixView C, ConstMatrixView W);
+
+/// C -= W^T (same step for the transposed-workspace applies).
+void sub_transposed(MatrixView C, ConstMatrixView W);
+
 /// Frobenius norm of a view.
 [[nodiscard]] double norm_fro(ConstMatrixView A) noexcept;
 

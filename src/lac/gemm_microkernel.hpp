@@ -45,9 +45,13 @@ inline constexpr int kNC = 1024;
 
 // Shapes below this are served by the direct (un-packed) loops in blas.cpp:
 // packing costs more than it saves on the skinny ib-panel products inside
-// geqrt/tsqrt.
+// geqrt/tsqrt. A tiny m x n output only stays on the direct path while the
+// accumulation dimension is short too (<= kSmallDirectK): the recursive
+// panels' base-level applies produce 8x8 outputs with k = tile height,
+// where the latency-bound dot loops run ~4x slower than the packed kernel.
 inline constexpr int kSmallK = 4;
 inline constexpr int kSmallMN = 64;
+inline constexpr int kSmallDirectK = 64;
 
 /// Grow-only 64-byte-aligned buffer; one per thread per panel role, so the
 /// packing storage is reused across gemm calls like the kernel scratch in

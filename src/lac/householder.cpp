@@ -174,4 +174,103 @@ void larfb(Side side, Trans trans, ConstMatrixView V, ConstMatrixView T,
   }
 }
 
+void larfb_left_t(Trans trans, ConstMatrixView V, ConstMatrixView T,
+                  MatrixView C, Matrix& work) {
+  const int k = V.n;
+  const int m = C.m, n = C.n;
+  if (k == 0 || n == 0) return;
+  TBSVD_CHECK(V.m == m, "larfb_left_t: V/C row mismatch");
+  if (work.rows() < n || work.cols() < k) {
+    work = Matrix(std::max(work.rows(), n), std::max(work.cols(), k));
+  }
+  // W (n x k) := (V^T C)^T = C1^T V1 + C2^T V2.
+  MatrixView W = work.view().block(0, 0, n, k);
+  transpose(C.block(0, 0, k, n), W);
+  trmm_right(UpLo::Lower, Trans::No, Diag::Unit, W, V.block(0, 0, k, k));
+  if (m > k) {
+    gemm(Trans::Yes, Trans::No, 1.0, C.block(k, 0, m - k, n),
+         V.block(k, 0, m - k, k), 1.0, W);
+  }
+  // W := W op(T)^T  (the transpose of larfb's W := op(T) W).
+  trmm_right(UpLo::Upper, trans == Trans::Yes ? Trans::No : Trans::Yes,
+             Diag::NonUnit, W, T.block(0, 0, k, k));
+  // C2 -= V2 W^T, then C1 -= (W V1^T)^T with the triangular product formed
+  // in place (W is dead afterwards).
+  if (m > k) {
+    gemm(Trans::No, Trans::Yes, -1.0, V.block(k, 0, m - k, k), W, 1.0,
+         C.block(k, 0, m - k, n));
+  }
+  trmm_right(UpLo::Lower, Trans::Yes, Diag::Unit, W, V.block(0, 0, k, k));
+  sub_transposed(C.block(0, 0, k, n), W);
+}
+
+void larfb_right_rows(Trans trans, ConstMatrixView V, ConstMatrixView T,
+                      MatrixView C, Matrix& work) {
+  const int k = V.m, n = V.n;
+  const int mc = C.m;
+  if (k == 0 || mc == 0) return;
+  TBSVD_CHECK(C.n == n, "larfb_right_rows: V/C column mismatch");
+  if (work.rows() < mc || work.cols() < k) {
+    work = Matrix(std::max(work.rows(), mc), std::max(work.cols(), k));
+  }
+  // W (mc x k) := C1 V1u + C2 V2^T.
+  MatrixView W = work.view().block(0, 0, mc, k);
+  MatrixView Ca = C.block(0, 0, mc, k);
+  copy(Ca, W);
+  trmm_right(UpLo::Upper, Trans::Yes, Diag::Unit, W, V.block(0, 0, k, k));
+  const int ntail = n - k;
+  if (ntail > 0) {
+    gemm(Trans::No, Trans::Yes, 1.0, C.block(0, k, mc, ntail),
+         V.block(0, k, k, ntail), 1.0, W);
+  }
+  // Forward application (Trans::Yes) uses T; backward uses T^T.
+  trmm_right(UpLo::Upper, trans == Trans::Yes ? Trans::No : Trans::Yes,
+             Diag::NonUnit, W, T.block(0, 0, k, k));
+  // Tail block first (it needs the untouched W), then the triangular
+  // product in place — W is dead afterwards, so no copy.
+  if (ntail > 0) {
+    gemm(Trans::No, Trans::No, -1.0, W, V.block(0, k, k, ntail), 1.0,
+         C.block(0, k, mc, ntail));
+  }
+  trmm_right(UpLo::Upper, Trans::No, Diag::Unit, W, V.block(0, 0, k, k));
+  sub_inplace(Ca, W);
+}
+
+void larfb_ts(Side side, Trans trans, ConstMatrixView V, ConstMatrixView T,
+              MatrixView C1, MatrixView C2, Matrix& work) {
+  const Trans ttrans = (trans == Trans::Yes) ? Trans::No : Trans::Yes;
+  if (side == Side::Left) {
+    const int k = V.n, nc = C1.n;
+    if (k == 0 || nc == 0) return;
+    TBSVD_CHECK(C1.m == k && C2.m == V.m && C2.n == nc,
+                "larfb_ts left: shape mismatch");
+    if (work.rows() < nc || work.cols() < k) {
+      work = Matrix(std::max(work.rows(), nc), std::max(work.cols(), k));
+    }
+    // W (nc x k) := (C1 + V^T C2)^T, transposed so the T product rides the
+    // vectorizable trmm_right sweep.
+    MatrixView W = work.view().block(0, 0, nc, k);
+    transpose(C1, W);
+    gemm(Trans::Yes, Trans::No, 1.0, C2, V, 1.0, W);
+    trmm_right(UpLo::Upper, ttrans, Diag::NonUnit, W, T.block(0, 0, k, k));
+    sub_transposed(C1, W);
+    gemm(Trans::No, Trans::Yes, -1.0, V, W, 1.0, C2);
+  } else {
+    const int k = V.m, mc = C1.m;
+    if (k == 0 || mc == 0) return;
+    TBSVD_CHECK(C1.n == k && C2.m == mc && C2.n == V.n,
+                "larfb_ts right: shape mismatch");
+    if (work.rows() < mc || work.cols() < k) {
+      work = Matrix(std::max(work.rows(), mc), std::max(work.cols(), k));
+    }
+    // W (mc x k) := C1 + C2 V^T (already the fast orientation).
+    MatrixView W = work.view().block(0, 0, mc, k);
+    copy(C1, W);
+    gemm(Trans::No, Trans::Yes, 1.0, C2, V, 1.0, W);
+    trmm_right(UpLo::Upper, ttrans, Diag::NonUnit, W, T.block(0, 0, k, k));
+    sub_inplace(C1, W);
+    gemm(Trans::No, Trans::No, -1.0, W, V, 1.0, C2);
+  }
+}
+
 }  // namespace tbsvd

@@ -38,4 +38,35 @@ enum class Side { Left, Right };
 void larfb(Side side, Trans trans, ConstMatrixView V, ConstMatrixView T,
            MatrixView C, Matrix& work);
 
+/// Left-side larfb with a transposed (C.n x k) workspace: mathematically
+/// identical to larfb(Side::Left, ...), but every triangular product runs
+/// through the axpy-ordered trmm_right sweeps, whose unit-stride columns
+/// vectorize over the long dimension. The column-at-a-time trmm_left
+/// sweeps are store-to-load dependency bound at the small k these applies
+/// use (k = ib..nb), which caps the plain larfb well below gemm speed.
+/// Used by the recursive panel path and the QR-side tile kernels.
+void larfb_left_t(Trans trans, ConstMatrixView V, ConstMatrixView T,
+                  MatrixView C, Matrix& work);
+
+/// Right-side block apply for row-stored reflectors (the GELQT family):
+/// C := C op(Q) with V = [V1u | V2] (k x n, unit upper trapezoidal rows)
+/// and T from gelqf_rec/gelqt. trans == Trans::Yes applies the reflectors
+/// forward (H_1 first, the factorization direction), Trans::No backward.
+/// Shared by gelqt's trailing update, unmlq and gelqf_rec's recursion.
+void larfb_right_rows(Trans trans, ConstMatrixView V, ConstMatrixView T,
+                      MatrixView C, Matrix& work);
+
+/// Apply a TS-structured block reflector (identity top/left part, dense
+/// tails in V) to a pair of blocks, through the fast workspace
+/// orientation:
+///   Side::Left : [C1; C2] := op(Q) [C1; C2], V (m2 x k) column tails,
+///                C1 (k x nc), C2 (m2 x nc); W is held transposed.
+///   Side::Right: [C1 | C2] := [C1 | C2] op(Q), V (k x m2) row tails,
+///                C1 (mc x k), C2 (mc x m2).
+/// trans == Trans::Yes applies the reflectors forward as above. Shared by
+/// the TSQRT/TSLQT trailing updates, TSMQR/TSMLQ panels and the TS
+/// recursion.
+void larfb_ts(Side side, Trans trans, ConstMatrixView V, ConstMatrixView T,
+              MatrixView C1, MatrixView C2, Matrix& work);
+
 }  // namespace tbsvd

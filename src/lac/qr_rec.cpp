@@ -1,0 +1,285 @@
+#include "lac/qr_rec.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.hpp"
+#include "lac/householder.hpp"
+
+namespace tbsvd {
+
+namespace {
+
+// Per-thread scratch, grow-only, shared across every recursion depth: each
+// buffer's contents are fully consumed before the routine returns to its
+// caller, so depths never hold live data concurrently. Sized by the widest
+// use at the current depth.
+thread_local std::vector<double> g_tau;    // base-case reflector scalars
+thread_local std::vector<double> g_work;   // base-case larf workspace
+thread_local std::vector<double> g_merge;  // G = cross-Gram block in merges
+thread_local Matrix g_larfb_work;          // workspace for the block applies
+
+double* scratch(std::vector<double>& v, std::size_t n) {
+  if (v.size() < n) v.resize(n);
+  return v.data();
+}
+
+// T's upper k x k triangle := 0 (the empty-edge identity-reflector case).
+void zero_t_triangle(MatrixView T, int k) {
+  for (int j = 0; j < k; ++j)
+    for (int i = 0; i <= j; ++i) T(i, j) = 0.0;
+}
+
+// Writes T(0:h, h:h+k2) := -op, consuming the merge buffer G in place.
+void store_merge_block(MatrixView T, ConstMatrixView G, int h, int k2) {
+  for (int j = 0; j < k2; ++j) {
+    for (int i = 0; i < h; ++i) T(i, h + j) = -G(i, j);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Base cases: the classical unblocked sweeps (identical arithmetic to the
+// pre-recursive kernel panel loops), plus the in-place T accumulation.
+// ---------------------------------------------------------------------------
+
+// Unblocked QR of A applied to all n columns; T := larft of the k vectors.
+void base_geqrf(MatrixView A, MatrixView T) {
+  const int m = A.m, n = A.n;
+  const int k = std::min(m, n);
+  double* tau = scratch(g_tau, static_cast<std::size_t>(k));
+  double* work = scratch(g_work, static_cast<std::size_t>(std::max(m, n)));
+  for (int j = 0; j < k; ++j) {
+    tau[j] = larfg(m - j, A(j, j), &A(std::min(j + 1, m - 1), j), 1);
+    if (j < n - 1 && tau[j] != 0.0) {
+      const double ajj = A(j, j);
+      A(j, j) = 1.0;
+      larf_left(tau[j], &A(j, j), 1, A.block(j, j + 1, m - j, n - j - 1),
+                work);
+      A(j, j) = ajj;
+    }
+  }
+  larft(ConstMatrixView{A.a, m, k, A.ld}, tau, T);
+}
+
+// Unblocked LQ of A applied to all m rows; T via the row-storage larft.
+void base_gelqf(MatrixView A, MatrixView T) {
+  const int m = A.m, n = A.n;
+  const int k = std::min(m, n);
+  double* tau = scratch(g_tau, static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    tau[i] = larfg(n - i, A(i, i), &A(i, std::min(i + 1, n - 1)), A.ld);
+    for (int ii = i + 1; ii < m; ++ii) {
+      double w =
+          A(ii, i) + dot(n - i - 1, &A(i, i + 1), A.ld, &A(ii, i + 1), A.ld);
+      w *= tau[i];
+      A(ii, i) -= w;
+      axpy(n - i - 1, -w, &A(i, i + 1), A.ld, &A(ii, i + 1), A.ld);
+    }
+  }
+  for (int i = 0; i < k; ++i) {
+    if (i > 0) {
+      for (int p = 0; p < i; ++p) {
+        T(p, i) = -tau[i] * (A(p, i) + dot(n - i - 1, &A(p, i + 1), A.ld,
+                                           &A(i, i + 1), A.ld));
+      }
+      MatrixView tcol{T.col(i), i, 1, T.ld};
+      trmm_left(UpLo::Upper, Trans::No, Diag::NonUnit,
+                ConstMatrixView{T.a, i, i, T.ld}, tcol);
+    }
+    T(i, i) = tau[i];
+  }
+}
+
+// Unblocked TSQRT panel: reflector j = [e_j; V(:, j)] annihilates V column
+// j against the diagonal of R; T from the V-tail Gram (identity parts of
+// distinct reflectors are orthogonal and drop out).
+void base_tsqrf(MatrixView R, MatrixView V, MatrixView T) {
+  const int k = R.n, m2 = V.m;
+  double* tau = scratch(g_tau, static_cast<std::size_t>(std::max(k, 1)));
+  for (int j = 0; j < k; ++j) {
+    tau[j] = larfg(m2 + 1, R(j, j), V.col(j), 1);
+    for (int jj = j + 1; jj < k; ++jj) {
+      double w = R(j, jj) + dot(m2, V.col(j), 1, V.col(jj), 1);
+      w *= tau[j];
+      R(j, jj) -= w;
+      axpy(m2, -w, V.col(j), 1, V.col(jj), 1);
+    }
+  }
+  for (int j = 0; j < k; ++j) {
+    if (j > 0) {
+      for (int p = 0; p < j; ++p) T(p, j) = 0.0;
+      gemv(Trans::Yes, -tau[j], ConstMatrixView{V.col(0), m2, j, V.ld},
+           V.col(j), 1, 1.0, T.col(j), 1);
+      MatrixView tcol{T.col(j), j, 1, T.ld};
+      trmm_left(UpLo::Upper, Trans::No, Diag::NonUnit,
+                ConstMatrixView{T.a, j, j, T.ld}, tcol);
+    }
+    T(j, j) = tau[j];
+  }
+}
+
+// Row mirror of base_tsqrf for a TSLQT panel [L | V].
+void base_tslqf(MatrixView L, MatrixView V, MatrixView T) {
+  const int k = L.m, m2 = V.n;
+  double* tau = scratch(g_tau, static_cast<std::size_t>(std::max(k, 1)));
+  for (int i = 0; i < k; ++i) {
+    tau[i] = larfg(m2 + 1, L(i, i), &V(i, 0), V.ld);
+    for (int ii = i + 1; ii < k; ++ii) {
+      double w = L(ii, i) + dot(m2, &V(i, 0), V.ld, &V(ii, 0), V.ld);
+      w *= tau[i];
+      L(ii, i) -= w;
+      axpy(m2, -w, &V(i, 0), V.ld, &V(ii, 0), V.ld);
+    }
+  }
+  for (int i = 0; i < k; ++i) {
+    if (i > 0) {
+      for (int p = 0; p < i; ++p) {
+        T(p, i) = -tau[i] * dot(m2, &V(p, 0), V.ld, &V(i, 0), V.ld);
+      }
+      MatrixView tcol{T.col(i), i, 1, T.ld};
+      trmm_left(UpLo::Upper, Trans::No, Diag::NonUnit,
+                ConstMatrixView{T.a, i, i, T.ld}, tcol);
+    }
+    T(i, i) = tau[i];
+  }
+}
+
+}  // namespace
+
+void geqrf_rec(MatrixView A, MatrixView T, int base) {
+  const int m = A.m, n = A.n;
+  const int k = std::min(m, n);
+  if (k == 0) return;
+  TBSVD_CHECK(base >= 1 && T.m >= k && T.n >= k, "geqrf_rec: bad base or T");
+  if (k <= base) {
+    base_geqrf(A, T);
+    return;
+  }
+  const int h = k / 2;
+  const int k2 = k - h;
+  MatrixView A1 = A.block(0, 0, m, h);
+  MatrixView T11 = T.block(0, 0, h, h);
+  geqrf_rec(A1, T11, base);
+  // Q1^T onto everything right of the split (the k2 columns still to be
+  // factored plus any extra columns beyond k).
+  larfb_left_t(Trans::Yes, A1, T11, A.block(0, h, m, n - h), g_larfb_work);
+  MatrixView T22 = T.block(h, h, k2, k2);
+  geqrf_rec(A.block(h, h, m - h, n - h), T22, base);
+  // T12 = -T11 (V1^T V2) T22. V2 lives in rows h..m, so V1's top h rows
+  // drop out: the cross-Gram is B1^T V21u (triangular top of V2) plus a
+  // dense gemm over the common tails.
+  MatrixView G{scratch(g_merge, static_cast<std::size_t>(h) * k2), h, k2, h};
+  transpose(A.block(h, 0, k2, h), G);
+  trmm_right(UpLo::Lower, Trans::No, Diag::Unit, G, A.block(h, h, k2, k2));
+  if (m - h > k2) {
+    gemm(Trans::Yes, Trans::No, 1.0, A.block(h + k2, 0, m - h - k2, h),
+         A.block(h + k2, h, m - h - k2, k2), 1.0, G);
+  }
+  trmm_left(UpLo::Upper, Trans::No, Diag::NonUnit, T11, G);
+  trmm_right(UpLo::Upper, Trans::No, Diag::NonUnit, G, T22);
+  store_merge_block(T, G, h, k2);
+}
+
+void gelqf_rec(MatrixView A, MatrixView T, int base) {
+  const int m = A.m, n = A.n;
+  const int k = std::min(m, n);
+  if (k == 0) return;
+  TBSVD_CHECK(base >= 1 && T.m >= k && T.n >= k, "gelqf_rec: bad base or T");
+  if (k <= base) {
+    base_gelqf(A, T);
+    return;
+  }
+  const int h = k / 2;
+  const int k2 = k - h;
+  MatrixView V1 = A.block(0, 0, h, n);
+  MatrixView T11 = T.block(0, 0, h, h);
+  gelqf_rec(V1, T11, base);
+  // Apply the top block reflector to all rows below the split (same product
+  // sequence as the gelqt/unmlq trailing update, forward orientation).
+  larfb_right_rows(Trans::Yes, V1, T11, A.block(h, 0, m - h, n),
+                   g_larfb_work);
+  MatrixView T22 = T.block(h, h, k2, k2);
+  gelqf_rec(A.block(h, h, m - h, n - h), T22, base);
+  // T12 = -T11 (V1 V2^T) T22 over columns h..n (V2's support).
+  MatrixView G{scratch(g_merge, static_cast<std::size_t>(h) * k2), h, k2, h};
+  copy(A.block(0, h, h, k2), G);
+  trmm_right(UpLo::Upper, Trans::Yes, Diag::Unit, G, A.block(h, h, k2, k2));
+  if (n - h > k2) {
+    gemm(Trans::No, Trans::Yes, 1.0, A.block(0, h + k2, h, n - h - k2),
+         A.block(h, h + k2, k2, n - h - k2), 1.0, G);
+  }
+  trmm_left(UpLo::Upper, Trans::No, Diag::NonUnit, T11, G);
+  trmm_right(UpLo::Upper, Trans::No, Diag::NonUnit, G, T22);
+  store_merge_block(T, G, h, k2);
+}
+
+void tsqrf_rec(MatrixView R, MatrixView V, MatrixView T, int base) {
+  const int k = R.n, m2 = V.m;
+  TBSVD_CHECK(R.m == k && V.n == k, "tsqrf_rec: shape mismatch");
+  if (k == 0) return;
+  TBSVD_CHECK(base >= 1 && T.m >= k && T.n >= k, "tsqrf_rec: bad base or T");
+  if (m2 == 0) {
+    // Empty-edge tile: nothing to annihilate, every tau is 0 and the block
+    // reflector is the identity. R is untouched; T's triangle is zero.
+    // (V may be a null-backed 0-row view — it must not be dereferenced.)
+    zero_t_triangle(T, k);
+    return;
+  }
+  if (k <= base) {
+    base_tsqrf(R, V, T);
+    return;
+  }
+  const int h = k / 2;
+  const int k2 = k - h;
+  MatrixView VL = V.block(0, 0, m2, h);
+  MatrixView T11 = T.block(0, 0, h, h);
+  tsqrf_rec(R.block(0, 0, h, h), VL, T11, base);
+  // Apply the left block reflector to the right columns of [R; V]: the
+  // unit parts of the left reflectors only touch R's first h rows.
+  larfb_ts(Side::Left, Trans::Yes, VL, T11, R.block(0, h, h, k2),
+           V.block(0, h, m2, k2), g_larfb_work);
+  MatrixView VR = V.block(0, h, m2, k2);
+  MatrixView T22 = T.block(h, h, k2, k2);
+  tsqrf_rec(R.block(h, h, k2, k2), VR, T22, base);
+  // T12 = -T11 (VL^T VR) T22: the identity parts of distinct reflectors
+  // are disjoint, so only the dense tails contribute.
+  MatrixView G{scratch(g_merge, static_cast<std::size_t>(h) * k2), h, k2, h};
+  gemm(Trans::Yes, Trans::No, 1.0, VL, VR, 0.0, G);
+  trmm_left(UpLo::Upper, Trans::No, Diag::NonUnit, T11, G);
+  trmm_right(UpLo::Upper, Trans::No, Diag::NonUnit, G, T22);
+  store_merge_block(T, G, h, k2);
+}
+
+void tslqf_rec(MatrixView L, MatrixView V, MatrixView T, int base) {
+  const int k = L.m, m2 = V.n;
+  TBSVD_CHECK(L.n == k && V.m == k, "tslqf_rec: shape mismatch");
+  if (k == 0) return;
+  TBSVD_CHECK(base >= 1 && T.m >= k && T.n >= k, "tslqf_rec: bad base or T");
+  if (m2 == 0) {
+    // Empty-edge tile: identity reflector, L untouched, T's triangle zero.
+    zero_t_triangle(T, k);
+    return;
+  }
+  if (k <= base) {
+    base_tslqf(L, V, T);
+    return;
+  }
+  const int h = k / 2;
+  const int k2 = k - h;
+  MatrixView VT = V.block(0, 0, h, m2);
+  MatrixView T11 = T.block(0, 0, h, h);
+  tslqf_rec(L.block(0, 0, h, h), VT, T11, base);
+  // Apply the top block reflector to the bottom rows of [L | V].
+  larfb_ts(Side::Right, Trans::Yes, VT, T11, L.block(h, 0, k2, h),
+           V.block(h, 0, k2, m2), g_larfb_work);
+  MatrixView VB = V.block(h, 0, k2, m2);
+  MatrixView T22 = T.block(h, h, k2, k2);
+  tslqf_rec(L.block(h, h, k2, k2), VB, T22, base);
+  MatrixView G{scratch(g_merge, static_cast<std::size_t>(h) * k2), h, k2, h};
+  gemm(Trans::No, Trans::Yes, 1.0, VT, VB, 0.0, G);
+  trmm_left(UpLo::Upper, Trans::No, Diag::NonUnit, T11, G);
+  trmm_right(UpLo::Upper, Trans::No, Diag::NonUnit, G, T22);
+  store_merge_block(T, G, h, k2);
+}
+
+}  // namespace tbsvd

@@ -1,0 +1,58 @@
+// Recursive BLAS3 panel factorizations (Elmroth–Gustavson style).
+//
+// The tile kernels' panel stage used to be the last level-2-bound code on
+// the hot path: geqr2/gelq2 sweep one reflector at a time (gemv + ger), so
+// GEQRT capped at ~7.5 GFlop/s while the blocked update kernels reach
+// 20–30+. These routines factor a panel by splitting it in half, factoring
+// the left/top half recursively, applying its compact-WY block reflector to
+// the other half with trmm/gemm, recursing on the remainder, and merging
+// the two T factors via
+//
+//   T = [ T1   -T1 (V1^T V2) T2 ]
+//       [  0          T2        ]
+//
+// so the panel's full upper-triangular T comes out of the recursion for
+// free (no separate larft pass) and all but the base-case work is BLAS3.
+// The base case (<= `base` columns/rows) is the classical unblocked sweep.
+//
+// Conventions match the tile kernels exactly: H = I - tau v v^T with
+// v(0) = 1 (larfg), Q = H_1 ... H_k for QR (column reflectors, V unit lower
+// trapezoidal) and Q = H_k ... H_1 for LQ (row reflectors, V unit upper
+// trapezoidal), T upper triangular in both cases.
+#pragma once
+
+#include "lac/blas.hpp"
+#include "lac/dense.hpp"
+
+namespace tbsvd {
+
+/// Default recursion cutoff: below this many columns (rows for LQ) the
+/// unblocked sweep wins — the block-reflector bookkeeping no longer pays.
+inline constexpr int kRecPanelBase = 8;
+
+/// Recursive QR of A (m x n). On exit A holds R in the upper triangle and
+/// the k = min(m, n) Householder vectors below the diagonal; T (>= k x k)
+/// holds the complete upper-triangular block-reflector factor. Columns
+/// beyond k (if n > k) are overwritten with op(Q)^T applied to them.
+void geqrf_rec(MatrixView A, MatrixView T, int base = kRecPanelBase);
+
+/// Recursive LQ of A (m x n): L in the lower triangle, k = min(m, n) row
+/// reflectors above the diagonal, T (>= k x k) upper triangular (row
+/// convention, as consumed by unmlq/tsmlq). Rows beyond k are updated.
+void gelqf_rec(MatrixView A, MatrixView T, int base = kRecPanelBase);
+
+/// Recursive factorization of a TSQRT panel [R; V] where R (k x k, view
+/// into the pivot tile) is upper triangular and V (m2 x k, view into the
+/// eliminated tile) is dense. Reflector j is [e_j; V(:, j)], so the
+/// identity parts drop out of every Gram product and the merge reduces to
+/// -T1 (V1^T V2) T2 over the dense tails alone. On exit R holds the new
+/// triangle, V the reflector tails, T (>= k x k) the full T factor.
+void tsqrf_rec(MatrixView R, MatrixView V, MatrixView T,
+               int base = kRecPanelBase);
+
+/// Row mirror of tsqrf_rec for a TSLQT panel [L | V]: L (k x k) lower
+/// triangular, V (k x m2) dense row tails, T as above.
+void tslqf_rec(MatrixView L, MatrixView V, MatrixView T,
+               int base = kRecPanelBase);
+
+}  // namespace tbsvd

@@ -271,7 +271,9 @@ TEST(AlgGen, BidiagHasNoLqOnLastStep) {
   AlgConfig cfg;
   auto ops = build_bidiag_ops(3, 3, cfg);
   for (const auto& o : ops) {
-    if (op_is_lq(o.op)) EXPECT_LT(o.k, 2);
+    if (op_is_lq(o.op)) {
+      EXPECT_LT(o.k, 2);
+    }
   }
 }
 

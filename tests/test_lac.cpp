@@ -13,27 +13,13 @@
 #include "lac/householder.hpp"
 #include "lac/jacobi_svd.hpp"
 #include "lac/qr_ref.hpp"
+#include "test_harness.hpp"
 
 namespace tbsvd {
 namespace {
 
-Matrix random_matrix(int m, int n, std::uint64_t seed = 7) {
-  Rng rng(seed);
-  Matrix A(m, n);
-  for (int j = 0; j < n; ++j)
-    for (int i = 0; i < m; ++i) A(i, j) = rng.normal();
-  return A;
-}
-
-// Dense reference multiply helper.
-Matrix mul(ConstMatrixView A, ConstMatrixView B, Trans ta = Trans::No,
-           Trans tb = Trans::No) {
-  const int m = (ta == Trans::No) ? A.m : A.n;
-  const int n = (tb == Trans::No) ? B.n : B.m;
-  Matrix C(m, n);
-  gemm(ta, tb, 1.0, A, B, 0.0, C.view());
-  return C;
-}
+using test::mul;
+using test::random_matrix;
 
 constexpr double kTol = 1e-12;
 

@@ -7,43 +7,21 @@
 #include <cmath>
 #include <tuple>
 
-#include "common/rng.hpp"
 #include "kernels/lq_kernels.hpp"
 #include "kernels/qr_kernels.hpp"
 #include "lac/blas.hpp"
 #include "lac/dense.hpp"
+#include "test_harness.hpp"
 
 namespace tbsvd {
 namespace {
 
 using namespace tbsvd::kernels;
 
-Matrix random_matrix(int m, int n, std::uint64_t seed) {
-  Rng rng(seed);
-  Matrix A(m, n);
-  for (int j = 0; j < n; ++j)
-    for (int i = 0; i < m; ++i) A(i, j) = rng.normal();
-  return A;
-}
-
-Matrix random_lower(int n, std::uint64_t seed) {
-  Matrix A = random_matrix(n, n, seed);
-  for (int j = 0; j < n; ++j)
-    for (int i = 0; i < j; ++i) A(i, j) = 0.0;
-  return A;
-}
-
-Matrix transposed(ConstMatrixView A) {
-  Matrix B(A.n, A.m);
-  transpose(A, B.view());
-  return B;
-}
-
-Matrix mul(ConstMatrixView A, ConstMatrixView B) {
-  Matrix C(A.m, B.n);
-  gemm(Trans::No, Trans::No, 1.0, A, B, 0.0, C.view());
-  return C;
-}
+using test::mul;
+using test::random_lower;
+using test::random_matrix;
+using test::transposed;
 
 class LqKernelP : public ::testing::TestWithParam<std::tuple<int, int>> {};
 
@@ -217,8 +195,7 @@ TEST_P(LqKernelP, TtBlockedMatchesReference) {
   const auto [n, ib] = GetParam();
   Matrix A1 = random_lower(n, 900 + n + ib);
   Matrix A2 = random_lower(n, 910 + n + ib);
-  for (int j = 0; j < n; ++j)
-    for (int i = 0; i < j; ++i) A2(i, j) = 1e30;  // poison above diagonal
+  test::poison_above_diag(A2.view());
   Matrix A1r = A1, A2r = A2;
   Matrix T(ib, n), Tr(ib, n);
   ttlqt(A1.view(), A2.view(), T.view(), ib);
@@ -230,13 +207,12 @@ TEST_P(LqKernelP, TtBlockedMatchesReference) {
       EXPECT_NEAR(A1(i, j), A1r(i, j), 1e-12 * scale) << i << "," << j;
       EXPECT_NEAR(A2(i, j), A2r(i, j), 1e-12 * scale) << i << "," << j;
     }
-    for (int i = 0; i < j; ++i) {
-      EXPECT_EQ(A2(i, j), 1e30);
-      EXPECT_EQ(A2r(i, j), 1e30);
-    }
     for (int i = 0; i < std::min(ib, n); ++i)
       EXPECT_NEAR(T(i, j), Tr(i, j), 1e-12) << "T at " << i << "," << j;
   }
+  // Poison above the diagonal must be bitwise untouched by both paths.
+  test::expect_poison_above_diag(A2.cview(), "ttlqt V2");
+  test::expect_poison_above_diag(A2r.cview(), "ttlqt_ref V2");
 
   for (Trans trans : {Trans::Yes, Trans::No}) {
     Matrix C1 = random_matrix(n, n, 920 + n), C2 = random_matrix(n, n, 930 + n);
