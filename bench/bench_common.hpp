@@ -13,11 +13,13 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <functional>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "common/flops.hpp"
 #include "common/timer.hpp"
 #include "core/tile_ops.hpp"
 #include "cp/dag_analysis.hpp"
@@ -52,11 +54,15 @@ inline double time_best(int reps, const std::function<void()>& fn) {
 
 /// One benchmark measurement, serialized to the BENCH_*.json artifacts that
 /// make perf diffable across PRs. The weight fields are Table-I normalized
-/// kernel weights and are emitted only when set (weight_paper >= 0).
+/// kernel weights and are emitted only when set (weight_paper >= 0); the
+/// matrix extents are emitted only when set (m > 0) — kernel benches key
+/// on (nb, ib) alone, the end-to-end fig2 benches add the problem size.
 struct Record {
   std::string name;
   int nb = 0;
   int ib = 0;
+  int m = 0;   ///< problem rows (end-to-end benches; 0 = not applicable)
+  int n = 0;   ///< problem cols
   double seconds = 0.0;
   double gflops = 0.0;
   double weight_measured = -1.0;  ///< measured time normalized to GEQRT == 4
@@ -78,6 +84,9 @@ inline bool write_json(const char* path, const std::vector<Record>& recs) {
                  "  {\"name\": \"%s\", \"nb\": %d, \"ib\": %d, "
                  "\"seconds\": %.6e, \"gflops\": %.3f",
                  r.name.c_str(), r.nb, r.ib, r.seconds, r.gflops);
+    if (r.m > 0) {
+      std::fprintf(f, ", \"m\": %d, \"n\": %d", r.m, r.n);
+    }
     if (r.weight_paper >= 0.0) {
       std::fprintf(f, ", \"weight_measured\": %.3f, \"weight_paper\": %.0f",
                    r.weight_measured, r.weight_paper);
@@ -87,6 +96,42 @@ inline bool write_json(const char* path, const std::vector<Record>& recs) {
   std::fprintf(f, "]\n");
   std::fclose(f);
   std::printf("\nwrote %zu records to %s\n", recs.size(), path);
+  return true;
+}
+
+/// One end-to-end (GE2BND-flop-normalized) measurement for the fig2
+/// benches: fills the extents and derives GFlop/s from the shared flop
+/// model so the two emitters cannot drift.
+inline Record e2e_record(std::string name, int nb, int ib, int m, int n,
+                         double seconds) {
+  Record r;
+  r.name = std::move(name);
+  r.nb = nb;
+  r.ib = ib;
+  r.m = m;
+  r.n = n;
+  r.seconds = seconds;
+  r.gflops = flops_ge2bnd(m, n) / seconds / 1e9;
+  return r;
+}
+
+/// Shared argv handling for the benches: `[--smoke] [--out PATH]`.
+/// Returns false (after printing usage) on unknown arguments. `smoke`
+/// additionally picks up pre-set state (e.g. TBSVD_BENCH_FULL) untouched —
+/// it only narrows the sweep; `out` is left at the caller's default when
+/// no --out is given.
+inline bool parse_bench_args(int argc, char** argv, bool& smoke,
+                             const char*& out) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--out PATH]\n", argv[0]);
+      return false;
+    }
+  }
   return true;
 }
 

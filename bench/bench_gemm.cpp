@@ -122,16 +122,7 @@ void rederive_kernel_weights(bool smoke) {
 int main(int argc, char** argv) {
   bool smoke = false;
   const char* out = "BENCH_gemm.json";
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) {
-      smoke = true;
-    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
-      out = argv[++i];
-    } else {
-      std::fprintf(stderr, "usage: %s [--smoke] [--out PATH]\n", argv[0]);
-      return 2;
-    }
-  }
+  if (!parse_bench_args(argc, argv, smoke, out)) return 2;
   sweep_square(smoke);
   sweep_panels(smoke);
   rederive_kernel_weights(smoke);

@@ -11,6 +11,13 @@
 // Paper shapes to reproduce: Auto best everywhere; FlatTT/Greedy win on
 // small sizes, FlatTS catches up on large sizes; R-BIDIAG overtakes BIDIAG
 // quickly on tall-and-skinny matrices (up to ~1.8x).
+//
+// Every measured and simulated point is also appended to the JSON artifact
+// (default BENCH_fig2_ge2bnd.json; same Record schema as the kernel
+// benches plus the problem extents), so the end-to-end curves are
+// diffable across PRs via bench/history/.
+//
+// Usage: fig2_ge2bnd [--smoke] [--out PATH]
 #include <thread>
 
 #include "bench_common.hpp"
@@ -27,8 +34,14 @@ using namespace tbsvd::bench;
 constexpr int kNb = 64;
 constexpr int kIb = 16;
 
+std::vector<Record> g_records;
+
+void record_point(const std::string& name, int m, int n, double seconds) {
+  g_records.push_back(e2e_record(name, kNb, kIb, m, n, seconds));
+}
+
 double measured_gflops(int m, int n, TreeKind tree, BidiagAlg alg,
-                       int nthreads) {
+                       int nthreads, const std::string& series) {
   TileMatrix A(m, n, kNb);
   A.from_dense(generate_random(m, n, 42).cview());
   Ge2bndOptions opt;
@@ -37,11 +50,13 @@ double measured_gflops(int m, int n, TreeKind tree, BidiagAlg alg,
   opt.ib = kIb;
   opt.nthreads = nthreads;
   ExecResult r = ge2bnd(A, opt);
+  record_point(series + "_meas", m, n, r.seconds);
   return flops_ge2bnd(m, n) / r.seconds / 1e9;
 }
 
 double simulated_gflops(int m, int n, TreeKind tree, BidiagAlg alg, int cores,
-                        const std::map<Op, double>& ktab) {
+                        const std::map<Op, double>& ktab,
+                        const std::string& series) {
   const int p = m / kNb, q = n / kNb;
   AlgConfig cfg;
   cfg.qr_tree = cfg.lq_tree = tree;
@@ -49,17 +64,22 @@ double simulated_gflops(int m, int n, TreeKind tree, BidiagAlg alg, int cores,
   auto ops = (alg == BidiagAlg::RBidiag) ? build_rbidiag_ops(p, q, cfg)
                                          : build_bidiag_ops(p, q, cfg);
   const SimResult r = simulate_schedule(ops, cores, measured_cost(ktab));
+  record_point(series + "_sim24", m, n, r.makespan);
   return flops_ge2bnd(m, n) / r.makespan / 1e9;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tbsvd;
   using namespace tbsvd::bench;
 
+  bool smoke = false;
+  const char* out = "BENCH_fig2_ge2bnd.json";
+  if (!parse_bench_args(argc, argv, smoke, out)) return 2;
+
   const int hw = static_cast<int>(std::thread::hardware_concurrency());
-  const auto ktab = calibrate_kernels(kNb, kIb);
+  const auto ktab = calibrate_kernels(kNb, kIb, smoke ? 2 : 3);
   const TreeKind trees[] = {TreeKind::FlatTS, TreeKind::FlatTT,
                             TreeKind::Greedy, TreeKind::Auto};
 
@@ -68,13 +88,15 @@ int main() {
                {"M=N", "tree", "meas(P=" + std::to_string(hw) + ")",
                 "sim(P=24)"});
   std::vector<int> sizes = {256, 512, 768};
+  if (smoke) sizes = {256};
   if (full_mode()) sizes = {256, 512, 768, 1024, 1536, 2048};
   for (int n : sizes) {
     for (TreeKind tree : trees) {
+      const std::string series = std::string("fig2a_") + tree_name(tree);
       const double meas =
-          measured_gflops(n, n, tree, BidiagAlg::Bidiag, hw);
+          measured_gflops(n, n, tree, BidiagAlg::Bidiag, hw, series);
       const double sim =
-          simulated_gflops(n, n, tree, BidiagAlg::Bidiag, 24, ktab);
+          simulated_gflops(n, n, tree, BidiagAlg::Bidiag, 24, ktab, series);
       std::printf("%14d%14s%14.2f%14.2f\n", n, tree_name(tree), meas, sim);
     }
   }
@@ -86,6 +108,7 @@ int main() {
   };
   std::vector<TsCase> cases = {{128, {256, 512, 1024, 2048}},
                                {320, {640, 1280, 2560}}};
+  if (smoke) cases = {{128, {256, 512}}};
   if (full_mode()) {
     cases = {{128, {256, 512, 1024, 2048, 4096, 8192}},
              {320, {640, 1280, 2560, 5120}}};
@@ -97,8 +120,12 @@ int main() {
     for (int m : c.ms) {
       for (TreeKind tree : trees) {
         for (BidiagAlg alg : {BidiagAlg::Bidiag, BidiagAlg::RBidiag}) {
-          const double meas = measured_gflops(m, c.n, tree, alg, hw);
-          const double sim = simulated_gflops(m, c.n, tree, alg, 24, ktab);
+          const std::string series =
+              std::string("fig2bc_") + tree_name(tree) + "_" +
+              (alg == BidiagAlg::Bidiag ? "bidiag" : "rbidiag");
+          const double meas = measured_gflops(m, c.n, tree, alg, hw, series);
+          const double sim =
+              simulated_gflops(m, c.n, tree, alg, 24, ktab, series);
           std::printf("%14d%14s%14s%14.2f%14.2f\n", m, tree_name(tree),
                       alg == BidiagAlg::Bidiag ? "BiDiag" : "R-BiDiag", meas,
                       sim);
@@ -106,5 +133,5 @@ int main() {
       }
     }
   }
-  return 0;
+  return write_json(out, g_records) ? 0 : 1;
 }

@@ -8,6 +8,12 @@
 //   elemental*— Chan preQR switch + GEBRD       (paper: Elemental)
 // Paper shapes: the tiled two-stage codes dominate; on tall-and-skinny the
 // one-stage GEBRD codes flatline while tbsvd/elemental keep scaling.
+//
+// Every point lands in the JSON artifact (default BENCH_fig2_ge2val.json,
+// Record schema plus problem extents) for cross-PR tracking via
+// bench/history/.
+//
+// Usage: fig2_ge2val [--smoke] [--out PATH]
 #include <thread>
 
 #include "baseline/chan.hpp"
@@ -21,7 +27,16 @@ namespace {
 using namespace tbsvd;
 using namespace tbsvd::bench;
 
-double run_tbsvd(int m, int n, int nthreads, TreeKind tree, BidiagAlg alg) {
+std::vector<Record> g_records;
+
+double record_point(const std::string& name, int m, int n, int nb, int ib,
+                    double seconds) {
+  g_records.push_back(e2e_record(name, nb, ib, m, n, seconds));
+  return g_records.back().gflops;
+}
+
+double run_tbsvd(int m, int n, int nthreads, TreeKind tree, BidiagAlg alg,
+                 const std::string& series) {
   Matrix A = generate_random(m, n, 7);
   GesvdOptions o;
   o.nb = 64;
@@ -32,10 +47,11 @@ double run_tbsvd(int m, int n, int nthreads, TreeKind tree, BidiagAlg alg) {
   WallTimer w;
   auto sv = gesvd_values(A.cview(), o);
   benchmark_keep(sv);
-  return flops_ge2bnd(m, n) / w.seconds() / 1e9;
+  return record_point(series, m, n, o.nb, o.ge2bnd.ib, w.seconds());
 }
 
-double run_gebrd(int m, int n, int nb, int nthreads) {
+double run_gebrd(int m, int n, int nb, int nthreads,
+                 const std::string& series) {
   Matrix A = generate_random(m, n, 7);
   GebrdOptions o;
   o.nb = nb;
@@ -43,10 +59,10 @@ double run_gebrd(int m, int n, int nb, int nthreads) {
   WallTimer w;
   auto sv = gebrd_singular_values(A.cview(), o);
   benchmark_keep(sv);
-  return flops_ge2bnd(m, n) / w.seconds() / 1e9;
+  return record_point(series, m, n, nb, 0, w.seconds());
 }
 
-double run_chan(int m, int n, int nthreads) {
+double run_chan(int m, int n, int nthreads, const std::string& series) {
   Matrix A = generate_random(m, n, 7);
   ChanOptions o;
   o.gebrd.nb = 32;
@@ -54,14 +70,18 @@ double run_chan(int m, int n, int nthreads) {
   WallTimer w;
   auto sv = chan_singular_values(A.cview(), o);
   benchmark_keep(sv);
-  return flops_ge2bnd(m, n) / w.seconds() / 1e9;
+  return record_point(series, m, n, o.gebrd.nb, 0, w.seconds());
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tbsvd;
   using namespace tbsvd::bench;
+
+  bool smoke = false;
+  const char* out = "BENCH_fig2_ge2val.json";
+  if (!parse_bench_args(argc, argv, smoke, out)) return 2;
 
   const int hw = static_cast<int>(std::thread::hardware_concurrency());
 
@@ -69,29 +89,38 @@ int main() {
                {"M=N", "tbsvd", "plasma*", "mkl*", "scalapack*",
                 "elemental*"});
   std::vector<int> sizes = {256, 512, 768};
+  if (smoke) sizes = {256};
   if (full_mode()) sizes = {256, 512, 768, 1024, 1536};
   for (int n : sizes) {
-    std::printf("%14d%14.2f%14.2f%14.2f%14.2f%14.2f\n", n,
-                run_tbsvd(n, n, hw, TreeKind::Auto, BidiagAlg::Bidiag),
-                run_tbsvd(n, n, hw, TreeKind::FlatTS, BidiagAlg::Bidiag),
-                run_gebrd(n, n, 32, hw), run_gebrd(n, n, 48, 1),
-                run_chan(n, n, 1));
+    std::printf(
+        "%14d%14.2f%14.2f%14.2f%14.2f%14.2f\n", n,
+        run_tbsvd(n, n, hw, TreeKind::Auto, BidiagAlg::Bidiag, "fig2d_tbsvd"),
+        run_tbsvd(n, n, hw, TreeKind::FlatTS, BidiagAlg::Bidiag,
+                  "fig2d_plasma"),
+        run_gebrd(n, n, 32, hw, "fig2d_mkl"),
+        run_gebrd(n, n, 48, 1, "fig2d_scalapack"),
+        run_chan(n, n, 1, "fig2d_elemental"));
   }
 
-  for (int nfix : {128, 320}) {
+  for (int nfix : smoke ? std::vector<int>{128} : std::vector<int>{128, 320}) {
     print_header("Fig.2e/f GE2VAL tall-skinny N=" + std::to_string(nfix) +
                      ", GFlop/s",
                  {"M", "tbsvd", "plasma*", "mkl*", "scalapack*",
                   "elemental*"});
     std::vector<int> ms = {512, 1024, 2048};
+    if (smoke) ms = {512};
     if (full_mode()) ms = {512, 1024, 2048, 4096, 8192};
     for (int m : ms) {
-      std::printf("%14d%14.2f%14.2f%14.2f%14.2f%14.2f\n", m,
-                  run_tbsvd(m, nfix, hw, TreeKind::Auto, BidiagAlg::Auto),
-                  run_tbsvd(m, nfix, hw, TreeKind::FlatTS, BidiagAlg::Bidiag),
-                  run_gebrd(m, nfix, 32, hw), run_gebrd(m, nfix, 48, 1),
-                  run_chan(m, nfix, 1));
+      std::printf(
+          "%14d%14.2f%14.2f%14.2f%14.2f%14.2f\n", m,
+          run_tbsvd(m, nfix, hw, TreeKind::Auto, BidiagAlg::Auto,
+                    "fig2ef_tbsvd"),
+          run_tbsvd(m, nfix, hw, TreeKind::FlatTS, BidiagAlg::Bidiag,
+                    "fig2ef_plasma"),
+          run_gebrd(m, nfix, 32, hw, "fig2ef_mkl"),
+          run_gebrd(m, nfix, 48, 1, "fig2ef_scalapack"),
+          run_chan(m, nfix, 1, "fig2ef_elemental"));
     }
   }
-  return 0;
+  return write_json(out, g_records) ? 0 : 1;
 }

@@ -1,7 +1,9 @@
 #!/bin/sh
 # Record the current build's bench artifacts into bench/history/<sha>/.
-# Run from anywhere inside the repo after producing BENCH_gemm.json and
-# BENCH_kernels.json (both looked for in the current directory).
+# Run from anywhere inside the repo after producing the BENCH_*.json files
+# (all looked for in the current directory): BENCH_gemm.json and
+# BENCH_kernels.json are the kernel tier, BENCH_fig2_ge2bnd.json and
+# BENCH_fig2_ge2val.json the end-to-end fig2 curves.
 set -eu
 
 repo_root=$(git rev-parse --show-toplevel)
@@ -13,7 +15,8 @@ dest="${repo_root}/bench/history/${sha}"
 mkdir -p "${dest}"
 
 found=0
-for f in BENCH_gemm.json BENCH_kernels.json; do
+for f in BENCH_gemm.json BENCH_kernels.json \
+         BENCH_fig2_ge2bnd.json BENCH_fig2_ge2val.json; do
   if [ -f "${f}" ]; then
     cp "${f}" "${dest}/"
     found=1

@@ -222,16 +222,7 @@ void report_panel_speedup(int nb, int ib, int reps) {
 int main(int argc, char** argv) {
   bool smoke = false;
   const char* out = "BENCH_kernels.json";
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) {
-      smoke = true;
-    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
-      out = argv[++i];
-    } else {
-      std::fprintf(stderr, "usage: %s [--smoke] [--out PATH]\n", argv[0]);
-      return 2;
-    }
-  }
+  if (!parse_bench_args(argc, argv, smoke, out)) return 2;
   if (smoke) {
     report_table(160, 32, 2);
     report_tt_speedup(160, 32, 2);

@@ -13,8 +13,7 @@ namespace {
 
 thread_local std::vector<double> g_tau;
 thread_local std::vector<double> g_w;
-thread_local std::vector<double> g_gram;  // V2 V2^T Gram block in ttlqt
-thread_local Matrix g_apply_work;         // larfb_right_rows / larfb_ts
+thread_local Matrix g_apply_work;  // larfb_right_rows / larfb_ts / larfb_tt
 
 double* scratch(std::vector<double>& v, std::size_t n) {
   if (v.size() < n) v.resize(n);
@@ -229,68 +228,28 @@ void ttlqt(MatrixView A1, MatrixView A2, MatrixView T, int ib) {
   TBSVD_CHECK(A1.n == n && A2.m == n && A2.n == n, "ttlqt: shape mismatch");
   TBSVD_CHECK(ib >= 1 && (n == 0 || (T.m >= std::min(ib, n) && T.n >= n)),
               "ttlqt: bad ib or T shape");
-  double* tau = scratch(g_tau, static_cast<std::size_t>(n));
 
   for (int i0 = 0; i0 < n; i0 += ib) {
     const int kb = std::min(ib, n - i0);
-    // --- Factor: row i's reflector has support columns 0..i in A2. ---
-    for (int il = 0; il < kb; ++il) {
-      const int i = i0 + il;
-      tau[i] = larfg(i + 2, A1(i, i), &A2(i, 0), A2.ld);
-      for (int ii = i + 1; ii < i0 + kb; ++ii) {
-        double w =
-            A1(ii, i) + dot(i + 1, &A2(i, 0), A2.ld, &A2(ii, 0), A2.ld);
-        w *= tau[i];
-        A1(ii, i) -= w;
-        axpy(i + 1, -w, &A2(i, 0), A2.ld, &A2(ii, 0), A2.ld);
-      }
-    }
-    // The panel's V2 rows form a lower trapezoid of width i0 + kb: row l
-    // has support columns 0..i0+l, and anything right of the support is
-    // unrelated storage (e.g. GELQT Householder data), so every product
-    // runs through gemm_trap with the support masked during packing.
-    const int nv = i0 + kb;
-    ConstMatrixView V2p = A2.block(i0, 0, kb, nv);
-    // --- Accumulate T: strictly-upper Gram block V2p V2p^T over the
-    // pairwise-common row supports (the mask on the first operand limits
-    // pair (pl, il), pl < il, to the shorter support 0..i0+pl; the
-    // polluted lower triangle of M is never read). ---
+    // --- Recursive BLAS3 row panel: the V2 rows form a lower trapezoid of
+    // width i0 + kb (row l has support columns 0..i0+l; anything right of
+    // that is unrelated storage, e.g. GELQT Householder data when the tile
+    // came from a triangularization). ttlqf_rec routes every half-panel
+    // apply and T merge through the support-masked gemm_trap path and
+    // produces the full kb x kb T triangle. ---
     MatrixView Tp = T.block(0, i0, kb, kb);
-    if (kb > 1) {
-      MatrixView M{scratch(g_gram, static_cast<std::size_t>(kb) * kb), kb, kb,
-                   kb};
-      gemm_trap(Trans::No, Trans::Yes, 1.0, V2p, V2p, 0.0, M, TrapSide::A,
-                UpLo::Lower, i0);
-      for (int il = 1; il < kb; ++il) {
-        const double ti = tau[i0 + il];
-        for (int pl = 0; pl < il; ++pl) Tp(pl, il) = -ti * M(pl, il);
-      }
-    }
-    for (int il = 0; il < kb; ++il) {
-      if (il > 0) {
-        MatrixView tcol{Tp.col(il), il, 1, Tp.ld};
-        trmm_left(UpLo::Upper, Trans::No, Diag::NonUnit,
-                  ConstMatrixView{Tp.a, il, il, Tp.ld}, tcol);
-      }
-      Tp(il, il) = tau[i0 + il];
-    }
-    // --- Trailing rows through the masked BLAS3 path: W = Ca + Cb V2p^T,
-    // Cb -= W V2p. Columns 0..nv-1 of every trailing row are valid L data
-    // (the row's own support reaches further down), so the dense writes
-    // never touch unrelated storage. ---
+    ttlqf_rec(A1.block(i0, i0, kb, kb), A2.block(i0, 0, kb, i0 + kb), Tp, i0);
+    // --- Trailing rows through the same masked BLAS3 apply. Columns
+    // 0..i0+kb-1 of every trailing row are valid L data (the row's own
+    // support reaches further down), so the dense writes never touch
+    // unrelated storage. ---
     const int mr = n - i0 - kb;
     if (mr > 0) {
-      MatrixView Ca = A1.block(i0 + kb, i0, mr, kb);
-      MatrixView Cb = A2.block(i0 + kb, 0, mr, nv);
-      MatrixView W{scratch(g_w, static_cast<std::size_t>(mr) * kb), mr, kb,
-                   mr};
-      copy(Ca, W);
-      gemm_trap(Trans::No, Trans::Yes, 1.0, Cb, V2p, 1.0, W, TrapSide::B,
-                UpLo::Lower, i0);
-      trmm_right(UpLo::Upper, Trans::No, Diag::NonUnit, W, Tp);
-      sub_inplace(Ca, W);
-      gemm_trap(Trans::No, Trans::No, -1.0, W, V2p, 1.0, Cb, TrapSide::B,
-                UpLo::Lower, i0);
+      const int nv = i0 + kb;
+      ConstMatrixView V2p = A2.block(i0, 0, kb, nv);
+      larfb_tt(Side::Right, Trans::Yes, V2p, Tp,
+               A1.block(i0 + kb, i0, mr, kb), A2.block(i0 + kb, 0, mr, nv),
+               i0, g_apply_work);
     }
   }
 }
@@ -311,21 +270,12 @@ void ttmlq(Trans trans, MatrixView C1, MatrixView C2, ConstMatrixView V2,
     const int kb = std::min(ib, k - i0);
     // V2 row il has support columns 0..il (right of that is unrelated tile
     // storage); the panel is a lower trapezoid of width i0 + kb handled by
-    // gemm_trap's support mask.
+    // larfb_tt's support-masked apply.
     const int nv = i0 + kb;
     ConstMatrixView V2p = V2.block(i0, 0, kb, nv);
-    ConstMatrixView Tp = T.block(0, i0, kb, kb);
-    MatrixView C1p = C1.block(0, i0, mc, kb);
-    MatrixView C2p = C2.block(0, 0, mc, nv);
-    MatrixView W{scratch(g_w, static_cast<std::size_t>(mc) * kb), mc, kb, mc};
-    copy(C1p, W);
-    gemm_trap(Trans::No, Trans::Yes, 1.0, C2p, V2p, 1.0, W, TrapSide::B,
-              UpLo::Lower, i0);
-    trmm_right(UpLo::Upper, trans == Trans::Yes ? Trans::No : Trans::Yes,
-               Diag::NonUnit, W, Tp);
-    sub_inplace(C1p, W);
-    gemm_trap(Trans::No, Trans::No, -1.0, W, V2p, 1.0, C2p, TrapSide::B,
-              UpLo::Lower, i0);
+    larfb_tt(Side::Right, trans, V2p, T.block(0, i0, kb, kb),
+             C1.block(0, i0, mc, kb), C2.block(0, 0, mc, nv), i0,
+             g_apply_work);
   }
 }
 

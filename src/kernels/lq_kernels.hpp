@@ -38,14 +38,28 @@ void tsmlq(Trans trans, MatrixView C1, MatrixView C2, ConstMatrixView V2,
            ConstMatrixView T, int ib);
 
 /// LQ of [A1 | A2] with both tiles (n x n) lower triangular. On exit A2
-/// holds V2 (lower trapezoidal rows: row i has support columns 0..i). The
-/// T accumulation and trailing update run through the support-masked BLAS3
-/// path (gemm_trap); storage outside the row supports is neither read nor
-/// written.
+/// holds V2 (lower trapezoidal rows: row i has support columns 0..i).
+/// Each ib-panel is factored by the trapezoid-aware recursion
+/// (lac/qr_rec.hpp ttlqf_rec), which produces the panel's full kb x kb T
+/// triangle in one pass; the trailing update runs through the
+/// support-masked BLAS3 apply (larfb_tt). Storage outside the triangular
+/// supports — in A1 above L's diagonal as well as in A2 right of the V2
+/// trapezoid — is neither read nor written.
+///
+/// Workspace contract: T must satisfy T.m >= min(ib, n) and T.n >= n
+/// (validated up front, throws invalid_argument_error); the recursive
+/// path writes only each panel's upper triangle, same as the level-2
+/// reference. All scratch beyond T (larfb_tt's mr x kb workspace per
+/// trailing apply and the recursion's merge/tau buffers) is thread_local
+/// inside the kernels and grows on demand — callers never size it.
 void ttlqt(MatrixView A1, MatrixView A2, MatrixView T, int ib);
 
 /// [C1 | C2] := [C1 | C2] op(Q) with Q from ttlqt (triangular V2). C1, C2
-/// and V2 must all have exactly k = V2.m columns (triangular-tile contract).
+/// and V2 must all have exactly k = V2.m columns (triangular-tile
+/// contract); T needs T.m >= min(ib, k), T.n >= k (throws
+/// invalid_argument_error otherwise). The per-panel applies share
+/// larfb_tt's thread_local workspace (mc x kb doubles, grow-only) with
+/// ttlqt.
 void ttmlq(Trans trans, MatrixView C1, MatrixView C2, ConstMatrixView V2,
            ConstMatrixView T, int ib);
 

@@ -15,7 +15,6 @@ namespace {
 // Per-thread scratch to avoid per-task allocation in the runtime's hot path.
 thread_local std::vector<double> g_tau;
 thread_local std::vector<double> g_w;
-thread_local std::vector<double> g_gram;  // V2^T V2 Gram block in ttqrt
 thread_local Matrix g_larfb_work;
 
 double* scratch(std::vector<double>& v, std::size_t n) {
@@ -202,69 +201,28 @@ void ttqrt(MatrixView A1, MatrixView A2, MatrixView T, int ib) {
   TBSVD_CHECK(A1.m == n && A2.m == n && A2.n == n, "ttqrt: shape mismatch");
   TBSVD_CHECK(ib >= 1 && (n == 0 || (T.m >= std::min(ib, n) && T.n >= n)),
               "ttqrt: bad ib or T shape");
-  double* tau = scratch(g_tau, static_cast<std::size_t>(n));
 
   for (int j0 = 0; j0 < n; j0 += ib) {
     const int kb = std::min(ib, n - j0);
-    // --- Factor the panel: v2 for column j has support rows 0..j. ---
-    for (int jl = 0; jl < kb; ++jl) {
-      const int j = j0 + jl;
-      tau[j] = larfg(j + 2, A1(j, j), A2.col(j), 1);
-      for (int jj = j + 1; jj < j0 + kb; ++jj) {
-        double w = A1(j, jj) + dot(j + 1, A2.col(j), 1, A2.col(jj), 1);
-        w *= tau[j];
-        A1(j, jj) -= w;
-        axpy(j + 1, -w, A2.col(j), 1, A2.col(jj), 1);
-      }
-    }
-    // The panel's V2 columns form an upper trapezoid of height j0 + kb:
-    // column l has support rows 0..j0+l, and anything below is unrelated
-    // storage (e.g. GEQRT Householder data when the tile came from a
-    // triangularization), so every product runs through gemm_trap with the
-    // support masked during packing.
-    const int mv = j0 + kb;
-    ConstMatrixView V2p{A2.col(j0), mv, kb, A2.ld};
-    // --- Accumulate T: the strictly-upper Gram matrix V2p^T V2p over the
-    // pairwise-common supports (pair (pl, jl), pl < jl, integrates over the
-    // shorter support 0..j0+pl, which the mask enforces; the polluted lower
-    // triangle of M is never read). ---
+    // --- Recursive BLAS3 panel: the V2 columns form an upper trapezoid of
+    // height j0 + kb (column l has support rows 0..j0+l; anything below is
+    // unrelated storage, e.g. GEQRT Householder data when the tile came
+    // from a triangularization). ttqrf_rec routes every half-panel apply
+    // and T merge through the support-masked gemm_trap path and produces
+    // the full kb x kb T triangle. ---
     MatrixView Tp = T.block(0, j0, kb, kb);
-    if (kb > 1) {
-      MatrixView M{scratch(g_gram, static_cast<std::size_t>(kb) * kb), kb, kb,
-                   kb};
-      gemm_trap(Trans::Yes, Trans::No, 1.0, V2p, V2p, 0.0, M, TrapSide::A,
-                UpLo::Upper, j0);
-      for (int jl = 1; jl < kb; ++jl) {
-        const double tj = tau[j0 + jl];
-        for (int pl = 0; pl < jl; ++pl) Tp(pl, jl) = -tj * M(pl, jl);
-      }
-    }
-    for (int jl = 0; jl < kb; ++jl) {
-      if (jl > 0) {
-        MatrixView tcol{Tp.col(jl), jl, 1, Tp.ld};
-        trmm_left(UpLo::Upper, Trans::No, Diag::NonUnit,
-                  ConstMatrixView{Tp.a, jl, jl, Tp.ld}, tcol);
-      }
-      Tp(jl, jl) = tau[j0 + jl];
-    }
-    // --- Trailing update: W = (C1 + V2p^T C2)^T, C2 -= V2p W^T, both
-    // through the masked BLAS3 path with a transposed workspace (the T
-    // product rides the vectorizable trmm_right sweep). Rows 0..mv-1 of
-    // every trailing column are valid R data (the column's own support
-    // reaches further right), so the dense writes never touch unrelated
-    // storage. ---
+    ttqrf_rec(A1.block(j0, j0, kb, kb), A2.block(0, j0, j0 + kb, kb), Tp, j0);
+    // --- Trailing update through the same masked BLAS3 apply. Rows
+    // 0..j0+kb-1 of every trailing column are valid R data (the column's
+    // own support reaches further right), so the dense writes never touch
+    // unrelated storage. ---
     const int nc = n - j0 - kb;
     if (nc > 0) {
-      MatrixView C1 = A1.block(j0, j0 + kb, kb, nc);
-      MatrixView C2 = A2.block(0, j0 + kb, mv, nc);
-      MatrixView W{scratch(g_w, static_cast<std::size_t>(kb) * nc), nc, kb, nc};
-      transpose(C1, W);
-      gemm_trap(Trans::Yes, Trans::No, 1.0, C2, V2p, 1.0, W, TrapSide::B,
-                UpLo::Upper, j0);
-      trmm_right(UpLo::Upper, Trans::No, Diag::NonUnit, W, Tp);
-      sub_transposed(C1, W);
-      gemm_trap(Trans::No, Trans::Yes, -1.0, V2p, W, 1.0, C2, TrapSide::A,
-                UpLo::Upper, j0);
+      const int mv = j0 + kb;
+      ConstMatrixView V2p{A2.col(j0), mv, kb, A2.ld};
+      larfb_tt(Side::Left, Trans::Yes, V2p, Tp,
+               A1.block(j0, j0 + kb, kb, nc), A2.block(0, j0 + kb, mv, nc),
+               j0, g_larfb_work);
     }
   }
 }
@@ -285,21 +243,12 @@ void ttmqr(Trans trans, MatrixView C1, MatrixView C2, ConstMatrixView V2,
     const int kb = std::min(ib, k - j0);
     // V2 column jl has support rows 0..jl (below is unrelated tile
     // storage); the panel is an upper trapezoid of height j0 + kb handled
-    // by gemm_trap's support mask.
+    // by larfb_tt's support-masked apply.
     const int mv = j0 + kb;
     ConstMatrixView V2p{V2.col(j0), mv, kb, V2.ld};
-    ConstMatrixView Tp = T.block(0, j0, kb, kb);
-    MatrixView C1p = C1.block(j0, 0, kb, nc);
-    MatrixView C2p = C2.block(0, 0, mv, nc);
-    MatrixView W{scratch(g_w, static_cast<std::size_t>(kb) * nc), nc, kb, nc};
-    transpose(C1p, W);
-    gemm_trap(Trans::Yes, Trans::No, 1.0, C2p, V2p, 1.0, W, TrapSide::B,
-              UpLo::Upper, j0);
-    trmm_right(UpLo::Upper, trans == Trans::Yes ? Trans::No : Trans::Yes,
-               Diag::NonUnit, W, Tp);
-    sub_transposed(C1p, W);
-    gemm_trap(Trans::No, Trans::Yes, -1.0, V2p, W, 1.0, C2p, TrapSide::A,
-              UpLo::Upper, j0);
+    larfb_tt(Side::Left, trans, V2p, T.block(0, j0, kb, kb),
+             C1.block(j0, 0, kb, nc), C2.block(0, 0, mv, nc), j0,
+             g_larfb_work);
   }
 }
 

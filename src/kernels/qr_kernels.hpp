@@ -44,13 +44,27 @@ void tsmqr(Trans trans, MatrixView C1, MatrixView C2, ConstMatrixView V2,
 
 /// QR of [A1; A2] where both A1 and A2 (n x n) are upper triangular.
 /// On exit A1 holds the new R, A2 holds V2 (upper trapezoidal columns:
-/// column j has support rows 0..j), T as above. The T accumulation and the
-/// trailing update run through the support-masked BLAS3 path (gemm_trap);
-/// storage outside the triangular supports is neither read nor written.
+/// column j has support rows 0..j), T as above. Each ib-panel is factored
+/// by the trapezoid-aware recursion (lac/qr_rec.hpp ttqrf_rec), which
+/// produces the panel's full kb x kb T triangle in one pass; the trailing
+/// update runs through the support-masked BLAS3 apply (larfb_tt).
+/// Storage outside the triangular supports — in A1 below R's diagonal as
+/// well as in A2 below the V2 trapezoid — is neither read nor written.
+///
+/// Workspace contract: T must satisfy T.m >= min(ib, n) and T.n >= n
+/// (validated up front, throws invalid_argument_error); the recursive
+/// path writes only each panel's upper triangle, same as the level-2
+/// reference. All scratch beyond T (the larfb_tt workspace of
+/// nc x kb doubles per trailing apply and the recursion's merge/tau
+/// buffers) is thread_local inside the kernels and grows on demand —
+/// callers never size it.
 void ttqrt(MatrixView A1, MatrixView A2, MatrixView T, int ib);
 
 /// [C1; C2] := op(Q) [C1; C2] with Q from ttqrt (triangular V2). C1, C2 and
-/// V2 must all have exactly k = V2.n rows (the triangular-tile contract).
+/// V2 must all have exactly k = V2.n rows (the triangular-tile contract);
+/// T needs T.m >= min(ib, k), T.n >= k (throws invalid_argument_error
+/// otherwise). The per-panel applies share larfb_tt's thread_local
+/// workspace (nc x kb doubles, grow-only) with ttqrt.
 void ttmqr(Trans trans, MatrixView C1, MatrixView C2, ConstMatrixView V2,
            ConstMatrixView T, int ib);
 

@@ -31,17 +31,16 @@ void gemm_small_nn(double alpha, ConstMatrixView A, ConstMatrixView B,
   }
 }
 
-// C += alpha * A^T * B with A (k x m), B (k x n); dot-ordered loops.
+// C += alpha * A^T * B with A (k x m), B (k x n); dot-ordered loops. The
+// contiguous dots ride dot()'s multi-accumulator chains, which keeps these
+// panel-sliver products vectorized without -ffast-math.
 void gemm_small_tn(double alpha, ConstMatrixView A, ConstMatrixView B,
                    MatrixView C) {
   const int m = C.m, n = C.n, k = A.m;
   for (int j = 0; j < n; ++j) {
     const double* bj = B.col(j);
     for (int i = 0; i < m; ++i) {
-      const double* ai = A.col(i);
-      double s = 0.0;
-      for (int l = 0; l < k; ++l) s += ai[l] * bj[l];
-      C(i, j) += alpha * s;
+      C(i, j) += alpha * dot(k, A.col(i), 1, bj, 1);
     }
   }
 }
@@ -281,16 +280,63 @@ void gemv(Trans ta, double alpha, ConstMatrixView A, const double* x, int incx,
 
 double dot(int n, const double* x, int incx, const double* y,
            int incy) noexcept {
-  double s = 0.0;
   if (incx == 1 && incy == 1) {
-    for (int i = 0; i < n; ++i) s += x[i] * y[i];
-  } else {
-    for (int i = 0; i < n; ++i) s += x[i * incx] * y[i * incy];
+    // Eight independent accumulator chains: without -ffast-math the
+    // compiler may not reassociate a single-accumulator reduction, which
+    // leaves the panel sweeps (base-case recursion, reference kernels)
+    // latency-bound on one FMA chain. Explicit chains vectorize cleanly.
+    double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+    double s4 = 0.0, s5 = 0.0, s6 = 0.0, s7 = 0.0;
+    int i = 0;
+    for (; i + 8 <= n; i += 8) {
+      s0 += x[i] * y[i];
+      s1 += x[i + 1] * y[i + 1];
+      s2 += x[i + 2] * y[i + 2];
+      s3 += x[i + 3] * y[i + 3];
+      s4 += x[i + 4] * y[i + 4];
+      s5 += x[i + 5] * y[i + 5];
+      s6 += x[i + 6] * y[i + 6];
+      s7 += x[i + 7] * y[i + 7];
+    }
+    double s = ((s0 + s4) + (s1 + s5)) + ((s2 + s6) + (s3 + s7));
+    for (; i < n; ++i) s += x[i] * y[i];
+    return s;
   }
+  double s = 0.0;
+  for (int i = 0; i < n; ++i) s += x[i * incx] * y[i * incy];
   return s;
 }
 
 double nrm2(int n, const double* x, int incx) noexcept {
+  // Fast path: plain sum of squares with independent accumulator chains,
+  // valid whenever the result neither overflows nor loses bits to
+  // underflow. Checked against the extremes of the accumulated squares so
+  // the guard itself is branch-free inside the loop.
+  if (incx == 1) {
+    double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+    double amax = 0.0;
+    int i = 0;
+    for (; i + 4 <= n; i += 4) {
+      const double x0 = x[i], x1 = x[i + 1], x2 = x[i + 2], x3 = x[i + 3];
+      s0 += x0 * x0;
+      s1 += x1 * x1;
+      s2 += x2 * x2;
+      s3 += x3 * x3;
+      amax = std::max(amax, std::max(std::max(std::fabs(x0), std::fabs(x1)),
+                                     std::max(std::fabs(x2), std::fabs(x3))));
+    }
+    double s = (s0 + s1) + (s2 + s3);
+    for (; i < n; ++i) {
+      s += x[i] * x[i];
+      amax = std::max(amax, std::fabs(x[i]));
+    }
+    // Safe range: squares stay normal and the sum far from overflow.
+    if (amax > 1e-140 && amax < 1e140) return std::sqrt(s);
+    // amax == 0 means every entry was (+/-)0 or NaN (NaN never wins a
+    // std::max); sqrt(s) is then 0 or NaN respectively — propagating NaN
+    // exactly like the scaled reference loop below.
+    if (amax == 0.0) return std::sqrt(s);
+  }
   // Scaled accumulation (as in reference BLAS) to avoid overflow/underflow.
   double scale = 0.0, ssq = 1.0;
   for (int i = 0; i < n; ++i) {

@@ -273,4 +273,45 @@ void larfb_ts(Side side, Trans trans, ConstMatrixView V, ConstMatrixView T,
   }
 }
 
+void larfb_tt(Side side, Trans trans, ConstMatrixView V, ConstMatrixView T,
+              MatrixView C1, MatrixView C2, int off, Matrix& work) {
+  const Trans ttrans = (trans == Trans::Yes) ? Trans::No : Trans::Yes;
+  if (side == Side::Left) {
+    const int k = V.n, nc = C1.n;
+    if (k == 0 || nc == 0) return;
+    TBSVD_CHECK(V.m == off + k && C1.m == k && C2.m == off + k && C2.n == nc,
+                "larfb_tt left: shape mismatch");
+    if (work.rows() < nc || work.cols() < k) {
+      work = Matrix(std::max(work.rows(), nc), std::max(work.cols(), k));
+    }
+    // W (nc x k) := (C1 + V^T C2)^T; the V product integrates only over
+    // each column's support rows 0..off+c (mask applied during packing).
+    MatrixView W = work.view().block(0, 0, nc, k);
+    transpose(C1, W);
+    gemm_trap(Trans::Yes, Trans::No, 1.0, C2, V, 1.0, W, TrapSide::B,
+              UpLo::Upper, off);
+    trmm_right(UpLo::Upper, ttrans, Diag::NonUnit, W, T.block(0, 0, k, k));
+    sub_transposed(C1, W);
+    gemm_trap(Trans::No, Trans::Yes, -1.0, V, W, 1.0, C2, TrapSide::A,
+              UpLo::Upper, off);
+  } else {
+    const int k = V.m, mc = C1.m;
+    if (k == 0 || mc == 0) return;
+    TBSVD_CHECK(V.n == off + k && C1.n == k && C2.m == mc && C2.n == off + k,
+                "larfb_tt right: shape mismatch");
+    if (work.rows() < mc || work.cols() < k) {
+      work = Matrix(std::max(work.rows(), mc), std::max(work.cols(), k));
+    }
+    // W (mc x k) := C1 + C2 V^T over each row's support columns 0..off+r.
+    MatrixView W = work.view().block(0, 0, mc, k);
+    copy(C1, W);
+    gemm_trap(Trans::No, Trans::Yes, 1.0, C2, V, 1.0, W, TrapSide::B,
+              UpLo::Lower, off);
+    trmm_right(UpLo::Upper, ttrans, Diag::NonUnit, W, T.block(0, 0, k, k));
+    sub_inplace(C1, W);
+    gemm_trap(Trans::No, Trans::No, -1.0, W, V, 1.0, C2, TrapSide::B,
+              UpLo::Lower, off);
+  }
+}
+
 }  // namespace tbsvd

@@ -69,4 +69,20 @@ void larfb_right_rows(Trans trans, ConstMatrixView V, ConstMatrixView T,
 void larfb_ts(Side side, Trans trans, ConstMatrixView V, ConstMatrixView T,
               MatrixView C1, MatrixView C2, Matrix& work);
 
+/// Apply a TT-structured block reflector (identity part in the pivot
+/// triangle, trapezoidal tails in V) to a pair of blocks through the
+/// support-masked BLAS3 path (gemm_trap), fast workspace orientation:
+///   Side::Left : [C1; C2] := op(Q) [C1; C2], V (off+k x k) upper
+///                trapezoid — column c has support rows 0..off+c; C1
+///                (k x nc), C2 (off+k x nc); W is held transposed.
+///   Side::Right: [C1 | C2] := [C1 | C2] op(Q), V (k x off+k) lower
+///                trapezoid — row r has support columns 0..off+r; C1
+///                (mc x k), C2 (mc x off+k).
+/// Storage outside V's trapezoidal support is neither read nor written.
+/// trans == Trans::Yes applies the reflectors forward (H_1 first, the
+/// factorization direction). Shared by the TTQRT/TTLQT trailing updates,
+/// the TTMQR/TTMLQ panels and the TT recursion's half-panel applies.
+void larfb_tt(Side side, Trans trans, ConstMatrixView V, ConstMatrixView T,
+              MatrixView C1, MatrixView C2, int off, Matrix& work);
+
 }  // namespace tbsvd

@@ -118,6 +118,63 @@ void base_tsqrf(MatrixView R, MatrixView V, MatrixView T) {
   }
 }
 
+// Unblocked TTQRT panel at column offset `off`: reflector l = [e_l; V(:, l)]
+// with tail support rows 0..off+l; the within-panel updates and the T Gram
+// integrate over the shorter of each pair's supports, so storage below the
+// trapezoid is never touched.
+void base_ttqrf(MatrixView R, MatrixView V, MatrixView T, int off) {
+  const int k = R.n;
+  double* tau = scratch(g_tau, static_cast<std::size_t>(std::max(k, 1)));
+  for (int l = 0; l < k; ++l) {
+    tau[l] = larfg(off + l + 2, R(l, l), V.col(l), 1);
+    for (int jj = l + 1; jj < k; ++jj) {
+      double w = R(l, jj) + dot(off + l + 1, V.col(l), 1, V.col(jj), 1);
+      w *= tau[l];
+      R(l, jj) -= w;
+      axpy(off + l + 1, -w, V.col(l), 1, V.col(jj), 1);
+    }
+  }
+  for (int l = 0; l < k; ++l) {
+    if (l > 0) {
+      for (int p = 0; p < l; ++p) {
+        T(p, l) = -tau[l] * dot(off + p + 1, V.col(p), 1, V.col(l), 1);
+      }
+      MatrixView tcol{T.col(l), l, 1, T.ld};
+      trmm_left(UpLo::Upper, Trans::No, Diag::NonUnit,
+                ConstMatrixView{T.a, l, l, T.ld}, tcol);
+    }
+    T(l, l) = tau[l];
+  }
+}
+
+// Row mirror of base_ttqrf for a TTLQT panel at row offset `off`: row l's
+// reflector tail has support columns 0..off+l.
+void base_ttlqf(MatrixView L, MatrixView V, MatrixView T, int off) {
+  const int k = L.m;
+  double* tau = scratch(g_tau, static_cast<std::size_t>(std::max(k, 1)));
+  for (int l = 0; l < k; ++l) {
+    tau[l] = larfg(off + l + 2, L(l, l), &V(l, 0), V.ld);
+    for (int ii = l + 1; ii < k; ++ii) {
+      double w =
+          L(ii, l) + dot(off + l + 1, &V(l, 0), V.ld, &V(ii, 0), V.ld);
+      w *= tau[l];
+      L(ii, l) -= w;
+      axpy(off + l + 1, -w, &V(l, 0), V.ld, &V(ii, 0), V.ld);
+    }
+  }
+  for (int l = 0; l < k; ++l) {
+    if (l > 0) {
+      for (int p = 0; p < l; ++p) {
+        T(p, l) = -tau[l] * dot(off + p + 1, &V(p, 0), V.ld, &V(l, 0), V.ld);
+      }
+      MatrixView tcol{T.col(l), l, 1, T.ld};
+      trmm_left(UpLo::Upper, Trans::No, Diag::NonUnit,
+                ConstMatrixView{T.a, l, l, T.ld}, tcol);
+    }
+    T(l, l) = tau[l];
+  }
+}
+
 // Row mirror of base_tsqrf for a TSLQT panel [L | V].
 void base_tslqf(MatrixView L, MatrixView V, MatrixView T) {
   const int k = L.m, m2 = V.n;
@@ -277,6 +334,75 @@ void tslqf_rec(MatrixView L, MatrixView V, MatrixView T, int base) {
   tslqf_rec(L.block(h, h, k2, k2), VB, T22, base);
   MatrixView G{scratch(g_merge, static_cast<std::size_t>(h) * k2), h, k2, h};
   gemm(Trans::No, Trans::Yes, 1.0, VT, VB, 0.0, G);
+  trmm_left(UpLo::Upper, Trans::No, Diag::NonUnit, T11, G);
+  trmm_right(UpLo::Upper, Trans::No, Diag::NonUnit, G, T22);
+  store_merge_block(T, G, h, k2);
+}
+
+void ttqrf_rec(MatrixView R, MatrixView V, MatrixView T, int off, int base) {
+  const int k = R.n;
+  TBSVD_CHECK(R.m == k && V.n == k && V.m == off + k && off >= 0,
+              "ttqrf_rec: shape mismatch");
+  if (k == 0) return;
+  TBSVD_CHECK(base >= 1 && T.m >= k && T.n >= k, "ttqrf_rec: bad base or T");
+  if (k <= base) {
+    base_ttqrf(R, V, T, off);
+    return;
+  }
+  const int h = k / 2;
+  const int k2 = k - h;
+  MatrixView V1 = V.block(0, 0, off + h, h);
+  MatrixView T11 = T.block(0, 0, h, h);
+  ttqrf_rec(R.block(0, 0, h, h), V1, T11, off, base);
+  // Apply the left block reflector to the right columns of [R; V]: the
+  // identity parts only touch R's first h rows, and every trailing column's
+  // own support reaches at least row off+h, so the dense C2 writes stay
+  // inside valid storage while V1's mask keeps the reads in-support.
+  larfb_tt(Side::Left, Trans::Yes, V1, T11, R.block(0, h, h, k2),
+           V.block(0, h, off + h, k2), off, g_larfb_work);
+  MatrixView T22 = T.block(h, h, k2, k2);
+  ttqrf_rec(R.block(h, h, k2, k2), V.block(0, h, off + k, k2), T22, off + h,
+            base);
+  // T12 = -T11 (V1^T V2) T22. The identity parts live in disjoint rows of
+  // R, so only the A2 tails contribute; V1's support caps every pairwise
+  // product at rows 0..off+h-1, which are in-support (hence valid data)
+  // for every right-half column. The mask on V1 trims each pair to the
+  // shorter support.
+  MatrixView G{scratch(g_merge, static_cast<std::size_t>(h) * k2), h, k2, h};
+  gemm_trap(Trans::Yes, Trans::No, 1.0, V1, V.block(0, h, off + h, k2), 0.0,
+            G, TrapSide::A, UpLo::Upper, off);
+  trmm_left(UpLo::Upper, Trans::No, Diag::NonUnit, T11, G);
+  trmm_right(UpLo::Upper, Trans::No, Diag::NonUnit, G, T22);
+  store_merge_block(T, G, h, k2);
+}
+
+void ttlqf_rec(MatrixView L, MatrixView V, MatrixView T, int off, int base) {
+  const int k = L.m;
+  TBSVD_CHECK(L.n == k && V.m == k && V.n == off + k && off >= 0,
+              "ttlqf_rec: shape mismatch");
+  if (k == 0) return;
+  TBSVD_CHECK(base >= 1 && T.m >= k && T.n >= k, "ttlqf_rec: bad base or T");
+  if (k <= base) {
+    base_ttlqf(L, V, T, off);
+    return;
+  }
+  const int h = k / 2;
+  const int k2 = k - h;
+  MatrixView V1 = V.block(0, 0, h, off + h);
+  MatrixView T11 = T.block(0, 0, h, h);
+  ttlqf_rec(L.block(0, 0, h, h), V1, T11, off, base);
+  // Apply the top block reflector to the bottom rows of [L | V] (row
+  // mirror of the QR case: trailing rows' supports reach past column
+  // off+h, so the dense writes stay in valid storage).
+  larfb_tt(Side::Right, Trans::Yes, V1, T11, L.block(h, 0, k2, h),
+           V.block(h, 0, k2, off + h), off, g_larfb_work);
+  MatrixView T22 = T.block(h, h, k2, k2);
+  ttlqf_rec(L.block(h, h, k2, k2), V.block(h, 0, k2, off + k), T22, off + h,
+            base);
+  // T12 = -T11 (V1 V2^T) T22 over the pairwise-common column supports.
+  MatrixView G{scratch(g_merge, static_cast<std::size_t>(h) * k2), h, k2, h};
+  gemm_trap(Trans::No, Trans::Yes, 1.0, V1, V.block(h, 0, k2, off + h), 0.0,
+            G, TrapSide::A, UpLo::Lower, off);
   trmm_left(UpLo::Upper, Trans::No, Diag::NonUnit, T11, G);
   trmm_right(UpLo::Upper, Trans::No, Diag::NonUnit, G, T22);
   store_merge_block(T, G, h, k2);

@@ -30,6 +30,13 @@ namespace tbsvd {
 /// unblocked sweep wins — the block-reflector bookkeeping no longer pays.
 inline constexpr int kRecPanelBase = 8;
 
+/// TT recursion cutoff. The TT panels' products are trapezoid-masked and
+/// a half-panel wide at most, so the crossover to the unblocked sweep sits
+/// higher than for the dense panels: measured on the ttqrf_rec base sweep
+/// (nb = 128..256), 16 beats 8 by ~20% and matches or beats the pure
+/// level-2 sweep from kb = 32 up.
+inline constexpr int kTtPanelBase = 16;
+
 /// Recursive QR of A (m x n). On exit A holds R in the upper triangle and
 /// the k = min(m, n) Householder vectors below the diagonal; T (>= k x k)
 /// holds the complete upper-triangular block-reflector factor. Columns
@@ -54,5 +61,26 @@ void tsqrf_rec(MatrixView R, MatrixView V, MatrixView T,
 /// triangular, V (k x m2) dense row tails, T as above.
 void tslqf_rec(MatrixView L, MatrixView V, MatrixView T,
                int base = kRecPanelBase);
+
+/// Recursive factorization of a TTQRT panel [R; V] where R (k x k, view
+/// into the pivot tile) is upper triangular and V (off+k x k, view into
+/// the eliminated tile) is upper trapezoidal: column c holds reflector
+/// tail rows 0..off+c, and storage below that support is unrelated data
+/// that is neither read nor written (every product runs through the
+/// support-masked gemm_trap path). Reflector c is [e_c; V(:, c)]; the
+/// panel splits in half, the left half's compact-WY reflector is applied
+/// to the right half through larfb_tt, and the T factors merge via
+/// T12 = -T1 (V1^T V2) T2 over the trapezoidal supports alone. `off` is
+/// the panel's column offset inside its tile (j0 in the TTQRT loop): it
+/// fixes the support height of the first column. On exit R holds the new
+/// triangle, V the reflector tails, T (>= k x k) the full T factor.
+void ttqrf_rec(MatrixView R, MatrixView V, MatrixView T, int off,
+               int base = kTtPanelBase);
+
+/// Row mirror of ttqrf_rec for a TTLQT panel [L | V]: L (k x k) lower
+/// triangular, V (k x off+k) lower trapezoidal — row r holds reflector
+/// tail columns 0..off+r; storage right of the support is untouched.
+void ttlqf_rec(MatrixView L, MatrixView V, MatrixView T, int off,
+               int base = kTtPanelBase);
 
 }  // namespace tbsvd

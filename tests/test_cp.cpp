@@ -207,6 +207,81 @@ TEST(Crossover, ExplicitUnitCostMatchesDefault) {
   }
 }
 
+/// Representative measured kernel weights at nb = 160, ib = 32 after the
+/// recursive TT panels (docs/PERF.md "Re-derived Table-I weights", PR 5
+/// column), pinned so the crossover regression below is deterministic.
+/// GEQRT is the normalization unit (== 4, as in the paper's Table I).
+OpCost pinned_measured_cost() {
+  return [](const TileOp& t) -> double {
+    switch (t.op) {
+      case Op::GEQRT:
+      case Op::GELQT:
+        return 4.0;
+      case Op::UNMQR:
+      case Op::UNMLQ:
+        return 3.4;
+      case Op::TSQRT:
+      case Op::TSLQT:
+        return 4.9;
+      case Op::TSMQR:
+      case Op::TSMLQ:
+        return 4.0;
+      case Op::TTQRT:
+      case Op::TTLQT:
+        return 2.4;
+      case Op::TTMQR:
+      case Op::TTMLQ:
+        return 3.1;
+      default:
+        return 0.0;  // LASET — negligible against any kernel
+    }
+  };
+}
+
+TEST(Crossover, MeasuredTtWeightsKeepExactDagCrossoverSet) {
+  // Regression for the measured-weight crossover recorded in docs/PERF.md:
+  // with the recursive TT panels TTQRT dropped from 3.8 to ~2.4 units, and
+  // the exact-DAG crossover set {q = 2, q = 3} reached in PR 3 must not
+  // shrink under the refreshed weights. The expected p* (and so delta_s)
+  // are pinned exactly: a change means either the DAG generators or the
+  // crossover scan moved, not the machine.
+  const OpCost measured = pinned_measured_cost();
+  const auto q2 = find_crossover(TreeKind::Greedy, 2, 0, measured);
+  ASSERT_GT(q2.p_switch, 0) << "exact crossover lost at q=2";
+  EXPECT_EQ(q2.p_switch, 4);
+  EXPECT_DOUBLE_EQ(q2.delta_s, 2.0);
+  const auto q3 = find_crossover(TreeKind::Greedy, 3, 0, measured);
+  ASSERT_GT(q3.p_switch, 0) << "exact crossover lost at q=3";
+  EXPECT_EQ(q3.p_switch, 11);
+  EXPECT_NEAR(q3.delta_s, 11.0 / 3.0, 1e-12);
+  // At the switch the R-BIDIAG path must actually be the shorter one.
+  EXPECT_LT(q2.rbidiag_cp_at_switch, q2.bidiag_cp_at_switch);
+  EXPECT_LT(q3.rbidiag_cp_at_switch, q3.bidiag_cp_at_switch);
+}
+
+TEST(Crossover, MeasuredWeightConsistencyAcrossVariants) {
+  // Unit-cost consistency extended to the measured model: the paper-style
+  // no-overlap estimate can never switch before the exact overlapped DAG,
+  // and a uniform rescale of the measured table (units of seconds vs
+  // normalized weights) must leave every switch point unchanged.
+  const OpCost measured = pinned_measured_cost();
+  const OpCost scaled = [measured](const TileOp& t) {
+    return 2.5e-4 * measured(t);
+  };
+  for (int q : {2, 3, 4}) {
+    const auto exact = find_crossover(TreeKind::Greedy, q, 0, measured);
+    const auto est = find_crossover_estimate(TreeKind::Greedy, q, 0, measured);
+    if (est.p_switch > 0) {
+      ASSERT_GT(exact.p_switch, 0) << "estimate crossed but exact did not, q=" << q;
+      EXPECT_GE(est.p_switch, exact.p_switch) << "q=" << q;
+    }
+    const auto exact_s = find_crossover(TreeKind::Greedy, q, 0, scaled);
+    EXPECT_EQ(exact.p_switch, exact_s.p_switch) << "q=" << q;
+    const auto est_s = find_crossover_estimate(TreeKind::Greedy, q, 0, scaled);
+    EXPECT_EQ(est.p_switch, est_s.p_switch) << "q=" << q;
+  }
+}
+
 TEST(Crossover, ScaledCostLeavesSwitchPointInvariant) {
   // The crossover compares two critical paths under the same cost model,
   // so a uniform rescale of every kernel time must not move p*.

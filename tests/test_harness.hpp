@@ -155,6 +155,125 @@ inline void expect_matrix_near(ConstMatrixView got, ConstMatrixView want,
           << what << " at (" << i << "," << j << ")";
 }
 
+// ---------------------------------------------------------- WY invariants ---
+//
+// Direct validation of a factor kernel's compact-WY output, shared by all
+// six families (GE/TS/TT x QR/LQ). The callers build the *explicit* m x k
+// reflector matrix V (unit entries and identity blocks filled in, storage
+// outside a trapezoidal support zeroed) with the explicit_v_* helpers
+// below; the checkers then consume only the in-support upper triangle of
+// the stored ib x k T panels, so a kernel that pollutes the unused lower
+// part of a T block cannot pass by accident.
+
+/// In-support upper triangle of a stored panel T block, densified k x k.
+inline Matrix upper_triangle_of(ConstMatrixView T, int k) {
+  Matrix Tp(k, k);
+  for (int j = 0; j < k; ++j)
+    for (int i = 0; i <= j; ++i) Tp(i, j) = T(i, j);
+  return Tp;
+}
+
+/// Defining identity of a compact-WY block reflector: Q = I - V Tp V^T is
+/// orthogonal iff Tp (V^T V) Tp^T == Tp + Tp^T. Returns the violation
+/// scaled by the Gram's magnitude, so a tol_per_dim * m bound is uniform
+/// across shapes.
+inline double wy_t_error(ConstMatrixView V, ConstMatrixView Tstored) {
+  const int k = V.n;
+  if (k == 0) return 0.0;
+  Matrix Tp = upper_triangle_of(Tstored, k);
+  Matrix G = mul(V, V, Trans::Yes, Trans::No);
+  Matrix TGT = mul(mul(Tp.cview(), G.cview()).cview(), Tp.cview(), Trans::No,
+                   Trans::Yes);
+  double err2 = 0.0;
+  for (int j = 0; j < k; ++j)
+    for (int i = 0; i < k; ++i) {
+      const double d = TGT(i, j) - Tp(i, j) - Tp(j, i);
+      err2 += d * d;
+    }
+  return std::sqrt(err2) / (1.0 + norm_fro(G.cview()));
+}
+
+/// Panel-by-panel compact-WY validation of a factor kernel's (V, T) pair:
+/// every stored tau (the T diagonals) must lie in the larfg range
+/// {0} U [1, 2], every panel triangle must satisfy the WY identity, and
+/// the accumulated Q = prod_p (I - V_p T_p V_p^T) must be orthogonal to
+/// tol_per_dim * m. V is the explicit m x k reflector matrix; T is the
+/// kernel's ib x k panel-triangle storage.
+inline void expect_wy_invariants(ConstMatrixView V, ConstMatrixView T, int ib,
+                                 double tol_per_dim, const char* what) {
+  const int m = V.m, k = V.n;
+  Matrix Q = Matrix::identity(m);
+  for (int j0 = 0; j0 < k; j0 += ib) {
+    const int kb = std::min(ib, k - j0);
+    ConstMatrixView Vp = V.block(0, j0, m, kb);
+    ConstMatrixView Ts = T.block(0, j0, kb, kb);
+    for (int l = 0; l < kb; ++l) {
+      const double tau = Ts(l, l);
+      EXPECT_TRUE(tau == 0.0 || (tau >= 1.0 - 1e-12 && tau <= 2.0 + 1e-12))
+          << what << ": tau " << tau << " outside {0} U [1,2] at panel " << j0
+          << " col " << l;
+    }
+    EXPECT_LT(wy_t_error(Vp, Ts), tol_per_dim * m)
+        << what << ": WY T identity violated in panel " << j0;
+    // Q := Q (I - Vp Tp Vp^T), reading only the in-support triangle.
+    Matrix Tp = upper_triangle_of(Ts, kb);
+    Matrix W = mul(mul(Q.cview(), Vp).cview(), Tp.cview());
+    gemm(Trans::No, Trans::Yes, -1.0, W.cview(), Vp, 1.0, Q.view());
+  }
+  EXPECT_LT(orthogonality_error(Q.cview()), tol_per_dim * m)
+      << what << ": accumulated block reflector not orthogonal";
+}
+
+/// Explicit reflector columns of a GEQRT-factored tile: unit diagonal,
+/// strictly-below-diagonal entries of A, zeros above.
+inline Matrix explicit_v_ge(ConstMatrixView A) {
+  const int m = A.m, k = std::min(A.m, A.n);
+  Matrix V(m, k);
+  for (int j = 0; j < k; ++j) {
+    V(j, j) = 1.0;
+    for (int i = j + 1; i < m; ++i) V(i, j) = A(i, j);
+  }
+  return V;
+}
+
+/// GELQT mirror: row reflectors returned transposed (n x k columns), so
+/// the same column-convention checkers apply.
+inline Matrix explicit_v_ge_rows(ConstMatrixView A) {
+  const int n = A.n, k = std::min(A.m, A.n);
+  Matrix V(n, k);
+  for (int i = 0; i < k; ++i) {
+    V(i, i) = 1.0;
+    for (int j = i + 1; j < n; ++j) V(j, i) = A(i, j);
+  }
+  return V;
+}
+
+/// TSQRT pair [I_k; V2] with V2 the dense m2 x k tail tile. For TSLQT pass
+/// the transposed row tile.
+inline Matrix explicit_v_ts(int k, ConstMatrixView V2) {
+  Matrix V(k + V2.m, k);
+  for (int j = 0; j < k; ++j) {
+    V(j, j) = 1.0;
+    for (int i = 0; i < V2.m; ++i) V(k + i, j) = V2(i, j);
+  }
+  return V;
+}
+
+/// TTQRT pair [I_k; V2|support] with V2 the (off + k) x k trapezoidal tail
+/// tile: column j keeps its support rows 0..off+j, anything below
+/// (possibly poisoned storage) is zeroed. off = 0 is the whole-tile TTQRT
+/// contract; a nonzero off matches a ttqrf_rec panel at that column
+/// offset. For TTLQT pass the transposed row tile.
+inline Matrix explicit_v_tt(ConstMatrixView V2, int off = 0) {
+  const int k = V2.n;
+  Matrix V(k + V2.m, k);
+  for (int j = 0; j < k; ++j) {
+    V(j, j) = 1.0;
+    for (int i = 0; i <= off + j && i < V2.m; ++i) V(k + i, j) = V2(i, j);
+  }
+  return V;
+}
+
 // ---------------------------------------------------------------- poison ---
 
 /// Sentinel written into storage a kernel must neither read nor write.
