@@ -18,6 +18,14 @@ found=0
 for f in BENCH_gemm.json BENCH_kernels.json \
          BENCH_fig2_ge2bnd.json BENCH_fig2_ge2val.json; do
   if [ -f "${f}" ]; then
+    # Refuse to record artifacts with non-finite numbers: a bench that
+    # produced NaN/Inf is broken, and history must stay trustworthy. The
+    # pattern anchors on a value position (after : , or [) so field names
+    # like "info" never match.
+    if grep -Eiq '(:|,|\[)[[:space:]]*-?(nan|inf)' "${f}"; then
+      echo "record.sh: ${f} contains NaN/Inf values; refusing to record" >&2
+      exit 1
+    fi
     cp "${f}" "${dest}/"
     found=1
   fi

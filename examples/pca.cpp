@@ -4,6 +4,7 @@
 // explained-variance profile recovers the planted dimensionality.
 //
 //   ./pca [samples] [features] [intrinsic_rank]
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -41,13 +42,19 @@ int main(int argc, char** argv) {
     for (int i = 0; i < samples; ++i) X(i, j) -= mean;
   }
 
-  // Principal values = singular values of the centered data matrix.
+  // Principal values = singular values of the centered data matrix. The
+  // SvdInfo out-param reports how the solve went (docs/ROBUSTNESS.md):
+  // whether the input was pre-scaled and whether any degraded path ran.
   GesvdOptions opts;
   opts.nb = 32;
   opts.ge2bnd.alg = BidiagAlg::Auto;  // tall-and-skinny -> R-BIDIAG
   opts.ge2bnd.nthreads =
       static_cast<int>(std::thread::hardware_concurrency());
-  const auto sv = gesvd_values(X.cview(), opts);
+  SvdInfo info;
+  const auto sv = gesvd_values(X.cview(), opts, nullptr, &info);
+  std::printf("solve: status=%s scaled=%d qr_iters=%lld fallback=%d\n",
+              status_name(info.status), info.scaled ? 1 : 0,
+              info.qr_iterations, info.bisection_fallback ? 1 : 0);
 
   double total = 0.0;
   for (double s : sv) total += s * s;
@@ -63,5 +70,22 @@ int main(int argc, char** argv) {
   }
   std::printf("planted rank %d; components for 99.5%% variance: %d\n", rank,
               effective + 1);
+
+  // Degraded-but-successful solve: starve the bidiagonal QR iteration so
+  // bd2val must take the Sturm-bisection fallback. The result is flagged
+  // Degraded, not an error — and the principal values still match.
+  GesvdOptions starved = opts;
+  starved.bd2val.max_sweeps_per_value = 0;
+  SvdInfo dinfo;
+  const auto dsv = gesvd_values(X.cview(), starved, nullptr, &dinfo);
+  double maxrel = 0.0;
+  for (std::size_t i = 0; i < sv.size(); ++i) {
+    if (sv[i] > 0.0)
+      maxrel = std::max(maxrel, std::fabs(dsv[i] - sv[i]) / sv[0]);
+  }
+  std::printf(
+      "starved solve: status=%s fallback=%d ok()=%d  max rel dev %.2e\n",
+      status_name(dinfo.status), dinfo.bisection_fallback ? 1 : 0,
+      dinfo.ok() ? 1 : 0, maxrel);
   return 0;
 }

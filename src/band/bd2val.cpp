@@ -6,6 +6,8 @@
 
 #include "band/sturm.hpp"
 #include "common/check.hpp"
+#include "common/fault.hpp"
+#include "common/hazard.hpp"
 #include "lac/givens.hpp"
 
 namespace tbsvd {
@@ -101,11 +103,20 @@ void sweep_zero_shift(std::vector<double>& d, std::vector<double>& e, int lo,
 }  // namespace
 
 std::vector<double> bd2val(std::vector<double> d, std::vector<double> e,
-                           const Bd2valOptions& opts) {
+                           const Bd2valOptions& opts, Bd2valInfo* info) {
   const int n = static_cast<int>(d.size());
   TBSVD_CHECK(static_cast<int>(e.size()) >= std::max(0, n - 1),
               "bd2val: e must have n-1 entries");
+  TBSVD_CHECK(opts.max_sweeps_per_value >= 0,
+              "bd2val: max_sweeps_per_value must be >= 0");
+  if (info != nullptr) *info = Bd2valInfo{};
   if (n == 0) return {};
+  if (!all_finite(d.data(), d.size()) ||
+      !all_finite(e.data(), static_cast<std::size_t>(n - 1))) {
+    // NaN never passes a deflation test, so the iteration would spin on it;
+    // reject up front rather than time out or emit NaN "singular values".
+    throw numerical_hazard_error("bd2val: non-finite entry in bidiagonal");
+  }
 
   double smax = 0.0;
   for (int i = 0; i < n; ++i) smax = std::max(smax, std::fabs(d[i]));
@@ -115,8 +126,9 @@ std::vector<double> bd2val(std::vector<double> d, std::vector<double> e,
   const double tol = 16.0 * kEps;
   const double thresh = tol * smax * 1e-3 +
       std::numeric_limits<double>::min() / kEps;
-  const long long max_iters =
+  long long max_iters =
       static_cast<long long>(opts.max_sweeps_per_value) * n * n + 100;
+  if (TBSVD_FAULT_FIRE("band.bd2val.force_stall")) max_iters = 0;
   long long iters = 0;
   bool fell_back = false;
 
@@ -186,9 +198,19 @@ std::vector<double> bd2val(std::vector<double> d, std::vector<double> e,
     }
   }
 
+  if (info != nullptr) info->qr_iterations = iters;
   if (fell_back) {
-    TBSVD_CHECK(opts.allow_bisection_fallback,
-                "bd2val: QR iteration failed to converge");
+    if (!opts.allow_bisection_fallback) {
+      throw convergence_error(
+          "bd2val: QR iteration failed to converge and the bisection "
+          "fallback is disabled");
+    }
+    // The sweeps applied so far are orthogonal equivalences, so (d, e)
+    // still carries the original spectrum; bisection always terminates.
+    if (info != nullptr) {
+      info->bisection_fallback = true;
+      info->status = Status::Degraded;
+    }
     return sturm_singular_values(d, e);
   }
 

@@ -3,28 +3,48 @@
 // Primary path: implicit QR iteration in the Demmel–Kahan style (shifted
 // Golub–Kahan sweeps, switching to the zero-shift sweep when the shift
 // would spoil relative accuracy) — the algorithm behind LAPACK xBDSQR,
-// which the paper uses for this stage. A Sturm-bisection fallback
-// guarantees termination on pathological inputs.
+// which the paper uses for this stage. When the iteration exhausts its
+// budget on a submatrix the driver degrades gracefully: singular values
+// are invariant under the sweeps already applied, so the partially
+// iterated (d, e) is handed to the Sturm-bisection oracle
+// (band/sturm.hpp), which always terminates. The fallback is flagged in
+// Bd2valInfo; with allow_bisection_fallback = false a stall throws
+// convergence_error instead. Non-finite input throws
+// numerical_hazard_error up front (NaN never deflates, so iterating on it
+// would spin). Contract details: docs/ROBUSTNESS.md.
 #pragma once
 
 #include <vector>
 
 #include "band/bnd2bd.hpp"
+#include "common/error.hpp"
 
 namespace tbsvd {
 
 struct Bd2valOptions {
-  int max_sweeps_per_value = 30;  ///< QR iteration budget (LAPACK uses 6n^2)
+  /// QR iteration budget (LAPACK uses 6n^2). >= 0; 0 leaves only the fixed
+  /// slack budget, effectively forcing the bisection fallback on any
+  /// nontrivial matrix — useful for exercising the degraded path.
+  int max_sweeps_per_value = 30;
   bool allow_bisection_fallback = true;
+};
+
+/// Diagnostics for one bd2val solve.
+struct Bd2valInfo {
+  Status status = Status::Ok;  ///< Ok, or Degraded when bisection ran
+  long long qr_iterations = 0;  ///< inner QR-iteration steps consumed
+  bool bisection_fallback = false;
 };
 
 /// Singular values of the bidiagonal (d, e), sorted descending.
 std::vector<double> bd2val(std::vector<double> d, std::vector<double> e,
-                           const Bd2valOptions& opts = {});
+                           const Bd2valOptions& opts = {},
+                           Bd2valInfo* info = nullptr);
 
 inline std::vector<double> bd2val(const Bidiagonal& b,
-                                  const Bd2valOptions& opts = {}) {
-  return bd2val(b.d, b.e, opts);
+                                  const Bd2valOptions& opts = {},
+                                  Bd2valInfo* info = nullptr) {
+  return bd2val(b.d, b.e, opts, info);
 }
 
 }  // namespace tbsvd

@@ -1,8 +1,10 @@
 #include "band/bnd2bd.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/check.hpp"
+#include "common/fault.hpp"
 #include "lac/givens.hpp"
 
 namespace tbsvd {
@@ -110,6 +112,9 @@ Bidiagonal bnd2bd(const BandMatrix& B) {
   }
   for (int i = 0; i < n; ++i) out.d[i] = W.entry(i, i);
   for (int i = 0; i + 1 < n; ++i) out.e[i] = W.entry(i, i + 1);
+  if (TBSVD_FAULT_FIRE("band.bnd2bd.poison_nan")) {
+    out.d[0] = std::numeric_limits<double>::quiet_NaN();
+  }
   return out;
 }
 

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/check.hpp"
+#include "common/hazard.hpp"
 
 namespace tbsvd {
 
@@ -39,6 +40,12 @@ std::vector<double> sturm_singular_values(const std::vector<double>& d,
   TBSVD_CHECK(static_cast<int>(e.size()) >= std::max(0, n - 1),
               "sturm: e must have n-1 entries");
   if (n == 0) return {};
+  if (!all_finite(d.data(), d.size()) ||
+      !all_finite(e.data(), static_cast<std::size_t>(n - 1))) {
+    // A NaN pivot poisons every Sturm count, making the bisection bounds
+    // meaningless; fail typed instead of returning garbage.
+    throw numerical_hazard_error("sturm: non-finite entry in bidiagonal");
+  }
 
   // Gershgorin-style upper bound on sigma_max.
   double bound = 0.0;

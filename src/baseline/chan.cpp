@@ -4,6 +4,7 @@
 
 #include "band/bd2val.hpp"
 #include "common/check.hpp"
+#include "common/hazard.hpp"
 #include "lac/blas.hpp"
 #include "lac/qr_ref.hpp"
 
@@ -16,19 +17,35 @@ bool chan_uses_preqr(int m, int n, const ChanOptions& opts) {
 std::vector<double> chan_singular_values(ConstMatrixView A,
                                          const ChanOptions& opts) {
   TBSVD_CHECK(A.m >= A.n, "chan_singular_values requires m >= n");
+  TBSVD_CHECK(opts.switch_ratio >= 1.0 && opts.qr_nb >= 1,
+              "chan_singular_values: need switch_ratio >= 1 and qr_nb >= 1");
   const int m = A.m, n = A.n;
+  if (n == 0) return {};
   if (!chan_uses_preqr(m, n, opts)) {
     return gebrd_singular_values(A, opts.gebrd);
   }
-  // preQR: factor A = Q R, then bidiagonalize the n x n R.
+  // preQR: factor A = Q R, then bidiagonalize the n x n R. The factor copy
+  // is pre-scaled into the safe range (docs/ROBUSTNESS.md) so the reflector
+  // norms cannot overflow. The inner GEBRD driver scales and unscales its
+  // own copy of R independently, so the two layers compose; this level only
+  // undoes its own factor on the final spectrum.
+  const ExtremeScan scan = scan_extremes(A);
+  if (!scan.finite) {
+    throw numerical_hazard_error(
+        "chan_singular_values: non-finite entry in input");
+  }
   Matrix W(m, n);
   copy(A, W.view());
+  const double target = svd_safe_target(scan.amax);
+  if (target != scan.amax) scale_stepwise(W.view(), scan.amax, target);
   std::vector<double> tau(n);
   geqrf(W.view(), tau.data(), opts.qr_nb);
   Matrix R(n, n);
   for (int j = 0; j < n; ++j)
     for (int i = 0; i <= j; ++i) R(i, j) = W(i, j);
-  return gebrd_singular_values(R.cview(), opts.gebrd);
+  std::vector<double> sv = gebrd_singular_values(R.cview(), opts.gebrd);
+  if (target != scan.amax) scale_stepwise(sv, target, scan.amax);
+  return sv;
 }
 
 }  // namespace tbsvd

@@ -4,6 +4,7 @@
 
 #include "band/bd2val.hpp"
 #include "common/check.hpp"
+#include "common/hazard.hpp"
 #include "lac/blas.hpp"
 #include "lac/householder.hpp"
 
@@ -46,11 +47,22 @@ void gebd2(MatrixView A, std::vector<double>& d, std::vector<double>& e) {
 }
 
 std::vector<double> gebd2_singular_values(ConstMatrixView A) {
+  TBSVD_CHECK(A.m >= A.n, "gebd2_singular_values requires m >= n");
+  if (A.n == 0) return {};
+  const ExtremeScan scan = scan_extremes(A);
+  if (!scan.finite) {
+    throw numerical_hazard_error(
+        "gebd2_singular_values: non-finite entry in input");
+  }
   Matrix W(A.m, A.n);
   copy(A, W.view());
+  const double target = svd_safe_target(scan.amax);
+  if (target != scan.amax) scale_stepwise(W.view(), scan.amax, target);
   std::vector<double> d, e;
   gebd2(W.view(), d, e);
-  return bd2val(std::move(d), std::move(e));
+  std::vector<double> sv = bd2val(std::move(d), std::move(e));
+  if (target != scan.amax) scale_stepwise(sv, target, scan.amax);
+  return sv;
 }
 
 }  // namespace tbsvd

@@ -6,6 +6,7 @@
 #include "band/bd2val.hpp"
 #include "baseline/gebd2.hpp"
 #include "common/check.hpp"
+#include "common/hazard.hpp"
 #include "lac/blas.hpp"
 #include "lac/householder.hpp"
 
@@ -152,11 +153,25 @@ void gebrd(MatrixView A, std::vector<double>& d, std::vector<double>& e,
 
 std::vector<double> gebrd_singular_values(ConstMatrixView A,
                                           const GebrdOptions& opts) {
+  TBSVD_CHECK(A.m >= A.n, "gebrd_singular_values requires m >= n");
+  if (A.n == 0) return {};
+  // Same hazard contract as the tiled driver (docs/ROBUSTNESS.md): reject
+  // non-finite input, scale extreme norms into the safe range, unscale the
+  // spectrum on exit.
+  const ExtremeScan scan = scan_extremes(A);
+  if (!scan.finite) {
+    throw numerical_hazard_error(
+        "gebrd_singular_values: non-finite entry in input");
+  }
   Matrix W(A.m, A.n);
   copy(A, W.view());
+  const double target = svd_safe_target(scan.amax);
+  if (target != scan.amax) scale_stepwise(W.view(), scan.amax, target);
   std::vector<double> d, e;
   gebrd(W.view(), d, e, opts);
-  return bd2val(std::move(d), std::move(e));
+  std::vector<double> sv = bd2val(std::move(d), std::move(e));
+  if (target != scan.amax) scale_stepwise(sv, target, scan.amax);
+  return sv;
 }
 
 }  // namespace tbsvd

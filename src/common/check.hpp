@@ -1,24 +1,22 @@
-// Error-checking macros: TBSVD_CHECK for user-facing argument validation
-// (always on, throws), TBSVD_ASSERT for internal invariants (debug only).
+// Error-checking macros over the typed taxonomy in common/error.hpp:
+//
+//   TBSVD_CHECK           user-facing argument validation (always on,
+//                         throws invalid_argument_error)
+//   TBSVD_INTERNAL_CHECK  internal invariants that must hold even in
+//                         Release (always on, throws internal_error)
+//   TBSVD_ASSERT          internal invariants (debug only, throws
+//                         internal_error)
+//
+// The split lets callers distinguish "you passed bad arguments" from
+// "the library has a bug" by exception type. See docs/ROBUSTNESS.md.
 #pragma once
 
 #include <sstream>
-#include <stdexcept>
 #include <string>
 
+#include "common/error.hpp"
+
 namespace tbsvd {
-
-/// Thrown when a public API precondition is violated.
-class invalid_argument_error : public std::invalid_argument {
- public:
-  using std::invalid_argument::invalid_argument;
-};
-
-/// Thrown when an iterative numerical method fails to converge.
-class convergence_error : public std::runtime_error {
- public:
-  using std::runtime_error::runtime_error;
-};
 
 namespace detail {
 [[noreturn]] inline void check_failed(const char* cond, const char* file,
@@ -27,6 +25,16 @@ namespace detail {
   os << "tbsvd check failed: (" << cond << ") at " << file << ':' << line;
   if (!msg.empty()) os << " — " << msg;
   throw invalid_argument_error(os.str());
+}
+
+[[noreturn]] inline void internal_check_failed(const char* cond,
+                                               const char* file, int line,
+                                               const std::string& msg) {
+  std::ostringstream os;
+  os << "tbsvd internal invariant violated: (" << cond << ") at " << file
+     << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw internal_error(os.str());
 }
 }  // namespace detail
 
@@ -38,8 +46,15 @@ namespace detail {
       ::tbsvd::detail::check_failed(#cond, __FILE__, __LINE__, msg);  \
   } while (0)
 
+#define TBSVD_INTERNAL_CHECK(cond, msg)                              \
+  do {                                                               \
+    if (!(cond))                                                     \
+      ::tbsvd::detail::internal_check_failed(#cond, __FILE__,        \
+                                             __LINE__, msg);         \
+  } while (0)
+
 #ifdef NDEBUG
 #define TBSVD_ASSERT(cond) ((void)0)
 #else
-#define TBSVD_ASSERT(cond) TBSVD_CHECK(cond, "internal invariant")
+#define TBSVD_ASSERT(cond) TBSVD_INTERNAL_CHECK(cond, "internal invariant")
 #endif

@@ -1,0 +1,66 @@
+// Structured error taxonomy for the whole library.
+//
+// Every failure a caller can observe is one of four typed exceptions (plus
+// std::bad_alloc for resource exhaustion), and every driver that can
+// degrade gracefully reports what happened through a diagnostics struct
+// carrying a Status. The contract — enforced by the fault-injection test
+// tier (tests/test_fault_injection.cpp) — is that no public entry point
+// ever returns silent garbage: it succeeds, degrades with a flagged
+// result, or throws one of these types. See docs/ROBUSTNESS.md.
+#pragma once
+
+#include <stdexcept>
+
+namespace tbsvd {
+
+/// Outcome classification reported by drivers through their info structs.
+enum class Status {
+  Ok,                  ///< clean success on the primary path
+  Degraded,            ///< correct result via a fallback path (flagged)
+  InvalidArgument,     ///< caller violated a precondition
+  NumericalHazard,     ///< NaN/Inf or unsalvageable extreme-norm input
+  ConvergenceFailure,  ///< iteration budget exhausted, no fallback allowed
+  InternalError,       ///< library invariant broken (a bug, not user error)
+};
+
+[[nodiscard]] constexpr const char* status_name(Status s) noexcept {
+  switch (s) {
+    case Status::Ok: return "ok";
+    case Status::Degraded: return "degraded";
+    case Status::InvalidArgument: return "invalid_argument";
+    case Status::NumericalHazard: return "numerical_hazard";
+    case Status::ConvergenceFailure: return "convergence_failure";
+    case Status::InternalError: return "internal_error";
+  }
+  return "unknown";
+}
+
+/// Thrown when a public API precondition is violated (caller error).
+class invalid_argument_error : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown when input data is numerically hazardous: NaN/Inf entries, or
+/// norms so extreme that no safe scaling can bring them in range.
+class numerical_hazard_error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Thrown when an iterative numerical method exhausts its budget and the
+/// caller disabled the fallback that would otherwise absorb the stall.
+class convergence_error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Thrown when an internal invariant is violated: a library bug (or an
+/// injected fault), never a user error. Distinct from
+/// invalid_argument_error so callers can tell the two apart.
+class internal_error : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+}  // namespace tbsvd

@@ -1,0 +1,106 @@
+#include "common/hazard.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace tbsvd {
+
+ExtremeScan scan_extremes(const double* x, std::size_t n) noexcept {
+  ExtremeScan s;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double v = x[i];
+    if (!std::isfinite(v)) s.finite = false;
+    const double a = std::fabs(v);
+    if (a > s.amax) s.amax = a;  // NaN fails the compare, amax stays finite
+  }
+  return s;
+}
+
+ExtremeScan scan_extremes(ConstMatrixView A) noexcept {
+  ExtremeScan s;
+  for (int j = 0; j < A.n; ++j) {
+    const ExtremeScan c = scan_extremes(A.col(j), static_cast<std::size_t>(A.m));
+    s.finite = s.finite && c.finite;
+    if (c.amax > s.amax) s.amax = c.amax;
+  }
+  return s;
+}
+
+bool all_finite(const double* x, std::size_t n) noexcept {
+  return scan_extremes(x, n).finite;
+}
+
+bool all_finite(ConstMatrixView A) noexcept {
+  return scan_extremes(A).finite;
+}
+
+double svd_safe_min() noexcept {
+  static const double v =
+      std::sqrt(std::numeric_limits<double>::min()) /
+      std::numeric_limits<double>::epsilon();
+  return v;
+}
+
+double svd_safe_max() noexcept { return 1.0 / svd_safe_min(); }
+
+double svd_safe_target(double amax) noexcept {
+  if (amax > 0.0 && amax < svd_safe_min()) return svd_safe_min();
+  if (amax > svd_safe_max()) return svd_safe_max();
+  return amax;
+}
+
+void scale_stepwise(double* x, std::size_t n, double cfrom, double cto) {
+  TBSVD_CHECK(cfrom != 0.0 && std::isfinite(cfrom) && std::isfinite(cto),
+              "scale_stepwise: cfrom must be nonzero finite, cto finite");
+  // LAPACK dlascl: chip away at cto/cfrom with factors of smlnum/bignum so
+  // no intermediate multiplier over- or underflows.
+  const double smlnum = std::numeric_limits<double>::min();
+  const double bignum = 1.0 / smlnum;
+  double cfromc = cfrom, ctoc = cto;
+  bool done = false;
+  while (!done) {
+    double mul;
+    const double cfrom1 = cfromc * smlnum;
+    if (cfrom1 == cfromc) {
+      // cfromc is infinity-like; the ratio is exact (0, NaN-free by check).
+      mul = ctoc / cfromc;
+      done = true;
+    } else {
+      const double cto1 = ctoc / bignum;
+      if (cto1 == ctoc) {
+        // ctoc is 0 or infinity-like: multiplying by it is final.
+        mul = ctoc;
+        done = true;
+        cfromc = 1.0;
+      } else if (std::fabs(cfrom1) > std::fabs(ctoc) && ctoc != 0.0) {
+        mul = smlnum;
+        cfromc = cfrom1;
+      } else if (std::fabs(cto1) > std::fabs(cfromc)) {
+        mul = bignum;
+        ctoc = cto1;
+      } else {
+        mul = ctoc / cfromc;
+        done = true;
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) x[i] *= mul;
+  }
+}
+
+void scale_stepwise(MatrixView A, double cfrom, double cto) {
+  if (A.m == A.ld) {
+    scale_stepwise(A.a, static_cast<std::size_t>(A.m) * A.n, cfrom, cto);
+    return;
+  }
+  for (int j = 0; j < A.n; ++j) {
+    scale_stepwise(A.col(j), static_cast<std::size_t>(A.m), cfrom, cto);
+  }
+}
+
+void scale_stepwise(std::vector<double>& x, double cfrom, double cto) {
+  scale_stepwise(x.data(), x.size(), cfrom, cto);
+}
+
+}  // namespace tbsvd

@@ -1,0 +1,53 @@
+// Numerical-hazard detection and LAPACK-style safe scaling.
+//
+// The SVD drivers scan their input once up front: NaN/Inf throws
+// numerical_hazard_error immediately (iterating on non-finite data can
+// spin forever), and matrices whose max-norm falls outside
+// [svd_safe_min(), svd_safe_max()] are scaled into that range before the
+// reduction and the singular values unscaled on exit — the dgesvd/dlascl
+// protocol, which keeps every intermediate quantity (norms, Gram entries,
+// shifts) representable without overflow or destructive underflow.
+// Scaling is exact up to one rounding per entry, so scaled solves carry
+// full relative accuracy; drivers flag it in their SvdInfo.
+// See docs/ROBUSTNESS.md for the full contract.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "lac/dense.hpp"
+
+namespace tbsvd {
+
+/// One-pass scan result: finiteness and the max absolute entry.
+struct ExtremeScan {
+  bool finite = true;
+  double amax = 0.0;
+};
+
+[[nodiscard]] ExtremeScan scan_extremes(const double* x,
+                                        std::size_t n) noexcept;
+[[nodiscard]] ExtremeScan scan_extremes(ConstMatrixView A) noexcept;
+
+[[nodiscard]] bool all_finite(const double* x, std::size_t n) noexcept;
+[[nodiscard]] bool all_finite(ConstMatrixView A) noexcept;
+
+/// Safe-range bounds for SVD reductions: smlnum = sqrt(safe_min)/eps and
+/// bignum = 1/smlnum, exactly LAPACK dgesvd's choices (~6.7e-138 / 1.5e137
+/// in IEEE double). Norms inside [smlnum, bignum] square without hazard.
+[[nodiscard]] double svd_safe_min() noexcept;
+[[nodiscard]] double svd_safe_max() noexcept;
+
+/// Target norm for amax: svd_safe_min() if amax underflows the safe range,
+/// svd_safe_max() if it overflows, amax itself (no scaling) otherwise.
+/// amax must be finite and > 0.
+[[nodiscard]] double svd_safe_target(double amax) noexcept;
+
+/// x := x * (cto/cfrom) computed dlascl-style: the multiplier is applied in
+/// over/underflow-free steps, never forming a ratio outside the
+/// representable range. cfrom must be nonzero and finite, cto finite.
+void scale_stepwise(double* x, std::size_t n, double cfrom, double cto);
+void scale_stepwise(MatrixView A, double cfrom, double cto);
+void scale_stepwise(std::vector<double>& x, double cfrom, double cto);
+
+}  // namespace tbsvd

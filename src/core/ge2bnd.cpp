@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "common/hazard.hpp"
 #include "common/timer.hpp"
 #include "kernels/lq_kernels.hpp"
 #include "kernels/qr_kernels.hpp"
@@ -148,6 +149,18 @@ ExecResult execute_tile_ops(TileMatrix& A, const std::vector<TileOp>& ops,
 ExecResult ge2bnd(TileMatrix& A, const Ge2bndOptions& opt) {
   const int p = A.mt(), q = A.nt();
   TBSVD_CHECK(p >= q && q >= 1, "ge2bnd requires p >= q >= 1 tiles");
+  TBSVD_CHECK(opt.ib >= 1, "ge2bnd: need ib >= 1");
+  TBSVD_CHECK(opt.nthreads >= 1, "ge2bnd: need nthreads >= 1");
+  TBSVD_CHECK(opt.gamma > 0.0, "ge2bnd: need gamma > 0");
+  // A NaN/Inf anywhere poisons the whole reduction (Householder norms and
+  // T factors mix every entry of a panel); reject before spending O(mn^2).
+  for (int j = 0; j < q; ++j) {
+    for (int i = 0; i < p; ++i) {
+      if (!all_finite(A.tile(i, j))) {
+        throw numerical_hazard_error("ge2bnd: non-finite entry in tile");
+      }
+    }
+  }
   AlgConfig cfg;
   cfg.qr_tree = opt.qr_tree;
   cfg.lq_tree = opt.lq_tree;

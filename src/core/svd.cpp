@@ -1,16 +1,68 @@
 #include "core/svd.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "band/band_matrix.hpp"
 #include "band/bnd2bd.hpp"
 #include "common/check.hpp"
+#include "common/fault.hpp"
+#include "common/hazard.hpp"
 #include "common/timer.hpp"
 
 namespace tbsvd {
 
+namespace {
+
+// One pass over every tile: finiteness plus max |a_ij|. Padding tiles are
+// zero, so they never affect the result.
+ExtremeScan scan_tiles(const TileMatrix& A) {
+  ExtremeScan s;
+  for (int j = 0; j < A.nt(); ++j) {
+    for (int i = 0; i < A.mt(); ++i) {
+      const ExtremeScan c = scan_extremes(A.tile(i, j));
+      s.finite = s.finite && c.finite;
+      if (c.amax > s.amax) s.amax = c.amax;
+    }
+  }
+  return s;
+}
+
+void scale_tiles(TileMatrix& A, double cfrom, double cto) {
+  for (int j = 0; j < A.nt(); ++j) {
+    for (int i = 0; i < A.mt(); ++i) {
+      scale_stepwise(A.tile(i, j), cfrom, cto);
+    }
+  }
+}
+
+}  // namespace
+
 std::vector<double> gesvd_values(TileMatrix& A, const GesvdOptions& opts,
-                                 GesvdTimings* timings) {
+                                 GesvdTimings* timings, SvdInfo* info) {
+  TBSVD_CHECK(opts.nb >= 1, "gesvd_values: tile size nb must be >= 1");
+  SvdInfo local_info;
+  SvdInfo& si = (info != nullptr) ? *info : local_info;
+  si = SvdInfo{};
+
+  // Hazard scan + dlascl-style safe pre-scaling (dgesvd protocol): bring
+  // extreme norms into [svd_safe_min(), svd_safe_max()] so the reduction
+  // squares nothing out of range, and unscale the spectrum on exit.
+  const ExtremeScan scan = scan_tiles(A);
+  if (!scan.finite) {
+    throw numerical_hazard_error("gesvd_values: non-finite entry in input");
+  }
+  const double target = svd_safe_target(scan.amax);
+  if (target != scan.amax) {
+    scale_tiles(A, scan.amax, target);
+    si.scaled = true;
+    si.scale_from = scan.amax;
+    si.scale_to = target;
+  }
+  if (TBSVD_FAULT_FIRE("core.svd.poison_tile")) {
+    A.tile(0, 0)(0, 0) = std::numeric_limits<double>::quiet_NaN();
+  }
+
   WallTimer timer;
   ExecResult r = ge2bnd(A, opts.ge2bnd);
   const double t1 = timer.seconds();
@@ -19,8 +71,15 @@ std::vector<double> gesvd_values(TileMatrix& A, const GesvdOptions& opts,
   Bidiagonal bd = bnd2bd(band);
   const double t2 = timer.seconds();
 
-  std::vector<double> sv = bd2val(bd, opts.bd2val);
+  Bd2valInfo bi;
+  std::vector<double> sv = bd2val(bd, opts.bd2val, &bi);
   const double t3 = timer.seconds();
+
+  si.qr_iterations = bi.qr_iterations;
+  si.bisection_fallback = bi.bisection_fallback;
+  si.status = bi.status;
+  si.ge2bnd_tasks = r.ntasks;
+  if (si.scaled) scale_stepwise(sv, si.scale_to, si.scale_from);
 
   if (timings != nullptr) {
     timings->ge2bnd_seconds = t1;
@@ -32,10 +91,14 @@ std::vector<double> gesvd_values(TileMatrix& A, const GesvdOptions& opts,
 }
 
 std::vector<double> gesvd_values(ConstMatrixView A, const GesvdOptions& opts,
-                                 GesvdTimings* timings) {
+                                 GesvdTimings* timings, SvdInfo* info) {
   TBSVD_CHECK(A.m >= A.n, "gesvd_values requires m >= n (transpose first)");
+  TBSVD_CHECK(A.n == 0 || A.a != nullptr, "gesvd_values: null input data");
+  TBSVD_CHECK(opts.nb >= 1, "gesvd_values: tile size nb must be >= 1");
+  if (info != nullptr) *info = SvdInfo{};
+  if (A.n == 0) return {};
   TileMatrix tiled = tile_from_dense_padded(A, opts.nb);
-  std::vector<double> sv = gesvd_values(tiled, opts, timings);
+  std::vector<double> sv = gesvd_values(tiled, opts, timings, info);
   // Padding contributed exactly (padded_n - n) zero singular values at the
   // tail of the sorted spectrum; keep the leading n.
   sv.resize(A.n);

@@ -1,11 +1,19 @@
 // GE2VAL: singular values of a general dense matrix via the paper's
 // pipeline GE2BND (tiled, parallel) + BND2BD (bulge chasing) + BD2VAL
 // (bidiagonal QR iteration).
+//
+// Hazard contract (docs/ROBUSTNESS.md): the input is scanned once up
+// front — NaN/Inf throws numerical_hazard_error; a max-norm outside the
+// safe range [svd_safe_min(), svd_safe_max()] is scaled into it before the
+// reduction (LAPACK dgesvd/dlascl protocol) and the singular values are
+// unscaled on exit, flagged in SvdInfo. A QR-iteration stall in BD2VAL
+// degrades to Sturm bisection (Status::Degraded) instead of failing.
 #pragma once
 
 #include <vector>
 
 #include "band/bd2val.hpp"
+#include "common/error.hpp"
 #include "core/ge2bnd.hpp"
 #include "lac/dense.hpp"
 
@@ -27,14 +35,38 @@ struct GesvdTimings {
   }
 };
 
+/// Per-solve diagnostics: what the hazard-hardening layer did. status is
+/// Ok on the clean path and Degraded when a fallback produced the (still
+/// correct) result; hazards that cannot be absorbed throw instead.
+struct SvdInfo {
+  Status status = Status::Ok;
+  bool scaled = false;       ///< safe pre-scaling was applied
+  double scale_from = 0.0;   ///< input max-norm (valid when scaled)
+  double scale_to = 0.0;     ///< safe-range target norm (valid when scaled)
+  long long qr_iterations = 0;   ///< BD2VAL inner QR-iteration steps
+  bool bisection_fallback = false;  ///< BD2VAL degraded to Sturm bisection
+  std::size_t ge2bnd_tasks = 0;
+
+  /// True when the returned values are trustworthy — a flagged degraded
+  /// solve (e.g. the Sturm bisection fallback) still produced a correct
+  /// spectrum, just off the primary path.
+  [[nodiscard]] bool ok() const noexcept {
+    return status == Status::Ok || status == Status::Degraded;
+  }
+};
+
 /// Singular values (descending) of tiled A (consumed in place, p >= q).
+/// A is scanned for non-finite entries (throws numerical_hazard_error) and
+/// pre-scaled in place when its norm is extreme (reported via info).
 std::vector<double> gesvd_values(TileMatrix& A, const GesvdOptions& opts,
-                                 GesvdTimings* timings = nullptr);
+                                 GesvdTimings* timings = nullptr,
+                                 SvdInfo* info = nullptr);
 
 /// Singular values (descending) of a dense m x n matrix, m >= n. The input
 /// is padded to tile multiples internally (zero rows/columns add exactly
 /// zero singular values, which are trimmed from the result).
 std::vector<double> gesvd_values(ConstMatrixView A, const GesvdOptions& opts,
-                                 GesvdTimings* timings = nullptr);
+                                 GesvdTimings* timings = nullptr,
+                                 SvdInfo* info = nullptr);
 
 }  // namespace tbsvd

@@ -12,6 +12,9 @@
 // Q^T = H_1 ... H_k = I - V^T T V (T upper triangular, forward row storage).
 // Costs in units of nb^3/3 mirror Table I exactly (GELQT 4, UNMLQ 6,
 // TSLQT 6, TSMLQ 12, TTLQT 2, TTMLQ 6).
+//
+// Like the QR kernels, these assume pre-validated, pre-scaled inputs —
+// the drivers' hazard handling is documented in docs/ROBUSTNESS.md.
 #pragma once
 
 #include "lac/blas.hpp"

@@ -1,9 +1,11 @@
 #include "kernels/qr_kernels.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/fault.hpp"
 #include "lac/householder.hpp"
 #include "lac/qr_rec.hpp"
 #include "lac/qr_ref.hpp"
@@ -52,6 +54,9 @@ void geqrt(MatrixView A, MatrixView T, int ib) {
       larfb_left_t(Trans::Yes, panel, Tp,
                    A.block(j0, j0 + kb, m - j0, n - j0 - kb), g_larfb_work);
     }
+  }
+  if (TBSVD_FAULT_FIRE("kernels.geqrt.poison_nan")) {
+    A(0, 0) = std::numeric_limits<double>::quiet_NaN();
   }
 }
 

@@ -15,6 +15,10 @@
 // TSQRT 6, TSMQR 12, TTQRT 2, TTMQR 6. The TS kernels see full nb-length
 // reflector tails; the TT kernels exploit triangular tails, which is where
 // the 3x panel / 2x update savings come from.
+//
+// Kernels assume pre-validated, pre-scaled inputs: the drivers scan for
+// NaN/Inf and scale extreme norms before any kernel runs, and carry named
+// fault-injection sites for the hazard tier (docs/ROBUSTNESS.md).
 #pragma once
 
 #include "lac/blas.hpp"

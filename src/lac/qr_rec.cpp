@@ -1,9 +1,11 @@
 #include "lac/qr_rec.hpp"
 
 #include <algorithm>
+#include <new>
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/fault.hpp"
 #include "lac/householder.hpp"
 
 namespace tbsvd {
@@ -20,6 +22,7 @@ thread_local std::vector<double> g_merge;  // G = cross-Gram block in merges
 thread_local Matrix g_larfb_work;          // workspace for the block applies
 
 double* scratch(std::vector<double>& v, std::size_t n) {
+  if (TBSVD_FAULT_FIRE("lac.qr_rec.alloc_fail")) throw std::bad_alloc();
   if (v.size() < n) v.resize(n);
   return v.data();
 }

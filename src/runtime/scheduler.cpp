@@ -3,6 +3,7 @@
 #include <thread>
 
 #include "common/check.hpp"
+#include "common/fault.hpp"
 #include "common/rng.hpp"
 #include "common/timer.hpp"
 
@@ -56,7 +57,8 @@ bool Scheduler::try_steal(int thief, int& task_id) {
 
 void Scheduler::worker_loop(int wid) {
   Trace& tr = worker_traces_[wid];
-  while (remaining_.load(std::memory_order_acquire) > 0) {
+  while (remaining_.load(std::memory_order_acquire) > 0 &&
+         !aborted_.load(std::memory_order_acquire)) {
     int task_id;
     if (!try_pop(wid, task_id) && !try_steal(wid, task_id)) {
       // Nothing runnable: sleep until new work is produced or all done.
@@ -65,7 +67,8 @@ void Scheduler::worker_loop(int wid) {
       if (remaining_.load(std::memory_order_acquire) == 0) break;
       idle_cv_.wait_for(lk, std::chrono::milliseconds(1), [&] {
         return work_signal_.load(std::memory_order_acquire) != sig ||
-               remaining_.load(std::memory_order_acquire) == 0;
+               remaining_.load(std::memory_order_acquire) == 0 ||
+               aborted_.load(std::memory_order_acquire);
       });
       continue;
     }
@@ -76,7 +79,23 @@ void Scheduler::worker_loop(int wid) {
     ev.worker = wid;
     ev.name = t.name;
     ev.t_start = WallTimer::now() - t0_;
-    t.fn();
+    try {
+      if (TBSVD_FAULT_FIRE("runtime.scheduler.task_fail")) {
+        throw internal_error("injected fault: scheduler task failure");
+      }
+      t.fn();
+    } catch (...) {
+      // First failure wins; abort the run and hand the exception to the
+      // submitting thread. Successors of the failed task never release, so
+      // no task runs on data the failed one should have produced.
+      {
+        std::lock_guard<std::mutex> lk(error_mtx_);
+        if (!first_error_) first_error_ = std::current_exception();
+      }
+      aborted_.store(true, std::memory_order_release);
+      idle_cv_.notify_all();
+      return;
+    }
     ev.t_end = WallTimer::now() - t0_;
     tr.record(ev);
 
@@ -114,8 +133,10 @@ void Scheduler::run() {
   }
   for (auto& th : threads) th.join();
 
-  TBSVD_CHECK(remaining_.load() == 0,
-              "scheduler finished with unexecuted tasks (cyclic graph?)");
+  if (first_error_) std::rethrow_exception(first_error_);
+  TBSVD_INTERNAL_CHECK(remaining_.load() == 0,
+                       "scheduler finished with unexecuted tasks "
+                       "(cyclic graph?)");
   graph_.trace_.reserve(graph_.tasks_.size());
   for (auto& tr : worker_traces_) graph_.trace_.append(tr);
 }

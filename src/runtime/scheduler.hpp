@@ -2,9 +2,16 @@
 // locality-first scheduling (a completed task's newly-ready successors go to
 // the finishing worker, approximating PARSEC's data-reuse heuristic) and
 // random stealing for load balance.
+//
+// Failure propagation (docs/ROBUSTNESS.md): a task that throws aborts the
+// run — no further tasks start, in-flight tasks on other workers finish,
+// and the first exception is rethrown to the caller of run() on the
+// submitting thread. Exceptions never cross silently into worker threads
+// (which would std::terminate) and a failed run never reports success.
 #pragma once
 
 #include <condition_variable>
+#include <exception>
 #include <memory>
 #include <mutex>
 #include <queue>
@@ -52,6 +59,9 @@ class Scheduler {
   std::atomic<int> work_signal_{0};
   std::vector<Trace> worker_traces_;
   double t0_ = 0.0;
+  std::atomic<bool> aborted_{false};
+  std::mutex error_mtx_;
+  std::exception_ptr first_error_;  // first task failure, rethrown by run()
 };
 
 }  // namespace tbsvd
