@@ -115,34 +115,88 @@ inline Record e2e_record(std::string name, int nb, int ib, int m, int n,
   return r;
 }
 
-/// Shared argv handling for the benches: `[--smoke] [--out PATH]`.
+/// Scalar type a bench series runs in. F64 is the historical default;
+/// Mixed is the float-reduction + double-eigensolve driver (only the
+/// end-to-end benches distinguish it from F32).
+enum class DType { F64, F32, Mixed };
+
+inline const char* dtype_name(DType d) {
+  switch (d) {
+    case DType::F64: return "f64";
+    case DType::F32: return "f32";
+    case DType::Mixed: return "mixed";
+  }
+  return "?";
+}
+
+/// Series-name suffix for a dtype: empty for f64 (keeps the historical
+/// series names diffable across PRs), "_f32" / "_mixed" otherwise.
+inline std::string dtype_suffix(DType d) {
+  return d == DType::F64 ? "" : std::string("_") + dtype_name(d);
+}
+
+/// Shared argv handling for the benches:
+/// `[--smoke] [--out PATH] [--dtype f32|f64|mixed] [--nb N]`.
 /// Returns false (after printing usage) on unknown arguments. `smoke`
 /// additionally picks up pre-set state (e.g. TBSVD_BENCH_FULL) untouched —
 /// it only narrows the sweep; `out` is left at the caller's default when
-/// no --out is given.
+/// no --out is given. Benches that don't support precision selection or a
+/// tile-size override pass nullptr for `dtype` / `nb`, which rejects the
+/// flag.
 inline bool parse_bench_args(int argc, char** argv, bool& smoke,
-                             const char*& out) {
+                             const char*& out, DType* dtype = nullptr,
+                             int* nb = nullptr) {
+  auto usage = [&] {
+    std::fprintf(stderr, "usage: %s [--smoke] [--out PATH]%s%s\n", argv[0],
+                 dtype != nullptr ? " [--dtype f32|f64|mixed]" : "",
+                 nb != nullptr ? " [--nb N]" : "");
+    return false;
+  };
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out = argv[++i];
+    } else if (dtype != nullptr && std::strcmp(argv[i], "--dtype") == 0 &&
+               i + 1 < argc) {
+      const char* v = argv[++i];
+      if (std::strcmp(v, "f64") == 0) {
+        *dtype = DType::F64;
+      } else if (std::strcmp(v, "f32") == 0) {
+        *dtype = DType::F32;
+      } else if (std::strcmp(v, "mixed") == 0) {
+        *dtype = DType::Mixed;
+      } else {
+        return usage();
+      }
+    } else if (nb != nullptr && std::strcmp(argv[i], "--nb") == 0 &&
+               i + 1 < argc) {
+      *nb = std::atoi(argv[++i]);
+      if (*nb < 1) return usage();
     } else {
-      std::fprintf(stderr, "usage: %s [--smoke] [--out PATH]\n", argv[0]);
-      return false;
+      return usage();
     }
   }
   return true;
 }
 
 /// Measured seconds per tile kernel at (nb, ib): the cost model that turns
-/// schedule simulation into wall-clock / GFlop/s predictions.
+/// schedule simulation into wall-clock / GFlop/s predictions. Templated
+/// over the scalar so the float series simulate with float kernel times;
+/// the default keeps the historical double calibration.
+template <class T = double>
 inline std::map<Op, double> calibrate_kernels(int nb, int ib, int reps = 3) {
   using namespace tbsvd::kernels;
   std::map<Op, double> out;
-  Matrix a1 = generate_random(nb, nb, 1), a2 = generate_random(nb, nb, 2);
-  Matrix c1 = generate_random(nb, nb, 3), c2 = generate_random(nb, nb, 4);
-  Matrix t(ib, nb);
+  auto gen = [&](std::uint64_t s) {
+    Matrix Ad = generate_random(nb, nb, s);
+    MatrixT<T> A(nb, nb);
+    convert_matrix(Ad.cview(), A.view());
+    return A;
+  };
+  MatrixT<T> a1 = gen(1);
+  MatrixT<T> c1 = gen(3), c2 = gen(4);
+  MatrixT<T> t(ib, nb);
 
   auto time_op = [&](auto&& setup, auto&& fn) {
     double best = 1e300;
@@ -154,21 +208,21 @@ inline std::map<Op, double> calibrate_kernels(int nb, int ib, int reps = 3) {
     }
     return best;
   };
-  auto reset = [&](Matrix& m, std::uint64_t s) { m = generate_random(nb, nb, s); };
+  auto reset = [&](MatrixT<T>& m, std::uint64_t s) { m = gen(s); };
 
   out[Op::GEQRT] = time_op([&] { reset(a1, 1); },
                            [&] { geqrt(a1.view(), t.view(), ib); });
   // Factored (V, T) reused for the update kernels.
-  Matrix vq = generate_random(nb, nb, 11), tq(ib, nb);
+  MatrixT<T> vq = gen(11), tq(ib, nb);
   geqrt(vq.view(), tq.view(), ib);
   out[Op::UNMQR] = time_op([&] { reset(c1, 5); }, [&] {
     unmqr(Trans::Yes, vq.cview(), tq.cview(), c1.view(), ib);
   });
-  Matrix r1 = generate_random(nb, nb, 12), v2 = generate_random(nb, nb, 13);
-  Matrix tts(ib, nb);
+  MatrixT<T> r1 = gen(12), v2 = gen(13);
+  MatrixT<T> tts(ib, nb);
   for (int j = 0; j < nb; ++j)
-    for (int i = j + 1; i < nb; ++i) r1(i, j) = 0;
-  Matrix r1c = r1, v2c = v2;
+    for (int i = j + 1; i < nb; ++i) r1(i, j) = T(0);
+  MatrixT<T> r1c = r1, v2c = v2;
   tsqrt(r1c.view(), v2c.view(), tts.view(), ib);
   out[Op::TSQRT] = time_op(
       [&] {
@@ -179,10 +233,10 @@ inline std::map<Op, double> calibrate_kernels(int nb, int ib, int reps = 3) {
   out[Op::TSMQR] = time_op([&] { reset(c1, 6); reset(c2, 7); }, [&] {
     tsmqr(Trans::Yes, c1.view(), c2.view(), v2c.cview(), tts.cview(), ib);
   });
-  Matrix u1 = r1, u2 = generate_random(nb, nb, 14), ttt(ib, nb);
+  MatrixT<T> u1 = r1, u2 = gen(14), ttt(ib, nb);
   for (int j = 0; j < nb; ++j)
-    for (int i = j + 1; i < nb; ++i) u2(i, j) = 0;
-  Matrix u1c = u1, u2c = u2;
+    for (int i = j + 1; i < nb; ++i) u2(i, j) = T(0);
+  MatrixT<T> u1c = u1, u2c = u2;
   ttqrt(u1c.view(), u2c.view(), ttt.view(), ib);
   out[Op::TTQRT] = time_op(
       [&] {

@@ -12,12 +12,19 @@
 // small sizes, FlatTS catches up on large sizes; R-BIDIAG overtakes BIDIAG
 // quickly on tall-and-skinny matrices (up to ~1.8x).
 //
+// --dtype selects the scalar the reduction runs in: f64 (default, the
+// historical series), f32 (16-lane zmm micro-kernel), or mixed — which at
+// the GE2BND level is the float reduction (the mixed driver's O(mn^2)
+// stage), recorded under its own series suffix so the history tier can
+// track the float-vs-double throughput ratio. --nb overrides the tile
+// size (default 64; the precision comparison in docs/PERF.md uses 160).
+//
 // Every measured and simulated point is also appended to the JSON artifact
 // (default BENCH_fig2_ge2bnd.json; same Record schema as the kernel
 // benches plus the problem extents), so the end-to-end curves are
 // diffable across PRs via bench/history/.
 //
-// Usage: fig2_ge2bnd [--smoke] [--out PATH]
+// Usage: fig2_ge2bnd [--smoke] [--out PATH] [--dtype f32|f64|mixed] [--nb N]
 #include <thread>
 
 #include "bench_common.hpp"
@@ -31,33 +38,48 @@ namespace {
 using namespace tbsvd;
 using namespace tbsvd::bench;
 
-constexpr int kNb = 64;
-constexpr int kIb = 16;
+int g_nb = 64;
+int g_ib = 16;
+DType g_dtype = DType::F64;
 
 std::vector<Record> g_records;
 
 void record_point(const std::string& name, int m, int n, double seconds) {
-  g_records.push_back(e2e_record(name, kNb, kIb, m, n, seconds));
+  g_records.push_back(e2e_record(name, g_nb, g_ib, m, n, seconds));
 }
 
-double measured_gflops(int m, int n, TreeKind tree, BidiagAlg alg,
-                       int nthreads, const std::string& series) {
-  TileMatrix A(m, n, kNb);
-  A.from_dense(generate_random(m, n, 42).cview());
+template <class T>
+double measured_gflops_t(int m, int n, TreeKind tree, BidiagAlg alg,
+                         int nthreads, const std::string& series) {
+  TileMatrixT<T> A(m, n, g_nb);
+  Matrix Ad = generate_random(m, n, 42);
+  MatrixT<T> At(m, n);
+  convert_matrix(Ad.cview(), At.view());
+  A.from_dense(At.cview());
   Ge2bndOptions opt;
   opt.qr_tree = opt.lq_tree = tree;
   opt.alg = alg;
-  opt.ib = kIb;
+  opt.ib = g_ib;
   opt.nthreads = nthreads;
   ExecResult r = ge2bnd(A, opt);
   record_point(series + "_meas", m, n, r.seconds);
   return flops_ge2bnd(m, n) / r.seconds / 1e9;
 }
 
+double measured_gflops(int m, int n, TreeKind tree, BidiagAlg alg,
+                       int nthreads, const std::string& series) {
+  // At this stage mixed == float: the mixed driver's reduction runs
+  // entirely in f32 (the double part is the band eigensolve, not GE2BND).
+  if (g_dtype == DType::F64) {
+    return measured_gflops_t<double>(m, n, tree, alg, nthreads, series);
+  }
+  return measured_gflops_t<float>(m, n, tree, alg, nthreads, series);
+}
+
 double simulated_gflops(int m, int n, TreeKind tree, BidiagAlg alg, int cores,
                         const std::map<Op, double>& ktab,
                         const std::string& series) {
-  const int p = m / kNb, q = n / kNb;
+  const int p = m / g_nb, q = n / g_nb;
   AlgConfig cfg;
   cfg.qr_tree = cfg.lq_tree = tree;
   cfg.ncores = cores;
@@ -76,23 +98,30 @@ int main(int argc, char** argv) {
 
   bool smoke = false;
   const char* out = "BENCH_fig2_ge2bnd.json";
-  if (!parse_bench_args(argc, argv, smoke, out)) return 2;
+  if (!parse_bench_args(argc, argv, smoke, out, &g_dtype, &g_nb)) return 2;
+  const std::string dsuf = dtype_suffix(g_dtype);
 
   const int hw = static_cast<int>(std::thread::hardware_concurrency());
-  const auto ktab = calibrate_kernels(kNb, kIb, smoke ? 2 : 3);
+  const auto ktab = (g_dtype == DType::F64)
+                        ? calibrate_kernels<double>(g_nb, g_ib, smoke ? 2 : 3)
+                        : calibrate_kernels<float>(g_nb, g_ib, smoke ? 2 : 3);
   const TreeKind trees[] = {TreeKind::FlatTS, TreeKind::FlatTT,
                             TreeKind::Greedy, TreeKind::Auto};
 
   // ---- (a) Square BIDIAG ------------------------------------------------
-  print_header("Fig.2a GE2BND square (BIDIAG), GFlop/s",
+  print_header(std::string("Fig.2a GE2BND square (BIDIAG), GFlop/s [") +
+                   dtype_name(g_dtype) + ", nb=" + std::to_string(g_nb) + "]",
                {"M=N", "tree", "meas(P=" + std::to_string(hw) + ")",
                 "sim(P=24)"});
   std::vector<int> sizes = {256, 512, 768};
   if (smoke) sizes = {256};
   if (full_mode()) sizes = {256, 512, 768, 1024, 1536, 2048};
+  // Sizes must tile evenly for the simulator's (p, q) grid.
+  for (int& s : sizes) s = std::max(1, s / g_nb) * g_nb;
   for (int n : sizes) {
     for (TreeKind tree : trees) {
-      const std::string series = std::string("fig2a_") + tree_name(tree);
+      const std::string series =
+          std::string("fig2a_") + tree_name(tree) + dsuf;
       const double meas =
           measured_gflops(n, n, tree, BidiagAlg::Bidiag, hw, series);
       const double sim =
@@ -113,16 +142,20 @@ int main(int argc, char** argv) {
     cases = {{128, {256, 512, 1024, 2048, 4096, 8192}},
              {320, {640, 1280, 2560, 5120}}};
   }
+  for (auto& c : cases) {
+    c.n = std::max(1, c.n / g_nb) * g_nb;
+    for (int& m : c.ms) m = std::max(2 * c.n / g_nb, m / g_nb) * g_nb;
+  }
   for (const auto& c : cases) {
     print_header("Fig.2b/c GE2BND tall-skinny N=" + std::to_string(c.n) +
-                     ", GFlop/s",
+                     ", GFlop/s [" + dtype_name(g_dtype) + "]",
                  {"M", "tree", "alg", "meas", "sim(P=24)"});
     for (int m : c.ms) {
       for (TreeKind tree : trees) {
         for (BidiagAlg alg : {BidiagAlg::Bidiag, BidiagAlg::RBidiag}) {
           const std::string series =
               std::string("fig2bc_") + tree_name(tree) + "_" +
-              (alg == BidiagAlg::Bidiag ? "bidiag" : "rbidiag");
+              (alg == BidiagAlg::Bidiag ? "bidiag" : "rbidiag") + dsuf;
           const double meas = measured_gflops(m, c.n, tree, alg, hw, series);
           const double sim =
               simulated_gflops(m, c.n, tree, alg, 24, ktab, series);

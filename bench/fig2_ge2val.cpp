@@ -9,11 +9,17 @@
 // Paper shapes: the tiled two-stage codes dominate; on tall-and-skinny the
 // one-stage GEBRD codes flatline while tbsvd/elemental keep scaling.
 //
+// --dtype selects the working precision: f64 (default), f32 (every driver
+// in float), or mixed — the tiled columns run gesvd_values_mixed (float
+// reduction, double eigensolve + refinement) while the one-stage baselines
+// stay in f64, their accuracy-equivalent. Non-f64 series carry a _f32 /
+// _mixed suffix so the history tier tracks each precision separately.
+//
 // Every point lands in the JSON artifact (default BENCH_fig2_ge2val.json,
 // Record schema plus problem extents) for cross-PR tracking via
 // bench/history/.
 //
-// Usage: fig2_ge2val [--smoke] [--out PATH]
+// Usage: fig2_ge2val [--smoke] [--out PATH] [--dtype f32|f64|mixed] [--nb N]
 #include <thread>
 
 #include "baseline/chan.hpp"
@@ -27,6 +33,9 @@ namespace {
 using namespace tbsvd;
 using namespace tbsvd::bench;
 
+int g_nb = 64;
+DType g_dtype = DType::F64;
+
 std::vector<Record> g_records;
 
 double record_point(const std::string& name, int m, int n, int nb, int ib,
@@ -35,15 +44,41 @@ double record_point(const std::string& name, int m, int n, int nb, int ib,
   return g_records.back().gflops;
 }
 
-double run_tbsvd(int m, int n, int nthreads, TreeKind tree, BidiagAlg alg,
-                 const std::string& series) {
-  Matrix A = generate_random(m, n, 7);
+template <class T>
+MatrixT<T> input_matrix(int m, int n) {
+  Matrix Ad = generate_random(m, n, 7);
+  MatrixT<T> A(m, n);
+  convert_matrix(Ad.cview(), A.view());
+  return A;
+}
+
+GesvdOptions tiled_opts(int nthreads, TreeKind tree, BidiagAlg alg) {
   GesvdOptions o;
-  o.nb = 64;
+  o.nb = g_nb;
   o.ge2bnd.ib = 16;
   o.ge2bnd.qr_tree = o.ge2bnd.lq_tree = tree;
   o.ge2bnd.alg = alg;
   o.ge2bnd.nthreads = nthreads;
+  return o;
+}
+
+double run_tbsvd(int m, int n, int nthreads, TreeKind tree, BidiagAlg alg,
+                 const std::string& series) {
+  const GesvdOptions o = tiled_opts(nthreads, tree, alg);
+  if (g_dtype == DType::F32) {
+    MatrixT<float> A = input_matrix<float>(m, n);
+    WallTimer w;
+    auto sv = gesvd_values(A.cview(), o);
+    benchmark_keep(sv);
+    return record_point(series, m, n, o.nb, o.ge2bnd.ib, w.seconds());
+  }
+  Matrix A = input_matrix<double>(m, n);
+  if (g_dtype == DType::Mixed) {
+    WallTimer w;
+    auto sv = gesvd_values_mixed(A.cview(), o);
+    benchmark_keep(sv);
+    return record_point(series, m, n, o.nb, o.ge2bnd.ib, w.seconds());
+  }
   WallTimer w;
   auto sv = gesvd_values(A.cview(), o);
   benchmark_keep(sv);
@@ -52,10 +87,17 @@ double run_tbsvd(int m, int n, int nthreads, TreeKind tree, BidiagAlg alg,
 
 double run_gebrd(int m, int n, int nb, int nthreads,
                  const std::string& series) {
-  Matrix A = generate_random(m, n, 7);
   GebrdOptions o;
   o.nb = nb;
   o.nthreads = nthreads;
+  if (g_dtype == DType::F32) {
+    MatrixT<float> A = input_matrix<float>(m, n);
+    WallTimer w;
+    auto sv = gebrd_singular_values(A.cview(), o);
+    benchmark_keep(sv);
+    return record_point(series, m, n, nb, 0, w.seconds());
+  }
+  Matrix A = input_matrix<double>(m, n);
   WallTimer w;
   auto sv = gebrd_singular_values(A.cview(), o);
   benchmark_keep(sv);
@@ -63,10 +105,17 @@ double run_gebrd(int m, int n, int nb, int nthreads,
 }
 
 double run_chan(int m, int n, int nthreads, const std::string& series) {
-  Matrix A = generate_random(m, n, 7);
   ChanOptions o;
   o.gebrd.nb = 32;
   o.gebrd.nthreads = nthreads;
+  if (g_dtype == DType::F32) {
+    MatrixT<float> A = input_matrix<float>(m, n);
+    WallTimer w;
+    auto sv = chan_singular_values(A.cview(), o);
+    benchmark_keep(sv);
+    return record_point(series, m, n, o.gebrd.nb, 0, w.seconds());
+  }
+  Matrix A = input_matrix<double>(m, n);
   WallTimer w;
   auto sv = chan_singular_values(A.cview(), o);
   benchmark_keep(sv);
@@ -81,45 +130,51 @@ int main(int argc, char** argv) {
 
   bool smoke = false;
   const char* out = "BENCH_fig2_ge2val.json";
-  if (!parse_bench_args(argc, argv, smoke, out)) return 2;
+  if (!parse_bench_args(argc, argv, smoke, out, &g_dtype, &g_nb)) return 2;
+  const std::string dsuf = dtype_suffix(g_dtype);
 
   const int hw = static_cast<int>(std::thread::hardware_concurrency());
 
-  print_header("Fig.2d GE2VAL square, GFlop/s",
+  print_header(std::string("Fig.2d GE2VAL square, GFlop/s [") +
+                   dtype_name(g_dtype) + ", nb=" + std::to_string(g_nb) + "]",
                {"M=N", "tbsvd", "plasma*", "mkl*", "scalapack*",
                 "elemental*"});
   std::vector<int> sizes = {256, 512, 768};
   if (smoke) sizes = {256};
   if (full_mode()) sizes = {256, 512, 768, 1024, 1536};
+  for (int& s : sizes) s = std::max(1, s / g_nb) * g_nb;
   for (int n : sizes) {
     std::printf(
         "%14d%14.2f%14.2f%14.2f%14.2f%14.2f\n", n,
-        run_tbsvd(n, n, hw, TreeKind::Auto, BidiagAlg::Bidiag, "fig2d_tbsvd"),
+        run_tbsvd(n, n, hw, TreeKind::Auto, BidiagAlg::Bidiag,
+                  "fig2d_tbsvd" + dsuf),
         run_tbsvd(n, n, hw, TreeKind::FlatTS, BidiagAlg::Bidiag,
-                  "fig2d_plasma"),
-        run_gebrd(n, n, 32, hw, "fig2d_mkl"),
-        run_gebrd(n, n, 48, 1, "fig2d_scalapack"),
-        run_chan(n, n, 1, "fig2d_elemental"));
+                  "fig2d_plasma" + dsuf),
+        run_gebrd(n, n, 32, hw, "fig2d_mkl" + dsuf),
+        run_gebrd(n, n, 48, 1, "fig2d_scalapack" + dsuf),
+        run_chan(n, n, 1, "fig2d_elemental" + dsuf));
   }
 
   for (int nfix : smoke ? std::vector<int>{128} : std::vector<int>{128, 320}) {
+    nfix = std::max(1, nfix / g_nb) * g_nb;
     print_header("Fig.2e/f GE2VAL tall-skinny N=" + std::to_string(nfix) +
-                     ", GFlop/s",
+                     ", GFlop/s [" + dtype_name(g_dtype) + "]",
                  {"M", "tbsvd", "plasma*", "mkl*", "scalapack*",
                   "elemental*"});
     std::vector<int> ms = {512, 1024, 2048};
     if (smoke) ms = {512};
     if (full_mode()) ms = {512, 1024, 2048, 4096, 8192};
+    for (int& m : ms) m = std::max(2 * nfix / g_nb, m / g_nb) * g_nb;
     for (int m : ms) {
       std::printf(
           "%14d%14.2f%14.2f%14.2f%14.2f%14.2f\n", m,
           run_tbsvd(m, nfix, hw, TreeKind::Auto, BidiagAlg::Auto,
-                    "fig2ef_tbsvd"),
+                    "fig2ef_tbsvd" + dsuf),
           run_tbsvd(m, nfix, hw, TreeKind::FlatTS, BidiagAlg::Bidiag,
-                    "fig2ef_plasma"),
-          run_gebrd(m, nfix, 32, hw, "fig2ef_mkl"),
-          run_gebrd(m, nfix, 48, 1, "fig2ef_scalapack"),
-          run_chan(m, nfix, 1, "fig2ef_elemental"));
+                    "fig2ef_plasma" + dsuf),
+          run_gebrd(m, nfix, 32, hw, "fig2ef_mkl" + dsuf),
+          run_gebrd(m, nfix, 48, 1, "fig2ef_scalapack" + dsuf),
+          run_chan(m, nfix, 1, "fig2ef_elemental" + dsuf));
     }
   }
   return write_json(out, g_records) ? 0 : 1;

@@ -12,6 +12,13 @@
 // slightly ahead on the large square case; Greedy ahead on the first
 // tall-skinny case; GE2VAL saturating because BND2BD+BD2VAL stay on one
 // node (upper bound shown).
+//
+// Every simulated point is appended to the JSON artifact (default
+// BENCH_fig3_dist_strong.json; Record schema, node count encoded in the
+// series name as _n<k>) so the scaling curves are diffable across PRs via
+// bench/history/record.sh.
+//
+// Usage: fig3_dist_strong [--smoke] [--out PATH]
 #include "band/bnd2bd.hpp"
 #include "bench_common.hpp"
 #include "core/alg_gen.hpp"
@@ -26,8 +33,11 @@ using namespace tbsvd::bench;
 constexpr int kNb = 160;  // paper tile size; simulation only
 constexpr int kIb = 32;
 
+std::vector<Record> g_records;
+
 struct Case {
   const char* label;
+  const char* key;  ///< short slug used in JSON series names
   int m, n;
   bool rbidiag;
   bool square_grid;
@@ -41,21 +51,31 @@ double seq_tail_seconds(int n, double kernel_gflops) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tbsvd;
   using namespace tbsvd::bench;
 
-  const auto ktab = calibrate_kernels(kNb, kIb);
+  bool smoke = false;
+  const char* out = "BENCH_fig3_dist_strong.json";
+  if (!parse_bench_args(argc, argv, smoke, out)) return 2;
+
+  const auto ktab = calibrate_kernels(kNb, kIb, smoke ? 2 : 3);
   const double kernel_gflops =
       kernels::flops_geqrt(kNb, kNb) / ktab.at(Op::GEQRT) / 1e9;
 
   std::vector<Case> cases = {
-      {"square M=N=5120 (paper 20000)", 5120, 5120, false, true},
-      {"square M=N=7680 (paper 30000)", 7680, 7680, false, true},
-      {"TS 200000x2080 (paper 2M x 2000, q=13)", 200000, 2080, true, false},
-      {"TS 100000x4800 (paper 1M x 10000)", 100000, 4800, true, false},
+      {"square M=N=5120 (paper 20000)", "sq5120", 5120, 5120, false, true},
+      {"square M=N=7680 (paper 30000)", "sq7680", 7680, 7680, false, true},
+      {"TS 200000x2080 (paper 2M x 2000, q=13)", "ts200k", 200000, 2080,
+       true, false},
+      {"TS 100000x4800 (paper 1M x 10000)", "ts100k", 100000, 4800, true,
+       false},
   };
   std::vector<int> nodes = {1, 4, 9, 16, 25};
+  if (smoke) {
+    cases.resize(1);
+    nodes = {1, 4};
+  }
 
   const TreeKind trees[] = {TreeKind::FlatTS, TreeKind::FlatTT,
                             TreeKind::Greedy, TreeKind::Auto};
@@ -80,6 +100,10 @@ int main() {
                              : build_bidiag_ops(p, q, cfg);
         const auto r =
             simulate_distributed(ops, dist, params, measured_cost(ktab));
+        g_records.push_back(e2e_record(
+            std::string("fig3_ge2bnd_") + c.key + "_" + tree_name(tree) +
+                "_n" + std::to_string(nn),
+            kNb, kIb, c.m, c.n, r.makespan));
         std::printf("%14d%14s%14.1f%14.2f\n", nn, tree_name(tree),
                     flops_ge2bnd(c.m, c.n) / r.makespan / 1e9,
                     r.comm_volume_bytes / 1e9);
@@ -100,11 +124,14 @@ int main() {
                            : build_bidiag_ops(p, q, cfg);
       const auto r =
           simulate_distributed(ops, dist, params, measured_cost(ktab));
+      g_records.push_back(e2e_record(
+          std::string("fig3_ge2val_") + c.key + "_n" + std::to_string(nn),
+          kNb, kIb, c.m, c.n, r.makespan + tail));
       const double gf =
           flops_ge2bnd(c.m, c.n) / (r.makespan + tail) / 1e9;
       const double bound = flops_ge2bnd(c.m, c.n) / tail / 1e9;
       std::printf("%14d%14.1f%14.1f\n", nn, gf, bound);
     }
   }
-  return 0;
+  return write_json(out, g_records) ? 0 : 1;
 }

@@ -8,6 +8,13 @@
 // with Greedy on the wider case (lower communication volume); Auto scales
 // best; the GEBRD-style competitors' efficiency collapses, while the
 // R-BIDIAG code keeps 0.4+ efficiency.
+//
+// Every simulated point is appended to the JSON artifact (default
+// BENCH_fig4_dist_weak.json; Record schema, node count encoded in the
+// series name as _n<k>) so the weak-scaling curves are diffable across PRs
+// via bench/history/record.sh.
+//
+// Usage: fig4_dist_weak [--smoke] [--out PATH]
 #include "bench_common.hpp"
 #include "core/alg_gen.hpp"
 #include "common/flops.hpp"
@@ -21,25 +28,36 @@ using namespace tbsvd::bench;
 constexpr int kNb = 160;
 constexpr int kIb = 32;
 
+std::vector<Record> g_records;
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tbsvd;
   using namespace tbsvd::bench;
 
-  const auto ktab = calibrate_kernels(kNb, kIb);
+  bool smoke = false;
+  const char* out = "BENCH_fig4_dist_weak.json";
+  if (!parse_bench_args(argc, argv, smoke, out)) return 2;
+
+  const auto ktab = calibrate_kernels(kNb, kIb, smoke ? 2 : 3);
   const double kernel_gflops =
       kernels::flops_geqrt(kNb, kNb) / ktab.at(Op::GEQRT) / 1e9;
 
   struct Row {
     const char* label;
+    const char* key;  ///< short slug used in JSON series names
     int m_per_node, n;
   };
-  const Row rows[] = {{"(8000 x nodes) x 2080 (paper 80000N x 2000)", 8000,
-                       2080},
-                      {"(10000 x nodes) x 4800 (paper 100000N x 10000)",
-                       10000, 4800}};
+  std::vector<Row> rows = {{"(8000 x nodes) x 2080 (paper 80000N x 2000)",
+                            "w2080", 8000, 2080},
+                           {"(10000 x nodes) x 4800 (paper 100000N x 10000)",
+                            "w4800", 10000, 4800}};
   std::vector<int> nodes = {1, 2, 4, 8, 16, 25};
+  if (smoke) {
+    rows.resize(1);
+    nodes = {1, 2, 4};
+  }
   const TreeKind trees[] = {TreeKind::FlatTS, TreeKind::FlatTT,
                             TreeKind::Greedy, TreeKind::Auto};
   DistSimParams params;
@@ -62,6 +80,10 @@ int main() {
         auto ops = build_rbidiag_ops(p, q, cfg);
         const auto r =
             simulate_distributed(ops, dist, params, measured_cost(ktab));
+        g_records.push_back(e2e_record(
+            std::string("fig4_ge2bnd_") + row.key + "_" + tree_name(tree) +
+                "_n" + std::to_string(nn),
+            kNb, kIb, m, row.n, r.makespan));
         const double gf = flops_ge2bnd(m, row.n) / r.makespan / 1e9;
         std::printf("%14d%14s%14.1f%14.1f\n", nn, tree_name(tree), gf,
                     gf / nn);
@@ -86,10 +108,13 @@ int main() {
       auto ops = build_rbidiag_ops(p, q, cfg);
       const auto r =
           simulate_distributed(ops, dist, params, measured_cost(ktab));
+      g_records.push_back(e2e_record(
+          std::string("fig4_ge2val_") + row.key + "_n" + std::to_string(nn),
+          kNb, kIb, m, row.n, r.makespan + tail));
       const double gf = flops_ge2bnd(m, row.n) / (r.makespan + tail) / 1e9;
       if (nn == 1) gf1 = gf;
       std::printf("%14d%14.1f%14.3f\n", nn, gf, gf / (gf1 * nn));
     }
   }
-  return 0;
+  return write_json(out, g_records) ? 0 : 1;
 }

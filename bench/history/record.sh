@@ -1,9 +1,12 @@
 #!/bin/sh
 # Record the current build's bench artifacts into bench/history/<sha>/.
 # Run from anywhere inside the repo after producing the BENCH_*.json files
-# (all looked for in the current directory): BENCH_gemm.json and
-# BENCH_kernels.json are the kernel tier, BENCH_fig2_ge2bnd.json and
-# BENCH_fig2_ge2val.json the end-to-end fig2 curves.
+# (all globbed from the current directory): BENCH_gemm.json and
+# BENCH_kernels.json are the kernel tier, BENCH_fig2_*.json the end-to-end
+# shared-memory curves (per-dtype variants carry _f32/_mixed series names
+# inside; record them under distinct --out paths, e.g.
+# BENCH_fig2_ge2bnd_f32.json), and BENCH_fig3_*/BENCH_fig4_*.json the
+# distributed-simulation scaling curves.
 set -eu
 
 repo_root=$(git rev-parse --show-toplevel)
@@ -15,8 +18,7 @@ dest="${repo_root}/bench/history/${sha}"
 mkdir -p "${dest}"
 
 found=0
-for f in BENCH_gemm.json BENCH_kernels.json \
-         BENCH_fig2_ge2bnd.json BENCH_fig2_ge2val.json; do
+for f in BENCH_*.json; do
   if [ -f "${f}" ]; then
     # Refuse to record artifacts with non-finite numbers: a bench that
     # produced NaN/Inf is broken, and history must stay trustworthy. The

@@ -4,14 +4,16 @@
 
 namespace tbsvd {
 
-BandMatrix::BandMatrix(int n, int kl, int ku)
+template <class T>
+BandMatrixT<T>::BandMatrixT(int n, int kl, int ku)
     : n_(n), kl_(kl), ku_(ku), ldab_(kl + ku + 1),
-      ab_(static_cast<std::size_t>(ldab_) * n, 0.0) {
+      ab_(static_cast<std::size_t>(ldab_) * n, T(0)) {
   TBSVD_CHECK(n >= 0 && kl >= 0 && ku >= 0, "invalid band dimensions");
 }
 
-Matrix BandMatrix::to_dense() const {
-  Matrix D(n_, n_);
+template <class T>
+MatrixT<T> BandMatrixT<T>::to_dense() const {
+  MatrixT<T> D(n_, n_);
   for (int j = 0; j < n_; ++j) {
     const int ilo = std::max(0, j - ku_);
     const int ihi = std::min(n_ - 1, j + kl_);
@@ -20,14 +22,15 @@ Matrix BandMatrix::to_dense() const {
   return D;
 }
 
-BandMatrix band_from_tiles(const TileMatrix& A) {
+template <class T>
+BandMatrixT<T> band_from_tiles(const TileMatrixT<T>& A) {
   const int n = A.cols();
   const int nb = A.nb();
   const int q = A.nt();
-  BandMatrix B(n, 0, nb);
+  BandMatrixT<T> B(n, 0, nb);
   for (int k = 0; k < q; ++k) {
     // Diagonal tile: upper triangle holds R values.
-    ConstMatrixView d = A.tile(k, k);
+    ConstMatrixViewT<T> d = A.tile(k, k);
     for (int j = 0; j < nb; ++j) {
       for (int i = 0; i <= j; ++i) {
         B.at(k * nb + i, k * nb + j) = d(i, j);
@@ -35,7 +38,7 @@ BandMatrix band_from_tiles(const TileMatrix& A) {
     }
     // Superdiagonal tile: lower triangle holds L values.
     if (k + 1 < q) {
-      ConstMatrixView s = A.tile(k, k + 1);
+      ConstMatrixViewT<T> s = A.tile(k, k + 1);
       for (int j = 0; j < nb; ++j) {
         for (int i = j; i < nb; ++i) {
           B.at(k * nb + i, (k + 1) * nb + j) = s(i, j);
@@ -45,5 +48,11 @@ BandMatrix band_from_tiles(const TileMatrix& A) {
   }
   return B;
 }
+
+template class BandMatrixT<float>;
+template class BandMatrixT<double>;
+template BandMatrixT<float> band_from_tiles<float>(const TileMatrixT<float>&);
+template BandMatrixT<double> band_from_tiles<double>(
+    const TileMatrixT<double>&);
 
 }  // namespace tbsvd

@@ -2,7 +2,8 @@
 // GE2BND and BND2BD stages. GE2BND leaves the band implicitly in the tiled
 // matrix (diagonal tiles upper-triangular, superdiagonal tiles
 // lower-triangular, Householder data elsewhere); band_from_tiles extracts
-// exactly the band part.
+// exactly the band part. Templated over the scalar type T in {float,
+// double}; the unsuffixed BandMatrix remains the double alias.
 #pragma once
 
 #include <vector>
@@ -14,10 +15,11 @@ namespace tbsvd {
 
 /// n x n band matrix with kl subdiagonals and ku superdiagonals.
 /// Entry (i, j) is stored iff -ku <= i - j <= kl.
-class BandMatrix {
+template <class T>
+class BandMatrixT {
  public:
-  BandMatrix() = default;
-  BandMatrix(int n, int kl, int ku);
+  BandMatrixT() = default;
+  BandMatrixT(int n, int kl, int ku);
 
   [[nodiscard]] int n() const noexcept { return n_; }
   [[nodiscard]] int kl() const noexcept { return kl_; }
@@ -29,28 +31,31 @@ class BandMatrix {
   }
 
   /// Mutable in-band element (caller must ensure in_band).
-  [[nodiscard]] double& at(int i, int j) noexcept {
+  [[nodiscard]] T& at(int i, int j) noexcept {
     return ab_[static_cast<std::size_t>(j) * ldab_ + (ku_ + i - j)];
   }
   /// Value with zero outside the band.
-  [[nodiscard]] double get(int i, int j) const noexcept {
-    if (i < 0 || j < 0 || i >= n_ || j >= n_ || !in_band(i, j)) return 0.0;
+  [[nodiscard]] T get(int i, int j) const noexcept {
+    if (i < 0 || j < 0 || i >= n_ || j >= n_ || !in_band(i, j)) return T(0);
     return ab_[static_cast<std::size_t>(j) * ldab_ + (ku_ + i - j)];
   }
-  void set(int i, int j, double v) noexcept {
+  void set(int i, int j, T v) noexcept {
     if (in_band(i, j)) at(i, j) = v;
   }
 
-  [[nodiscard]] Matrix to_dense() const;
+  [[nodiscard]] MatrixT<T> to_dense() const;
 
  private:
   int n_ = 0, kl_ = 0, ku_ = 0, ldab_ = 1;
-  std::vector<double> ab_;
+  std::vector<T> ab_;
 };
+
+using BandMatrix = BandMatrixT<double>;
 
 /// Extract the band-bidiagonal result of GE2BND from the tiled matrix:
 /// an n x n upper-band matrix with ku = nb (kl = 0), where n = A.cols().
 /// Only the structurally meaningful parts of the tiles are read.
-BandMatrix band_from_tiles(const TileMatrix& A);
+template <class T>
+BandMatrixT<T> band_from_tiles(const TileMatrixT<T>& A);
 
 }  // namespace tbsvd

@@ -14,60 +14,60 @@ namespace tbsvd {
 
 namespace {
 
-constexpr double kEps = std::numeric_limits<double>::epsilon();
-
 // Singular values of the 2x2 upper triangular [[f, g], [0, h]]
-// (LAPACK dlas2). Returns {smin, smax}.
-void las2(double f, double g, double h, double& ssmin, double& ssmax) {
-  const double fa = std::fabs(f), ga = std::fabs(g), ha = std::fabs(h);
-  const double fhmn = std::min(fa, ha), fhmx = std::max(fa, ha);
-  if (fhmn == 0.0) {
-    ssmin = 0.0;
-    if (fhmx == 0.0) {
+// (LAPACK xlas2). Returns {smin, smax}.
+template <class T>
+void las2(T f, T g, T h, T& ssmin, T& ssmax) {
+  const T fa = std::fabs(f), ga = std::fabs(g), ha = std::fabs(h);
+  const T fhmn = std::min(fa, ha), fhmx = std::max(fa, ha);
+  if (fhmn == T(0)) {
+    ssmin = T(0);
+    if (fhmx == T(0)) {
       ssmax = ga;
     } else {
-      const double r = std::min(fhmx, ga) / std::max(fhmx, ga);
-      ssmax = std::max(fhmx, ga) * std::sqrt(1.0 + r * r);
+      const T r = std::min(fhmx, ga) / std::max(fhmx, ga);
+      ssmax = std::max(fhmx, ga) * std::sqrt(T(1) + r * r);
     }
     return;
   }
   if (ga < fhmx) {
-    const double as = 1.0 + fhmn / fhmx;
-    const double at = (fhmx - fhmn) / fhmx;
-    const double au = (ga / fhmx) * (ga / fhmx);
-    const double c = 2.0 / (std::sqrt(as * as + au) + std::sqrt(at * at + au));
+    const T as = T(1) + fhmn / fhmx;
+    const T at = (fhmx - fhmn) / fhmx;
+    const T au = (ga / fhmx) * (ga / fhmx);
+    const T c = T(2) / (std::sqrt(as * as + au) + std::sqrt(at * at + au));
     ssmin = fhmn * c;
     ssmax = fhmx / c;
   } else {
-    const double au = fhmx / ga;
-    if (au == 0.0) {
+    const T au = fhmx / ga;
+    if (au == T(0)) {
       ssmin = (fhmn * fhmx) / ga;
       ssmax = ga;
     } else {
-      const double as = 1.0 + fhmn / fhmx;
-      const double at = (fhmx - fhmn) / fhmx;
-      const double c = 1.0 / (std::sqrt(1.0 + (as * au) * (as * au)) +
-                              std::sqrt(1.0 + (at * au) * (at * au)));
-      ssmin = (fhmn * c) * au * 2.0;
+      const T as = T(1) + fhmn / fhmx;
+      const T at = (fhmx - fhmn) / fhmx;
+      const T c = T(1) / (std::sqrt(T(1) + (as * au) * (as * au)) +
+                          std::sqrt(T(1) + (at * au) * (at * au)));
+      ssmin = (fhmn * c) * au * T(2);
       ssmax = ga / (c + c);
     }
   }
 }
 
 // One shifted Golub-Kahan QR sweep on block [lo, hi] (inclusive), top-down.
-void sweep_shifted(std::vector<double>& d, std::vector<double>& e, int lo,
-                   int hi, double shift) {
-  double f = (std::fabs(d[lo]) - shift) *
-             (std::copysign(1.0, d[lo]) + shift / d[lo]);
-  double g = e[lo];
+template <class T>
+void sweep_shifted(std::vector<T>& d, std::vector<T>& e, int lo, int hi,
+                   T shift) {
+  T f = (std::fabs(d[lo]) - shift) *
+        (std::copysign(T(1), d[lo]) + shift / d[lo]);
+  T g = e[lo];
   for (int k = lo; k < hi; ++k) {
-    GivensRotation r1 = lartg(f, g);
+    GivensRotationT<T> r1 = lartg<T>(f, g);
     if (k > lo) e[k - 1] = r1.r;
     f = r1.c * d[k] + r1.s * e[k];
     e[k] = r1.c * e[k] - r1.s * d[k];
     g = r1.s * d[k + 1];
     d[k + 1] = r1.c * d[k + 1];
-    GivensRotation r2 = lartg(f, g);
+    GivensRotationT<T> r2 = lartg<T>(f, g);
     d[k] = r2.r;
     f = r2.c * e[k] + r2.s * d[k + 1];
     d[k + 1] = r2.c * d[k + 1] - r2.s * e[k];
@@ -80,30 +80,32 @@ void sweep_shifted(std::vector<double>& d, std::vector<double>& e, int lo,
 }
 
 // One zero-shift (Demmel-Kahan) sweep on block [lo, hi], top-down.
-void sweep_zero_shift(std::vector<double>& d, std::vector<double>& e, int lo,
-                      int hi) {
-  double cs = 1.0, oldcs = 1.0, oldsn = 0.0;
-  double r = d[lo];
+template <class T>
+void sweep_zero_shift(std::vector<T>& d, std::vector<T>& e, int lo, int hi) {
+  T cs = T(1), oldcs = T(1), oldsn = T(0);
+  T r = d[lo];
   for (int i = lo; i < hi; ++i) {
-    GivensRotation g1 = lartg(d[i] * cs, e[i]);
+    GivensRotationT<T> g1 = lartg<T>(d[i] * cs, e[i]);
     cs = g1.c;
-    double sn = g1.s;
+    T sn = g1.s;
     r = g1.r;
     if (i > lo) e[i - 1] = oldsn * r;
-    GivensRotation g2 = lartg(oldcs * r, d[i + 1] * sn);
+    GivensRotationT<T> g2 = lartg<T>(oldcs * r, d[i + 1] * sn);
     oldcs = g2.c;
     oldsn = g2.s;
     d[i] = g2.r;
   }
-  const double h = d[hi] * cs;
+  const T h = d[hi] * cs;
   e[hi - 1] = h * oldsn;
   d[hi] = h * oldcs;
 }
 
 }  // namespace
 
-std::vector<double> bd2val(std::vector<double> d, std::vector<double> e,
-                           const Bd2valOptions& opts, Bd2valInfo* info) {
+template <class T>
+std::vector<T> bd2val(std::vector<T> d, std::vector<T> e,
+                      const Bd2valOptions& opts, Bd2valInfo* info) {
+  constexpr T kEps = std::numeric_limits<T>::epsilon();
   const int n = static_cast<int>(d.size());
   TBSVD_CHECK(static_cast<int>(e.size()) >= std::max(0, n - 1),
               "bd2val: e must have n-1 entries");
@@ -118,14 +120,14 @@ std::vector<double> bd2val(std::vector<double> d, std::vector<double> e,
     throw numerical_hazard_error("bd2val: non-finite entry in bidiagonal");
   }
 
-  double smax = 0.0;
+  T smax = T(0);
   for (int i = 0; i < n; ++i) smax = std::max(smax, std::fabs(d[i]));
   for (int i = 0; i + 1 < n; ++i) smax = std::max(smax, std::fabs(e[i]));
-  if (smax == 0.0) return std::vector<double>(n, 0.0);
+  if (smax == T(0)) return std::vector<T>(n, T(0));
 
-  const double tol = 16.0 * kEps;
-  const double thresh = tol * smax * 1e-3 +
-      std::numeric_limits<double>::min() / kEps;
+  const T tol = T(16) * kEps;
+  const T thresh = tol * smax * T(1e-3) +
+      std::numeric_limits<T>::min() / kEps;
   long long max_iters =
       static_cast<long long>(opts.max_sweeps_per_value) * n * n + 100;
   if (TBSVD_FAULT_FIRE("band.bd2val.force_stall")) max_iters = 0;
@@ -141,7 +143,7 @@ std::vector<double> bd2val(std::vector<double> d, std::vector<double> e,
     // Deflate negligible superdiagonals from the bottom.
     if (std::fabs(e[hi - 1]) <=
         tol * (std::fabs(d[hi - 1]) + std::fabs(d[hi])) + thresh) {
-      e[hi - 1] = 0.0;
+      e[hi - 1] = T(0);
       --hi;
       continue;
     }
@@ -152,7 +154,7 @@ std::vector<double> bd2val(std::vector<double> d, std::vector<double> e,
                tol * (std::fabs(d[lo - 1]) + std::fabs(d[lo])) + thresh) {
       --lo;
     }
-    if (lo > 0) e[lo - 1] = 0.0;
+    if (lo > 0) e[lo - 1] = T(0);
 
     if (hi - lo == 0) {
       --hi;
@@ -160,11 +162,11 @@ std::vector<double> bd2val(std::vector<double> d, std::vector<double> e,
     }
     // Exact 2x2 solve.
     if (hi - lo == 1) {
-      double ssmin, ssmax;
-      las2(d[lo], e[lo], d[hi], ssmin, ssmax);
+      T ssmin, ssmax;
+      las2<T>(d[lo], e[lo], d[hi], ssmin, ssmax);
       d[lo] = ssmax;
       d[hi] = ssmin;
-      e[lo] = 0.0;
+      e[lo] = T(0);
       hi = lo;
       continue;
     }
@@ -172,29 +174,29 @@ std::vector<double> bd2val(std::vector<double> d, std::vector<double> e,
     // coupling entries toward zero; just use it.
     bool has_zero_diag = false;
     for (int i = lo; i <= hi; ++i) {
-      if (d[i] == 0.0) {
+      if (d[i] == T(0)) {
         has_zero_diag = true;
         break;
       }
     }
-    double shift = 0.0;
+    T shift = T(0);
     if (!has_zero_diag) {
       // Shift = smallest singular value of the trailing 2x2.
-      double ssmin, ssmax;
-      las2(d[hi - 1], e[hi - 1], d[hi], ssmin, ssmax);
+      T ssmin, ssmax;
+      las2<T>(d[hi - 1], e[hi - 1], d[hi], ssmin, ssmax);
       shift = ssmin;
-      double sll = std::fabs(d[lo]);
+      T sll = std::fabs(d[lo]);
       // Demmel-Kahan test: skip the shift when it would wreck relative
       // accuracy (shift too small compared to the leading entry).
-      if (sll > 0.0) {
-        const double ratio = shift / sll;
-        if (ratio * ratio < kEps) shift = 0.0;
+      if (sll > T(0)) {
+        const T ratio = shift / sll;
+        if (ratio * ratio < kEps) shift = T(0);
       }
     }
-    if (shift == 0.0 || has_zero_diag) {
-      sweep_zero_shift(d, e, lo, hi);
+    if (shift == T(0) || has_zero_diag) {
+      sweep_zero_shift<T>(d, e, lo, hi);
     } else {
-      sweep_shifted(d, e, lo, hi, shift);
+      sweep_shifted<T>(d, e, lo, hi, shift);
     }
   }
 
@@ -211,12 +213,21 @@ std::vector<double> bd2val(std::vector<double> d, std::vector<double> e,
       info->bisection_fallback = true;
       info->status = Status::Degraded;
     }
-    return sturm_singular_values(d, e);
+    return sturm_singular_values<T>(d, e);
   }
 
   for (auto& v : d) v = std::fabs(v);
   std::sort(d.begin(), d.end(), std::greater<>());
   return d;
 }
+
+#define TBSVD_INSTANTIATE_BD2VAL(T)                           \
+  template std::vector<T> bd2val<T>(std::vector<T>, std::vector<T>, \
+                                    const Bd2valOptions&, Bd2valInfo*);
+
+TBSVD_INSTANTIATE_BD2VAL(float)
+TBSVD_INSTANTIATE_BD2VAL(double)
+
+#undef TBSVD_INSTANTIATE_BD2VAL
 
 }  // namespace tbsvd

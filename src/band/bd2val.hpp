@@ -1,4 +1,8 @@
-// BD2VAL: singular values of an upper bidiagonal matrix.
+// BD2VAL: singular values of an upper bidiagonal matrix. Templated over
+// the scalar type T in {float, double}; deflation thresholds, shift tests
+// and the bisection fallback all use numeric_limits<T>-derived constants,
+// so the float instantiation converges to float accuracy rather than
+// spinning toward double tolerances.
 //
 // Primary path: implicit QR iteration in the Demmel–Kahan style (shifted
 // Golub–Kahan sweeps, switching to the zero-shift sweep when the shift
@@ -37,14 +41,16 @@ struct Bd2valInfo {
 };
 
 /// Singular values of the bidiagonal (d, e), sorted descending.
-std::vector<double> bd2val(std::vector<double> d, std::vector<double> e,
-                           const Bd2valOptions& opts = {},
-                           Bd2valInfo* info = nullptr);
+template <class T>
+std::vector<T> bd2val(std::vector<T> d, std::vector<T> e,
+                      const Bd2valOptions& opts = {},
+                      Bd2valInfo* info = nullptr);
 
-inline std::vector<double> bd2val(const Bidiagonal& b,
-                                  const Bd2valOptions& opts = {},
-                                  Bd2valInfo* info = nullptr) {
-  return bd2val(b.d, b.e, opts, info);
+template <class T>
+inline std::vector<T> bd2val(const BidiagonalT<T>& b,
+                             const Bd2valOptions& opts = {},
+                             Bd2valInfo* info = nullptr) {
+  return bd2val<T>(b.d, b.e, opts, info);
 }
 
 }  // namespace tbsvd

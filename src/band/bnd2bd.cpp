@@ -13,10 +13,11 @@ namespace {
 
 // Working band with one subdiagonal slot (column-rotation bulge) and one
 // extra superdiagonal slot (row-rotation bulge).
+template <class T>
 class ChaseBand {
  public:
-  ChaseBand(const BandMatrix& B)
-      : n_(B.n()), ku_(B.ku()), W_(B.n(), 1, B.ku() + 1) {
+  ChaseBand(const BandMatrixT<T>& B, std::vector<ChaseRot>* log)
+      : n_(B.n()), ku_(B.ku()), W_(B.n(), 1, B.ku() + 1), log_(log) {
     for (int j = 0; j < n_; ++j) {
       for (int i = std::max(0, j - ku_); i <= j; ++i) {
         W_.at(i, j) = B.get(i, j);
@@ -27,70 +28,81 @@ class ChaseBand {
   // Rotate columns (j-1, j) so that entry (i, j) becomes zero.
   // Returns true if a subdiagonal bulge appeared at (j, j-1).
   bool kill_with_col_rotation(int i, int j) {
-    const double f = W_.get(i, j - 1);
-    const double g = W_.get(i, j);
-    if (g == 0.0) return false;
-    const GivensRotation rot = lartg(f, g);
+    const T f = W_.get(i, j - 1);
+    const T g = W_.get(i, j);
+    if (g == T(0)) return false;
+    const GivensRotationT<T> rot = lartg<T>(f, g);
+    if (log_ != nullptr) {
+      log_->push_back(ChaseRot{false, j, static_cast<double>(rot.c),
+                               static_cast<double>(rot.s)});
+    }
     const int rlo = std::max(0, j - 1 - W_.ku());
     const int rhi = std::min(n_ - 1, j);  // deepest nonzero row is diag of j
     for (int r = rlo; r <= rhi; ++r) {
-      const double x = W_.get(r, j - 1);
-      const double y = W_.get(r, j);
-      if (x == 0.0 && y == 0.0) continue;
+      const T x = W_.get(r, j - 1);
+      const T y = W_.get(r, j);
+      if (x == T(0) && y == T(0)) continue;
       W_.set(r, j - 1, rot.c * x + rot.s * y);
       W_.set(r, j, -rot.s * x + rot.c * y);
     }
-    W_.at(i, j) = 0.0;
-    return j < n_ && W_.get(j, j - 1) != 0.0;
+    W_.at(i, j) = T(0);
+    return j < n_ && W_.get(j, j - 1) != T(0);
   }
 
   // Rotate rows (i-1, i) so that entry (i, i-1) (the subdiagonal bulge)
   // becomes zero. Returns the column of the new superdiagonal bulge at
   // row i-1, or -1 if none was created.
   int kill_with_row_rotation(int i) {
-    const double f = W_.get(i - 1, i - 1);
-    const double g = W_.get(i, i - 1);
-    if (g == 0.0) return -1;
-    const GivensRotation rot = lartg(f, g);
+    const T f = W_.get(i - 1, i - 1);
+    const T g = W_.get(i, i - 1);
+    if (g == T(0)) return -1;
+    const GivensRotationT<T> rot = lartg<T>(f, g);
+    if (log_ != nullptr) {
+      log_->push_back(ChaseRot{true, i, static_cast<double>(rot.c),
+                               static_cast<double>(rot.s)});
+    }
     const int clo = i - 1;
     const int chi = std::min(n_ - 1, i + W_.ku() - 1);  // row i extends here
     for (int c = clo; c <= chi; ++c) {
-      const double x = W_.get(i - 1, c);
-      const double y = W_.get(i, c);
-      if (x == 0.0 && y == 0.0) continue;
+      const T x = W_.get(i - 1, c);
+      const T y = W_.get(i, c);
+      if (x == T(0) && y == T(0)) continue;
       W_.set(i - 1, c, rot.c * x + rot.s * y);
       W_.set(i, c, -rot.s * x + rot.c * y);
     }
-    W_.at(i, i - 1) = 0.0;
+    W_.at(i, i - 1) = T(0);
     // A genuine bulge sits exactly at (i-1, i-1 + b + 1) = (i-1, i + b),
     // one column past the logical band of width b = ku_. If that column
     // falls off the matrix, the chase ends here.
     const int bulge_col = i + ku_;
-    return (bulge_col <= n_ - 1 && W_.get(i - 1, bulge_col) != 0.0)
+    return (bulge_col <= n_ - 1 && W_.get(i - 1, bulge_col) != T(0))
                ? bulge_col
                : -1;
   }
 
-  [[nodiscard]] double entry(int i, int j) const { return W_.get(i, j); }
+  [[nodiscard]] T entry(int i, int j) const { return W_.get(i, j); }
   [[nodiscard]] int n() const noexcept { return n_; }
 
  private:
   int n_;
   int ku_;
-  BandMatrix W_;
+  BandMatrixT<T> W_;
+  std::vector<ChaseRot>* log_;
 };
 
 }  // namespace
 
-Bidiagonal bnd2bd(const BandMatrix& B) {
+template <class T>
+BidiagonalT<T> bnd2bd(const BandMatrixT<T>& B, std::vector<ChaseRot>* log) {
   TBSVD_CHECK(B.kl() == 0, "bnd2bd expects an upper-band matrix (kl = 0)");
+  if (log != nullptr) log->clear();
   const int n = B.n();
-  Bidiagonal out;
-  out.d.resize(n, 0.0);
-  out.e.resize(std::max(0, n - 1), 0.0);
+  BidiagonalT<T> out;
+  out.d.resize(n, T(0));
+  out.e.resize(std::max(0, n - 1), T(0));
   if (n == 0) return out;
 
-  ChaseBand W(B);
+  ChaseBand<T> W(B, log);
   const int b = B.ku();
   if (b >= 2) {
     for (int i = 0; i < n - 1; ++i) {
@@ -113,9 +125,37 @@ Bidiagonal bnd2bd(const BandMatrix& B) {
   for (int i = 0; i < n; ++i) out.d[i] = W.entry(i, i);
   for (int i = 0; i + 1 < n; ++i) out.e[i] = W.entry(i, i + 1);
   if (TBSVD_FAULT_FIRE("band.bnd2bd.poison_nan")) {
-    out.d[0] = std::numeric_limits<double>::quiet_NaN();
+    out.d[0] = std::numeric_limits<T>::quiet_NaN();
   }
   return out;
 }
+
+void chase_map_to_band(const std::vector<ChaseRot>& log,
+                       std::vector<double>& u, std::vector<double>& v) {
+  // The chase produced bidiag = L W R (rotations in application order), so
+  // band-space vectors are u_band = L^T u_bd and v_band = R v_bd. Both
+  // expand into the same reversed-order two-element update
+  //   (a, b) <- (c a - s b, s a + c b)
+  // on (idx-1, idx): L^T applies the transposed left rotations newest
+  // first, and R = R_1 R_2 ... applied to a vector also unwinds newest
+  // first.
+  for (auto it = log.rbegin(); it != log.rend(); ++it) {
+    std::vector<double>& x = it->left ? u : v;
+    if (x.empty()) continue;
+    const double a = x[it->idx - 1];
+    const double b = x[it->idx];
+    x[it->idx - 1] = it->c * a - it->s * b;
+    x[it->idx] = it->s * a + it->c * b;
+  }
+}
+
+#define TBSVD_INSTANTIATE_BND2BD(T) \
+  template BidiagonalT<T> bnd2bd<T>(const BandMatrixT<T>&, \
+                                    std::vector<ChaseRot>*);
+
+TBSVD_INSTANTIATE_BND2BD(float)
+TBSVD_INSTANTIATE_BND2BD(double)
+
+#undef TBSVD_INSTANTIATE_BND2BD
 
 }  // namespace tbsvd

@@ -9,33 +9,35 @@
 
 namespace tbsvd {
 
-int tgk_sturm_count(const std::vector<double>& d, const std::vector<double>& e,
-                    double x) noexcept {
+template <class T>
+int tgk_sturm_count(const std::vector<T>& d, const std::vector<T>& e,
+                    T x) noexcept {
   // TGK off-diagonal sequence: d[0], e[0], d[1], e[1], ..., d[n-1].
   // Pivot handling follows LAPACK dstebz: near-zero pivots are clamped to
   // -pivmin (and counted), which keeps the count monotone in x.
   const int n = static_cast<int>(d.size());
   const int N = 2 * n;
-  double bmax2 = 1.0;
-  for (double v : d) bmax2 = std::max(bmax2, v * v);
+  T bmax2 = T(1);
+  for (T v : d) bmax2 = std::max(bmax2, v * v);
   for (int i = 0; i + 1 < n; ++i) bmax2 = std::max(bmax2, e[i] * e[i]);
-  const double pivmin = std::numeric_limits<double>::min() * bmax2;
+  const T pivmin = std::numeric_limits<T>::min() * bmax2;
 
   int count = 0;
-  double q = -x;  // first diagonal entry of TGK is 0
+  T q = -x;  // first diagonal entry of TGK is 0
   if (std::fabs(q) <= pivmin) q = -pivmin;
-  if (q <= 0.0) ++count;
+  if (q <= T(0)) ++count;
   for (int k = 1; k < N; ++k) {
-    const double b = (k % 2 == 1) ? d[(k - 1) / 2] : e[k / 2 - 1];
+    const T b = (k % 2 == 1) ? d[(k - 1) / 2] : e[k / 2 - 1];
     q = -x - b * b / q;
     if (std::fabs(q) <= pivmin) q = -pivmin;
-    if (q <= 0.0) ++count;
+    if (q <= T(0)) ++count;
   }
   return count;
 }
 
-std::vector<double> sturm_singular_values(const std::vector<double>& d,
-                                          const std::vector<double>& e) {
+template <class T>
+std::vector<T> sturm_singular_values(const std::vector<T>& d,
+                                     const std::vector<T>& e) {
   const int n = static_cast<int>(d.size());
   TBSVD_CHECK(static_cast<int>(e.size()) >= std::max(0, n - 1),
               "sturm: e must have n-1 entries");
@@ -48,36 +50,132 @@ std::vector<double> sturm_singular_values(const std::vector<double>& d,
   }
 
   // Gershgorin-style upper bound on sigma_max.
-  double bound = 0.0;
+  T bound = T(0);
   for (int i = 0; i < n; ++i) {
-    double s = std::fabs(d[i]);
+    T s = std::fabs(d[i]);
     if (i > 0) s += std::fabs(e[i - 1]);
     if (i + 1 < n) s += std::fabs(e[i]);
     bound = std::max(bound, s);
   }
-  bound = std::max(bound, std::numeric_limits<double>::min()) * 1.0000001;
+  bound = std::max(bound, std::numeric_limits<T>::min()) * T(1.0000001);
 
-  const double eps = std::numeric_limits<double>::epsilon();
-  std::vector<double> sv(n);
+  const T eps = std::numeric_limits<T>::epsilon();
+  std::vector<T> sv(n);
   // Singular value sigma_k (descending, k = 0 largest) satisfies:
   // #eigenvalues of TGK < x equals n + #(sigma < x) for x > 0.
   for (int k = 0; k < n; ++k) {
     // Find x such that exactly (n - 1 - k) singular values are < x ...
     // bisect for the (k+1)-th largest.
-    double lo = 0.0, hi = bound;
+    T lo = T(0), hi = bound;
     const int want = n + (n - 1 - k);  // count threshold separating sigma_k
-    for (int it = 0; it < 120 && hi - lo > eps * bound; ++it) {
-      const double mid = 0.5 * (lo + hi);
-      if (tgk_sturm_count(d, e, mid) > want) {
+    for (int it = 0; it < 160 && hi - lo > eps * bound; ++it) {
+      const T mid = T(0.5) * (lo + hi);
+      if (tgk_sturm_count<T>(d, e, mid) > want) {
         hi = mid;
       } else {
         lo = mid;
       }
     }
-    sv[k] = 0.5 * (lo + hi);
+    sv[k] = T(0.5) * (lo + hi);
   }
   std::sort(sv.begin(), sv.end(), std::greater<>());
   return sv;
 }
+
+std::vector<double> tgk_inverse_iteration(const std::vector<double>& d,
+                                          const std::vector<double>& e,
+                                          double sigma, int iters) {
+  const int n = static_cast<int>(d.size());
+  TBSVD_CHECK(static_cast<int>(e.size()) >= std::max(0, n - 1),
+              "tgk_inverse_iteration: e must have n-1 entries");
+  const int N = 2 * n;
+  std::vector<double> z(N, 0.0);
+  if (n == 0) return z;
+
+  // Off-diagonal sequence of TGK: b[k] couples rows k and k+1.
+  std::vector<double> off(std::max(0, N - 1), 0.0);
+  for (int k = 0; k + 1 < N; ++k) {
+    off[k] = (k % 2 == 0) ? d[k / 2] : e[(k - 1) / 2];
+  }
+
+  // Start from a deterministic quasi-random unit vector (a fixed LCG keeps
+  // the driver reproducible; any vector with a component along the target
+  // eigenvector works).
+  unsigned long long state = 0x9e3779b97f4a7c15ull;
+  for (int k = 0; k < N; ++k) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    z[k] = static_cast<double>(static_cast<long long>(state >> 11)) /
+               static_cast<double>(1ll << 52) -
+           1.0;
+  }
+
+  // LU with partial pivoting of (TGK - sigma I): tridiagonal plus one
+  // fill-in superdiagonal. Factor once, reuse across iterations.
+  std::vector<double> dl(N, 0.0), dm(N, 0.0), du(N, 0.0), du2(N, 0.0);
+  std::vector<int> piv(N, 0);
+  for (int k = 0; k < N; ++k) dm[k] = -sigma;
+  for (int k = 0; k + 1 < N; ++k) {
+    dl[k] = off[k];  // subdiagonal entering row k+1
+    du[k] = off[k];
+  }
+  const double safmin = std::numeric_limits<double>::min();
+  for (int k = 0; k + 1 < N; ++k) {
+    if (std::fabs(dm[k]) >= std::fabs(dl[k])) {
+      piv[k] = 0;
+      if (std::fabs(dm[k]) < safmin) dm[k] = std::copysign(safmin, dm[k]);
+      const double l = dl[k] / dm[k];
+      dl[k] = l;
+      dm[k + 1] -= l * du[k];
+      du2[k] = 0.0;
+    } else {
+      piv[k] = 1;  // swap rows k and k+1
+      const double l = dm[k] / dl[k];
+      dm[k] = dl[k];
+      dl[k] = l;
+      const double tmp = du[k];
+      du[k] = dm[k + 1];
+      du2[k] = (k + 2 < N) ? du[k + 1] : 0.0;
+      dm[k + 1] = tmp - l * du[k];
+      if (k + 2 < N) du[k + 1] = -l * du2[k];
+    }
+  }
+  if (std::fabs(dm[N - 1]) < safmin) {
+    dm[N - 1] = std::copysign(safmin, dm[N - 1] == 0.0 ? 1.0 : dm[N - 1]);
+  }
+
+  std::vector<double> y(N);
+  for (int pass = 0; pass < std::max(1, iters); ++pass) {
+    y = z;
+    // Forward substitution with the recorded row swaps.
+    for (int k = 0; k + 1 < N; ++k) {
+      if (piv[k] == 1) std::swap(y[k], y[k + 1]);
+      y[k + 1] -= dl[k] * y[k];
+    }
+    // Back substitution against U (dm, du, du2).
+    for (int k = N - 1; k >= 0; --k) {
+      double s = y[k];
+      if (k + 1 < N) s -= du[k] * y[k + 1];
+      if (k + 2 < N) s -= du2[k] * y[k + 2];
+      y[k] = s / dm[k];
+    }
+    double nrm = 0.0;
+    for (double v : y) nrm += v * v;
+    nrm = std::sqrt(nrm);
+    if (!(nrm > 0.0) || !std::isfinite(nrm)) break;
+    for (int k = 0; k < N; ++k) z[k] = y[k] / nrm;
+  }
+  return z;
+}
+
+#define TBSVD_INSTANTIATE_STURM(T)                                       \
+  template int tgk_sturm_count<T>(const std::vector<T>&,                 \
+                                  const std::vector<T>&, T) noexcept;    \
+  template std::vector<T> sturm_singular_values<T>(const std::vector<T>&, \
+                                                   const std::vector<T>&);
+
+TBSVD_INSTANTIATE_STURM(float)
+TBSVD_INSTANTIATE_STURM(double)
+
+#undef TBSVD_INSTANTIATE_STURM
 
 }  // namespace tbsvd

@@ -1,6 +1,8 @@
 // Bisection on the Golub-Kahan tridiagonal form: robust (if slower)
 // reference method for bidiagonal singular values, used as the bd2val
-// fallback and as an independent oracle in tests.
+// fallback and as an independent oracle in tests. Templated over the
+// scalar type T in {float, double}; counts and bisection run in T
+// arithmetic with numeric_limits<T>-derived pivot floors.
 //
 // TGK(d, e) is the symmetric tridiagonal matrix with zero diagonal and
 // off-diagonals d1, e1, d2, e2, ..., dn; its eigenvalues are exactly
@@ -13,12 +15,23 @@
 namespace tbsvd {
 
 /// Number of eigenvalues of TGK(d, e) strictly less than x.
-int tgk_sturm_count(const std::vector<double>& d, const std::vector<double>& e,
-                    double x) noexcept;
+template <class T>
+int tgk_sturm_count(const std::vector<T>& d, const std::vector<T>& e,
+                    T x) noexcept;
 
 /// All singular values of the bidiagonal (d, e), sorted descending,
-/// computed to ~eps * sigma_max absolute accuracy by bisection.
-std::vector<double> sturm_singular_values(const std::vector<double>& d,
-                                          const std::vector<double>& e);
+/// computed to ~eps_T * sigma_max absolute accuracy by bisection.
+template <class T>
+std::vector<T> sturm_singular_values(const std::vector<T>& d,
+                                     const std::vector<T>& e);
+
+/// Eigenvector of TGK(d, e) for the eigenvalue nearest sigma, by inverse
+/// iteration in double with a partially pivoted tridiagonal solve (the
+/// mixed-precision driver's refinement backend). The returned z (length
+/// 2n, unit norm) interleaves the bidiagonal's singular vectors as
+/// z = (v1, u1, v2, u2, ..., vn, un) / sqrt(2) in exact arithmetic.
+std::vector<double> tgk_inverse_iteration(const std::vector<double>& d,
+                                          const std::vector<double>& e,
+                                          double sigma, int iters = 3);
 
 }  // namespace tbsvd

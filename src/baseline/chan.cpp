@@ -14,7 +14,8 @@ bool chan_uses_preqr(int m, int n, const ChanOptions& opts) {
   return static_cast<double>(m) >= opts.switch_ratio * n;
 }
 
-std::vector<double> chan_singular_values(ConstMatrixView A,
+template <class T>
+std::vector<double> chan_singular_values(ConstMatrixViewT<T> A,
                                          const ChanOptions& opts) {
   TBSVD_CHECK(A.m >= A.n, "chan_singular_values requires m >= n");
   TBSVD_CHECK(opts.switch_ratio >= 1.0 && opts.qr_nb >= 1,
@@ -22,30 +23,39 @@ std::vector<double> chan_singular_values(ConstMatrixView A,
   const int m = A.m, n = A.n;
   if (n == 0) return {};
   if (!chan_uses_preqr(m, n, opts)) {
-    return gebrd_singular_values(A, opts.gebrd);
+    return gebrd_singular_values<T>(A, opts.gebrd);
   }
   // preQR: factor A = Q R, then bidiagonalize the n x n R. The factor copy
   // is pre-scaled into the safe range (docs/ROBUSTNESS.md) so the reflector
   // norms cannot overflow. The inner GEBRD driver scales and unscales its
   // own copy of R independently, so the two layers compose; this level only
   // undoes its own factor on the final spectrum.
-  const ExtremeScan scan = scan_extremes(A);
+  const ExtremeScan scan = scan_extremes<T>(A);
   if (!scan.finite) {
     throw numerical_hazard_error(
         "chan_singular_values: non-finite entry in input");
   }
-  Matrix W(m, n);
-  copy(A, W.view());
-  const double target = svd_safe_target(scan.amax);
-  if (target != scan.amax) scale_stepwise(W.view(), scan.amax, target);
-  std::vector<double> tau(n);
-  geqrf(W.view(), tau.data(), opts.qr_nb);
-  Matrix R(n, n);
+  MatrixT<T> W(m, n);
+  copy<T>(A, W.view());
+  const double target = svd_safe_target<T>(scan.amax);
+  if (target != scan.amax) scale_stepwise<T>(W.view(), scan.amax, target);
+  std::vector<T> tau(n);
+  geqrf<T>(W.view(), tau.data(), opts.qr_nb);
+  MatrixT<T> R(n, n);
   for (int j = 0; j < n; ++j)
     for (int i = 0; i <= j; ++i) R(i, j) = W(i, j);
-  std::vector<double> sv = gebrd_singular_values(R.cview(), opts.gebrd);
-  if (target != scan.amax) scale_stepwise(sv, target, scan.amax);
+  std::vector<double> sv = gebrd_singular_values<T>(R.cview(), opts.gebrd);
+  if (target != scan.amax) scale_stepwise<double>(sv, target, scan.amax);
   return sv;
 }
+
+#define TBSVD_INSTANTIATE_CHAN(T)                            \
+  template std::vector<double> chan_singular_values<T>(      \
+      ConstMatrixViewT<T>, const ChanOptions&);
+
+TBSVD_INSTANTIATE_CHAN(float)
+TBSVD_INSTANTIATE_CHAN(double)
+
+#undef TBSVD_INSTANTIATE_CHAN
 
 }  // namespace tbsvd

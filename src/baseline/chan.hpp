@@ -1,7 +1,8 @@
 // Chan's algorithm (preQR + bidiagonalization of R), the trick Elemental
 // applies automatically when m >= 1.2 n (Section VI.B). Serves as the
 // "Elemental" stand-in baseline; with the switch disabled it behaves like
-// plain GEBRD ("ScaLAPACK"/"MKL" stand-ins).
+// plain GEBRD ("ScaLAPACK"/"MKL" stand-ins). Templated over the scalar
+// type T in {float, double}.
 #pragma once
 
 #include <vector>
@@ -21,7 +22,8 @@ struct ChanOptions {
 [[nodiscard]] bool chan_uses_preqr(int m, int n, const ChanOptions& opts);
 
 /// Singular values of A (m >= n) via optional preQR + GEBRD + BD2VAL.
-std::vector<double> chan_singular_values(ConstMatrixView A,
+template <class T>
+std::vector<double> chan_singular_values(ConstMatrixViewT<T> A,
                                          const ChanOptions& opts = {});
 
 }  // namespace tbsvd

@@ -10,59 +10,72 @@
 
 namespace tbsvd {
 
-void gebd2(MatrixView A, std::vector<double>& d, std::vector<double>& e) {
+template <class T>
+void gebd2(MatrixViewT<T> A, std::vector<T>& d, std::vector<T>& e) {
   const int m = A.m, n = A.n;
   TBSVD_CHECK(m >= n, "gebd2 requires m >= n");
-  d.assign(n, 0.0);
-  e.assign(std::max(0, n - 1), 0.0);
-  std::vector<double> work(std::max(m, n));
+  d.assign(n, T(0));
+  e.assign(std::max(0, n - 1), T(0));
+  std::vector<T> work(std::max(m, n));
 
   for (int j = 0; j < n; ++j) {
     // Column reflector annihilating A(j+1:m, j).
-    const double tauq =
-        larfg(m - j, A(j, j), &A(std::min(j + 1, m - 1), j), 1);
+    const T tauq =
+        larfg<T>(m - j, A(j, j), &A(std::min(j + 1, m - 1), j), 1);
     d[j] = A(j, j);
     if (j < n - 1) {
-      if (tauq != 0.0) {
-        const double ajj = A(j, j);
-        A(j, j) = 1.0;
-        larf_left(tauq, &A(j, j), 1, A.block(j, j + 1, m - j, n - j - 1),
-                  work.data());
+      if (tauq != T(0)) {
+        const T ajj = A(j, j);
+        A(j, j) = T(1);
+        larf_left<T>(tauq, &A(j, j), 1, A.block(j, j + 1, m - j, n - j - 1),
+                     work.data());
         A(j, j) = ajj;
       }
       // Row reflector annihilating A(j, j+2:n).
-      const double taup =
-          larfg(n - j - 1, A(j, j + 1),
-                &A(j, std::min(j + 2, n - 1)), A.ld);
+      const T taup =
+          larfg<T>(n - j - 1, A(j, j + 1),
+                   &A(j, std::min(j + 2, n - 1)), A.ld);
       e[j] = A(j, j + 1);
-      if (j < m - 1 && taup != 0.0) {
-        const double ajj1 = A(j, j + 1);
-        A(j, j + 1) = 1.0;
-        larf_right(taup, &A(j, j + 1), A.ld,
-                   A.block(j + 1, j + 1, m - j - 1, n - j - 1), work.data());
+      if (j < m - 1 && taup != T(0)) {
+        const T ajj1 = A(j, j + 1);
+        A(j, j + 1) = T(1);
+        larf_right<T>(taup, &A(j, j + 1), A.ld,
+                      A.block(j + 1, j + 1, m - j - 1, n - j - 1),
+                      work.data());
         A(j, j + 1) = ajj1;
       }
     }
   }
 }
 
-std::vector<double> gebd2_singular_values(ConstMatrixView A) {
+template <class T>
+std::vector<double> gebd2_singular_values(ConstMatrixViewT<T> A) {
   TBSVD_CHECK(A.m >= A.n, "gebd2_singular_values requires m >= n");
   if (A.n == 0) return {};
-  const ExtremeScan scan = scan_extremes(A);
+  const ExtremeScan scan = scan_extremes<T>(A);
   if (!scan.finite) {
     throw numerical_hazard_error(
         "gebd2_singular_values: non-finite entry in input");
   }
-  Matrix W(A.m, A.n);
-  copy(A, W.view());
-  const double target = svd_safe_target(scan.amax);
-  if (target != scan.amax) scale_stepwise(W.view(), scan.amax, target);
-  std::vector<double> d, e;
-  gebd2(W.view(), d, e);
-  std::vector<double> sv = bd2val(std::move(d), std::move(e));
-  if (target != scan.amax) scale_stepwise(sv, target, scan.amax);
+  MatrixT<T> W(A.m, A.n);
+  copy<T>(A, W.view());
+  const double target = svd_safe_target<T>(scan.amax);
+  if (target != scan.amax) scale_stepwise<T>(W.view(), scan.amax, target);
+  std::vector<T> d, e;
+  gebd2<T>(W.view(), d, e);
+  std::vector<T> svt = bd2val<T>(std::move(d), std::move(e));
+  std::vector<double> sv(svt.begin(), svt.end());
+  if (target != scan.amax) scale_stepwise<double>(sv, target, scan.amax);
   return sv;
 }
+
+#define TBSVD_INSTANTIATE_GEBD2(T)                                       \
+  template void gebd2<T>(MatrixViewT<T>, std::vector<T>&, std::vector<T>&); \
+  template std::vector<double> gebd2_singular_values<T>(ConstMatrixViewT<T>);
+
+TBSVD_INSTANTIATE_GEBD2(float)
+TBSVD_INSTANTIATE_GEBD2(double)
+
+#undef TBSVD_INSTANTIATE_GEBD2
 
 }  // namespace tbsvd

@@ -1,7 +1,8 @@
 // GEBD2: unblocked Golub-Kahan bidiagonalization (LAPACK xGEBD2), the
 // Level-2 BLAS baseline discussed in Section II. 4mn^2 - 4n^3/3 flops, all
 // in memory-bound matrix-vector work — this is what makes ScaLAPACK/MKL's
-// one-stage GE2BD the paper's whipping boy.
+// one-stage GE2BD the paper's whipping boy. Templated over the scalar
+// type T in {float, double}.
 #pragma once
 
 #include <vector>
@@ -13,9 +14,12 @@ namespace tbsvd {
 /// Reduce dense A (m x n, m >= n) to upper bidiagonal form in place.
 /// Returns the bidiagonal: d (n) and e (n-1). The Householder vectors are
 /// left in A (not needed for singular values).
-void gebd2(MatrixView A, std::vector<double>& d, std::vector<double>& e);
+template <class T>
+void gebd2(MatrixViewT<T> A, std::vector<T>& d, std::vector<T>& e);
 
-/// Convenience: singular values of A through GEBD2 + BD2VAL.
-std::vector<double> gebd2_singular_values(ConstMatrixView A);
+/// Convenience: singular values of A through GEBD2 + BD2VAL (computed in
+/// T, returned in double — float results embed exactly).
+template <class T>
+std::vector<double> gebd2_singular_values(ConstMatrixViewT<T> A);
 
 }  // namespace tbsvd

@@ -12,8 +12,9 @@
 
 namespace tbsvd {
 
-void labrd(MatrixView A, int kb, double* d, double* e, double* tauq,
-           double* taup, MatrixView X, MatrixView Y) {
+template <class T>
+void labrd(MatrixViewT<T> A, int kb, T* d, T* e, T* tauq, T* taup,
+           MatrixViewT<T> X, MatrixViewT<T> Y) {
   const int m = A.m, n = A.n;
   TBSVD_CHECK(m >= n && kb >= 1 && kb <= n, "labrd: bad panel");
   TBSVD_CHECK(X.m >= m && X.n >= kb && Y.m >= n && Y.n >= kb,
@@ -22,59 +23,59 @@ void labrd(MatrixView A, int kb, double* d, double* e, double* tauq,
   for (int i = 0; i < kb; ++i) {
     // Update A(i:m, i) with the previous reflectors of the panel.
     if (i > 0) {
-      gemv(Trans::No, -1.0, A.block(i, 0, m - i, i), &Y(i, 0), Y.ld, 1.0,
-           &A(i, i), 1);
-      gemv(Trans::No, -1.0, X.block(i, 0, m - i, i), &A(0, i), 1, 1.0,
-           &A(i, i), 1);
+      gemv<T>(Trans::No, T(-1), A.block(i, 0, m - i, i), &Y(i, 0), Y.ld,
+              T(1), &A(i, i), 1);
+      gemv<T>(Trans::No, T(-1), X.block(i, 0, m - i, i), &A(0, i), 1, T(1),
+              &A(i, i), 1);
     }
     // Column reflector annihilating A(i+1:m, i).
-    tauq[i] = larfg(m - i, A(i, i), &A(std::min(i + 1, m - 1), i), 1);
+    tauq[i] = larfg<T>(m - i, A(i, i), &A(std::min(i + 1, m - 1), i), 1);
     d[i] = A(i, i);
     if (i >= n - 1) continue;
-    A(i, i) = 1.0;
+    A(i, i) = T(1);
 
     // Y(i+1:n, i) = tauq * (A(i:m, i+1:n)^T u_i - cross terms).
-    gemv(Trans::Yes, 1.0, A.block(i, i + 1, m - i, n - i - 1), &A(i, i), 1,
-         0.0, &Y(i + 1, i), 1);
+    gemv<T>(Trans::Yes, T(1), A.block(i, i + 1, m - i, n - i - 1), &A(i, i),
+            1, T(0), &Y(i + 1, i), 1);
     if (i > 0) {
-      gemv(Trans::Yes, 1.0, A.block(i, 0, m - i, i), &A(i, i), 1, 0.0,
-           &Y(0, i), 1);
-      gemv(Trans::No, -1.0, Y.block(i + 1, 0, n - i - 1, i), &Y(0, i), 1, 1.0,
-           &Y(i + 1, i), 1);
-      gemv(Trans::Yes, 1.0, X.block(i, 0, m - i, i), &A(i, i), 1, 0.0,
-           &Y(0, i), 1);
-      gemv(Trans::Yes, -1.0, A.block(0, i + 1, i, n - i - 1), &Y(0, i), 1,
-           1.0, &Y(i + 1, i), 1);
+      gemv<T>(Trans::Yes, T(1), A.block(i, 0, m - i, i), &A(i, i), 1, T(0),
+              &Y(0, i), 1);
+      gemv<T>(Trans::No, T(-1), Y.block(i + 1, 0, n - i - 1, i), &Y(0, i), 1,
+              T(1), &Y(i + 1, i), 1);
+      gemv<T>(Trans::Yes, T(1), X.block(i, 0, m - i, i), &A(i, i), 1, T(0),
+              &Y(0, i), 1);
+      gemv<T>(Trans::Yes, T(-1), A.block(0, i + 1, i, n - i - 1), &Y(0, i),
+              1, T(1), &Y(i + 1, i), 1);
     }
-    scal(n - i - 1, tauq[i], &Y(i + 1, i), 1);
+    scal<T>(n - i - 1, tauq[i], &Y(i + 1, i), 1);
 
     // Update row A(i, i+1:n).
-    gemv(Trans::No, -1.0, Y.block(i + 1, 0, n - i - 1, i + 1), &A(i, 0), A.ld,
-         1.0, &A(i, i + 1), A.ld);
+    gemv<T>(Trans::No, T(-1), Y.block(i + 1, 0, n - i - 1, i + 1), &A(i, 0),
+            A.ld, T(1), &A(i, i + 1), A.ld);
     if (i > 0) {
-      gemv(Trans::Yes, -1.0, A.block(0, i + 1, i, n - i - 1), &X(i, 0), X.ld,
-           1.0, &A(i, i + 1), A.ld);
+      gemv<T>(Trans::Yes, T(-1), A.block(0, i + 1, i, n - i - 1), &X(i, 0),
+              X.ld, T(1), &A(i, i + 1), A.ld);
     }
     // Row reflector annihilating A(i, i+2:n).
-    taup[i] = larfg(n - i - 1, A(i, i + 1), &A(i, std::min(i + 2, n - 1)),
-                    A.ld);
+    taup[i] = larfg<T>(n - i - 1, A(i, i + 1),
+                       &A(i, std::min(i + 2, n - 1)), A.ld);
     e[i] = A(i, i + 1);
-    A(i, i + 1) = 1.0;
+    A(i, i + 1) = T(1);
 
     // X(i+1:m, i) = taup * (A(i+1:m, i+1:n) v_i - cross terms).
-    gemv(Trans::No, 1.0, A.block(i + 1, i + 1, m - i - 1, n - i - 1),
-         &A(i, i + 1), A.ld, 0.0, &X(i + 1, i), 1);
-    gemv(Trans::Yes, 1.0, Y.block(i + 1, 0, n - i - 1, i + 1), &A(i, i + 1),
-         A.ld, 0.0, &X(0, i), 1);
-    gemv(Trans::No, -1.0, A.block(i + 1, 0, m - i - 1, i + 1), &X(0, i), 1,
-         1.0, &X(i + 1, i), 1);
+    gemv<T>(Trans::No, T(1), A.block(i + 1, i + 1, m - i - 1, n - i - 1),
+            &A(i, i + 1), A.ld, T(0), &X(i + 1, i), 1);
+    gemv<T>(Trans::Yes, T(1), Y.block(i + 1, 0, n - i - 1, i + 1),
+            &A(i, i + 1), A.ld, T(0), &X(0, i), 1);
+    gemv<T>(Trans::No, T(-1), A.block(i + 1, 0, m - i - 1, i + 1), &X(0, i),
+            1, T(1), &X(i + 1, i), 1);
     if (i > 0) {
-      gemv(Trans::No, 1.0, A.block(0, i + 1, i, n - i - 1), &A(i, i + 1),
-           A.ld, 0.0, &X(0, i), 1);
-      gemv(Trans::No, -1.0, X.block(i + 1, 0, m - i - 1, i), &X(0, i), 1, 1.0,
-           &X(i + 1, i), 1);
+      gemv<T>(Trans::No, T(1), A.block(0, i + 1, i, n - i - 1),
+              &A(i, i + 1), A.ld, T(0), &X(0, i), 1);
+      gemv<T>(Trans::No, T(-1), X.block(i + 1, 0, m - i - 1, i), &X(0, i), 1,
+              T(1), &X(i + 1, i), 1);
     }
-    scal(m - i - 1, taup[i], &X(i + 1, i), 1);
+    scal<T>(m - i - 1, taup[i], &X(i + 1, i), 1);
   }
 }
 
@@ -82,10 +83,11 @@ namespace {
 
 // C -= A * op(B), with columns of C partitioned across threads (emulating
 // a multithreaded-BLAS trailing update).
-void threaded_gemm_sub(ConstMatrixView A, ConstMatrixView B, Trans tb,
-                       MatrixView C, int nthreads) {
+template <class T>
+void threaded_gemm_sub(ConstMatrixViewT<T> A, ConstMatrixViewT<T> B,
+                       Trans tb, MatrixViewT<T> C, int nthreads) {
   if (nthreads <= 1 || C.n < 2 * nthreads) {
-    gemm(Trans::No, tb, -1.0, A, B, 1.0, C);
+    gemm<T>(Trans::No, tb, T(-1), A, B, T(1), C);
     return;
   }
   std::vector<std::thread> ths;
@@ -95,10 +97,10 @@ void threaded_gemm_sub(ConstMatrixView A, ConstMatrixView B, Trans tb,
     if (j0 >= C.n) break;
     const int jn = std::min(chunk, C.n - j0);
     ths.emplace_back([=] {
-      ConstMatrixView Bt = (tb == Trans::No) ? B.block(0, j0, B.m, jn)
-                                             : B.block(j0, 0, jn, B.n);
-      MatrixView Ct = C.block(0, j0, C.m, jn);
-      gemm(Trans::No, tb, -1.0, A, Bt, 1.0, Ct);
+      ConstMatrixViewT<T> Bt = (tb == Trans::No) ? B.block(0, j0, B.m, jn)
+                                                 : B.block(j0, 0, jn, B.n);
+      MatrixViewT<T> Ct = C.block(0, j0, C.m, jn);
+      gemm<T>(Trans::No, tb, T(-1), A, Bt, T(1), Ct);
     });
   }
   for (auto& th : ths) th.join();
@@ -106,35 +108,36 @@ void threaded_gemm_sub(ConstMatrixView A, ConstMatrixView B, Trans tb,
 
 }  // namespace
 
-void gebrd(MatrixView A, std::vector<double>& d, std::vector<double>& e,
+template <class T>
+void gebrd(MatrixViewT<T> A, std::vector<T>& d, std::vector<T>& e,
            const GebrdOptions& opts) {
   const int m = A.m, n = A.n;
   TBSVD_CHECK(m >= n, "gebrd requires m >= n");
   TBSVD_CHECK(opts.nb >= 1, "gebrd: nb must be >= 1");
-  d.assign(n, 0.0);
-  e.assign(std::max(0, n - 1), 0.0);
+  d.assign(n, T(0));
+  e.assign(std::max(0, n - 1), T(0));
 
   const int nb = opts.nb;
-  Matrix X(m, nb), Y(n, nb);
-  std::vector<double> tauq(nb), taup(nb);
+  MatrixT<T> X(m, nb), Y(n, nb);
+  std::vector<T> tauq(nb), taup(nb);
 
   int i0 = 0;
   // Blocked phase with LABRD panels + Level-3 trailing updates.
   while (n - i0 > 2 * nb) {
-    MatrixView Asub = A.block(i0, i0, m - i0, n - i0);
-    MatrixView Xv = X.view().block(0, 0, m - i0, nb);
-    MatrixView Yv = Y.view().block(0, 0, n - i0, nb);
-    labrd(Asub, nb, d.data() + i0, e.data() + i0, tauq.data(), taup.data(),
-          Xv, Yv);
+    MatrixViewT<T> Asub = A.block(i0, i0, m - i0, n - i0);
+    MatrixViewT<T> Xv = X.view().block(0, 0, m - i0, nb);
+    MatrixViewT<T> Yv = Y.view().block(0, 0, n - i0, nb);
+    labrd<T>(Asub, nb, d.data() + i0, e.data() + i0, tauq.data(),
+             taup.data(), Xv, Yv);
     // Trailing update: A22 -= U Y^T + X V^T.
     const int mm = m - i0 - nb, nn = n - i0 - nb;
-    MatrixView A22 = Asub.block(nb, nb, mm, nn);
-    threaded_gemm_sub(Asub.block(nb, 0, mm, nb),
-                      ConstMatrixView{Yv.block(nb, 0, nn, nb)}, Trans::Yes,
-                      A22, opts.nthreads);
-    threaded_gemm_sub(ConstMatrixView{Xv.block(nb, 0, mm, nb)},
-                      Asub.block(0, nb, nb, nn), Trans::No, A22,
-                      opts.nthreads);
+    MatrixViewT<T> A22 = Asub.block(nb, nb, mm, nn);
+    threaded_gemm_sub<T>(Asub.block(nb, 0, mm, nb),
+                         ConstMatrixViewT<T>{Yv.block(nb, 0, nn, nb)},
+                         Trans::Yes, A22, opts.nthreads);
+    threaded_gemm_sub<T>(ConstMatrixViewT<T>{Xv.block(nb, 0, mm, nb)},
+                         Asub.block(0, nb, nb, nn), Trans::No, A22,
+                         opts.nthreads);
     // Restore the bidiagonal entries overwritten with implicit ones.
     for (int j = 0; j < nb; ++j) {
       A(i0 + j, i0 + j) = d[i0 + j];
@@ -144,34 +147,49 @@ void gebrd(MatrixView A, std::vector<double>& d, std::vector<double>& e,
   }
   // Unblocked remainder.
   if (i0 < n) {
-    std::vector<double> dr, er;
-    gebd2(A.block(i0, i0, m - i0, n - i0), dr, er);
+    std::vector<T> dr, er;
+    gebd2<T>(A.block(i0, i0, m - i0, n - i0), dr, er);
     for (int j = 0; j + i0 < n; ++j) d[i0 + j] = dr[j];
     for (int j = 0; j + i0 < n - 1; ++j) e[i0 + j] = er[j];
   }
 }
 
-std::vector<double> gebrd_singular_values(ConstMatrixView A,
+template <class T>
+std::vector<double> gebrd_singular_values(ConstMatrixViewT<T> A,
                                           const GebrdOptions& opts) {
   TBSVD_CHECK(A.m >= A.n, "gebrd_singular_values requires m >= n");
   if (A.n == 0) return {};
   // Same hazard contract as the tiled driver (docs/ROBUSTNESS.md): reject
   // non-finite input, scale extreme norms into the safe range, unscale the
   // spectrum on exit.
-  const ExtremeScan scan = scan_extremes(A);
+  const ExtremeScan scan = scan_extremes<T>(A);
   if (!scan.finite) {
     throw numerical_hazard_error(
         "gebrd_singular_values: non-finite entry in input");
   }
-  Matrix W(A.m, A.n);
-  copy(A, W.view());
-  const double target = svd_safe_target(scan.amax);
-  if (target != scan.amax) scale_stepwise(W.view(), scan.amax, target);
-  std::vector<double> d, e;
-  gebrd(W.view(), d, e, opts);
-  std::vector<double> sv = bd2val(std::move(d), std::move(e));
-  if (target != scan.amax) scale_stepwise(sv, target, scan.amax);
+  MatrixT<T> W(A.m, A.n);
+  copy<T>(A, W.view());
+  const double target = svd_safe_target<T>(scan.amax);
+  if (target != scan.amax) scale_stepwise<T>(W.view(), scan.amax, target);
+  std::vector<T> d, e;
+  gebrd<T>(W.view(), d, e, opts);
+  std::vector<T> svt = bd2val<T>(std::move(d), std::move(e));
+  std::vector<double> sv(svt.begin(), svt.end());
+  if (target != scan.amax) scale_stepwise<double>(sv, target, scan.amax);
   return sv;
 }
+
+#define TBSVD_INSTANTIATE_GEBRD(T)                                        \
+  template void labrd<T>(MatrixViewT<T>, int, T*, T*, T*, T*,             \
+                         MatrixViewT<T>, MatrixViewT<T>);                 \
+  template void gebrd<T>(MatrixViewT<T>, std::vector<T>&, std::vector<T>&, \
+                         const GebrdOptions&);                            \
+  template std::vector<double> gebrd_singular_values<T>(                  \
+      ConstMatrixViewT<T>, const GebrdOptions&);
+
+TBSVD_INSTANTIATE_GEBRD(float)
+TBSVD_INSTANTIATE_GEBRD(double)
+
+#undef TBSVD_INSTANTIATE_GEBRD
 
 }  // namespace tbsvd

@@ -3,7 +3,7 @@
 // Level-2 panels and ~50% in Level-3 trailing updates — the algorithm
 // behind the paper's MKL / ScaLAPACK / Elemental competitors. The trailing
 // GEMM updates can be fork-join threaded to emulate a multithreaded-BLAS
-// configuration.
+// configuration. Templated over the scalar type T in {float, double}.
 #pragma once
 
 #include <vector>
@@ -20,15 +20,19 @@ struct GebrdOptions {
 /// Panel step: reduce the first kb rows and columns of A (m x n, m >= n)
 /// to bidiagonal form and build X (m x kb), Y (n x kb) so the trailing
 /// matrix update is A := A - U Y^T - X V^T. d/e/tauq/taup hold kb entries.
-void labrd(MatrixView A, int kb, double* d, double* e, double* tauq,
-           double* taup, MatrixView X, MatrixView Y);
+template <class T>
+void labrd(MatrixViewT<T> A, int kb, T* d, T* e, T* tauq, T* taup,
+           MatrixViewT<T> X, MatrixViewT<T> Y);
 
 /// Reduce dense A (m x n, m >= n) to upper bidiagonal form in place.
-void gebrd(MatrixView A, std::vector<double>& d, std::vector<double>& e,
+template <class T>
+void gebrd(MatrixViewT<T> A, std::vector<T>& d, std::vector<T>& e,
            const GebrdOptions& opts = {});
 
-/// Singular values of A via GEBRD + BD2VAL.
-std::vector<double> gebrd_singular_values(ConstMatrixView A,
+/// Singular values of A via GEBRD + BD2VAL (computed in T, returned in
+/// double — float results embed exactly).
+template <class T>
+std::vector<double> gebrd_singular_values(ConstMatrixViewT<T> A,
                                           const GebrdOptions& opts = {});
 
 }  // namespace tbsvd

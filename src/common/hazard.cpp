@@ -7,56 +7,69 @@
 
 namespace tbsvd {
 
-ExtremeScan scan_extremes(const double* x, std::size_t n) noexcept {
+template <class T>
+ExtremeScan scan_extremes(const T* x, std::size_t n) noexcept {
   ExtremeScan s;
   for (std::size_t i = 0; i < n; ++i) {
-    const double v = x[i];
+    const T v = x[i];
     if (!std::isfinite(v)) s.finite = false;
-    const double a = std::fabs(v);
+    const double a = std::fabs(static_cast<double>(v));
     if (a > s.amax) s.amax = a;  // NaN fails the compare, amax stays finite
   }
   return s;
 }
 
-ExtremeScan scan_extremes(ConstMatrixView A) noexcept {
+template <class T>
+ExtremeScan scan_extremes(ConstMatrixViewT<T> A) noexcept {
   ExtremeScan s;
   for (int j = 0; j < A.n; ++j) {
-    const ExtremeScan c = scan_extremes(A.col(j), static_cast<std::size_t>(A.m));
+    const ExtremeScan c =
+        scan_extremes<T>(A.col(j), static_cast<std::size_t>(A.m));
     s.finite = s.finite && c.finite;
     if (c.amax > s.amax) s.amax = c.amax;
   }
   return s;
 }
 
-bool all_finite(const double* x, std::size_t n) noexcept {
-  return scan_extremes(x, n).finite;
+template <class T>
+bool all_finite(const T* x, std::size_t n) noexcept {
+  return scan_extremes<T>(x, n).finite;
 }
 
-bool all_finite(ConstMatrixView A) noexcept {
-  return scan_extremes(A).finite;
+template <class T>
+bool all_finite(ConstMatrixViewT<T> A) noexcept {
+  return scan_extremes<T>(A).finite;
 }
 
+template <class T>
 double svd_safe_min() noexcept {
   static const double v =
-      std::sqrt(std::numeric_limits<double>::min()) /
-      std::numeric_limits<double>::epsilon();
+      std::sqrt(static_cast<double>(std::numeric_limits<T>::min())) /
+      static_cast<double>(std::numeric_limits<T>::epsilon());
   return v;
 }
 
-double svd_safe_max() noexcept { return 1.0 / svd_safe_min(); }
+template <class T>
+double svd_safe_max() noexcept {
+  return 1.0 / svd_safe_min<T>();
+}
 
+template <class T>
 double svd_safe_target(double amax) noexcept {
-  if (amax > 0.0 && amax < svd_safe_min()) return svd_safe_min();
-  if (amax > svd_safe_max()) return svd_safe_max();
+  if (amax > 0.0 && amax < svd_safe_min<T>()) return svd_safe_min<T>();
+  if (amax > svd_safe_max<T>()) return svd_safe_max<T>();
   return amax;
 }
 
-void scale_stepwise(double* x, std::size_t n, double cfrom, double cto) {
+template <class T>
+void scale_stepwise(T* x, std::size_t n, double cfrom, double cto) {
   TBSVD_CHECK(cfrom != 0.0 && std::isfinite(cfrom) && std::isfinite(cto),
               "scale_stepwise: cfrom must be nonzero finite, cto finite");
   // LAPACK dlascl: chip away at cto/cfrom with factors of smlnum/bignum so
-  // no intermediate multiplier over- or underflows.
-  const double smlnum = std::numeric_limits<double>::min();
+  // no intermediate multiplier over- or underflows *in precision T* — the
+  // chip unit is T's smallest normal, so float data is never pushed through
+  // a sub-float-range multiplier.
+  const double smlnum = static_cast<double>(std::numeric_limits<T>::min());
   const double bignum = 1.0 / smlnum;
   double cfromc = cfrom, ctoc = cto;
   bool done = false;
@@ -85,22 +98,42 @@ void scale_stepwise(double* x, std::size_t n, double cfrom, double cto) {
         done = true;
       }
     }
-    for (std::size_t i = 0; i < n; ++i) x[i] *= mul;
+    for (std::size_t i = 0; i < n; ++i)
+      x[i] = static_cast<T>(static_cast<double>(x[i]) * mul);
   }
 }
 
-void scale_stepwise(MatrixView A, double cfrom, double cto) {
+template <class T>
+void scale_stepwise(MatrixViewT<T> A, double cfrom, double cto) {
   if (A.m == A.ld) {
-    scale_stepwise(A.a, static_cast<std::size_t>(A.m) * A.n, cfrom, cto);
+    scale_stepwise<T>(A.a, static_cast<std::size_t>(A.m) * A.n, cfrom, cto);
     return;
   }
   for (int j = 0; j < A.n; ++j) {
-    scale_stepwise(A.col(j), static_cast<std::size_t>(A.m), cfrom, cto);
+    scale_stepwise<T>(A.col(j), static_cast<std::size_t>(A.m), cfrom, cto);
   }
 }
 
-void scale_stepwise(std::vector<double>& x, double cfrom, double cto) {
-  scale_stepwise(x.data(), x.size(), cfrom, cto);
+template <class T>
+void scale_stepwise(std::vector<T>& x, double cfrom, double cto) {
+  scale_stepwise<T>(x.data(), x.size(), cfrom, cto);
 }
+
+#define TBSVD_INSTANTIATE_HAZARD(T)                                          \
+  template ExtremeScan scan_extremes<T>(const T*, std::size_t) noexcept;     \
+  template ExtremeScan scan_extremes<T>(ConstMatrixViewT<T>) noexcept;       \
+  template bool all_finite<T>(const T*, std::size_t) noexcept;               \
+  template bool all_finite<T>(ConstMatrixViewT<T>) noexcept;                 \
+  template double svd_safe_min<T>() noexcept;                                \
+  template double svd_safe_max<T>() noexcept;                                \
+  template double svd_safe_target<T>(double) noexcept;                       \
+  template void scale_stepwise<T>(T*, std::size_t, double, double);          \
+  template void scale_stepwise<T>(MatrixViewT<T>, double, double);           \
+  template void scale_stepwise<T>(std::vector<T>&, double, double);
+
+TBSVD_INSTANTIATE_HAZARD(float)
+TBSVD_INSTANTIATE_HAZARD(double)
+
+#undef TBSVD_INSTANTIATE_HAZARD
 
 }  // namespace tbsvd

@@ -1,15 +1,18 @@
-// Numerical-hazard detection and LAPACK-style safe scaling.
+// Numerical-hazard detection and LAPACK-style safe scaling, templated over
+// the storage scalar T in {float, double}.
 //
 // The SVD drivers scan their input once up front: NaN/Inf throws
 // numerical_hazard_error immediately (iterating on non-finite data can
 // spin forever), and matrices whose max-norm falls outside
-// [svd_safe_min(), svd_safe_max()] are scaled into that range before the
-// reduction and the singular values unscaled on exit — the dgesvd/dlascl
-// protocol, which keeps every intermediate quantity (norms, Gram entries,
-// shifts) representable without overflow or destructive underflow.
-// Scaling is exact up to one rounding per entry, so scaled solves carry
-// full relative accuracy; drivers flag it in their SvdInfo.
-// See docs/ROBUSTNESS.md for the full contract.
+// [svd_safe_min<T>(), svd_safe_max<T>()] are scaled into that range before
+// the reduction and the singular values unscaled on exit — the
+// dgesvd/dlascl protocol, which keeps every intermediate quantity (norms,
+// Gram entries, shifts) representable without overflow or destructive
+// underflow. The bounds are numeric_limits<T>-derived, so the float path
+// gets float-sized safety margins (smlnum ~ 9.1e-13, bignum ~ 1.1e12)
+// instead of the double ones. Scaling is exact up to one rounding per
+// entry, so scaled solves carry full relative accuracy; drivers flag it in
+// their SvdInfo. See docs/ROBUSTNESS.md for the full contract.
 #pragma once
 
 #include <cstddef>
@@ -19,35 +22,51 @@
 
 namespace tbsvd {
 
-/// One-pass scan result: finiteness and the max absolute entry.
+/// One-pass scan result: finiteness and the max absolute entry (held in
+/// double regardless of the scanned precision — float magnitudes embed
+/// exactly).
 struct ExtremeScan {
   bool finite = true;
   double amax = 0.0;
 };
 
-[[nodiscard]] ExtremeScan scan_extremes(const double* x,
-                                        std::size_t n) noexcept;
-[[nodiscard]] ExtremeScan scan_extremes(ConstMatrixView A) noexcept;
+template <class T>
+[[nodiscard]] ExtremeScan scan_extremes(const T* x, std::size_t n) noexcept;
+template <class T>
+[[nodiscard]] ExtremeScan scan_extremes(ConstMatrixViewT<T> A) noexcept;
 
-[[nodiscard]] bool all_finite(const double* x, std::size_t n) noexcept;
-[[nodiscard]] bool all_finite(ConstMatrixView A) noexcept;
+template <class T>
+[[nodiscard]] bool all_finite(const T* x, std::size_t n) noexcept;
+template <class T>
+[[nodiscard]] bool all_finite(ConstMatrixViewT<T> A) noexcept;
 
-/// Safe-range bounds for SVD reductions: smlnum = sqrt(safe_min)/eps and
-/// bignum = 1/smlnum, exactly LAPACK dgesvd's choices (~6.7e-138 / 1.5e137
-/// in IEEE double). Norms inside [smlnum, bignum] square without hazard.
+/// Safe-range bounds for SVD reductions in precision T: smlnum =
+/// sqrt(safe_min)/eps and bignum = 1/smlnum, exactly LAPACK dgesvd's
+/// choices (~6.7e-138 / 1.5e137 in IEEE double; ~9.1e-13 / 1.1e12 in IEEE
+/// float). Norms inside [smlnum, bignum] square without hazard. The
+/// defaulted parameter keeps the historical double call sites unchanged.
+template <class T = double>
 [[nodiscard]] double svd_safe_min() noexcept;
+template <class T = double>
 [[nodiscard]] double svd_safe_max() noexcept;
 
-/// Target norm for amax: svd_safe_min() if amax underflows the safe range,
-/// svd_safe_max() if it overflows, amax itself (no scaling) otherwise.
-/// amax must be finite and > 0.
+/// Target norm for amax: svd_safe_min<T>() if amax underflows the safe
+/// range, svd_safe_max<T>() if it overflows, amax itself (no scaling)
+/// otherwise. amax must be finite and > 0.
+template <class T = double>
 [[nodiscard]] double svd_safe_target(double amax) noexcept;
 
 /// x := x * (cto/cfrom) computed dlascl-style: the multiplier is applied in
-/// over/underflow-free steps, never forming a ratio outside the
-/// representable range. cfrom must be nonzero and finite, cto finite.
-void scale_stepwise(double* x, std::size_t n, double cfrom, double cto);
-void scale_stepwise(MatrixView A, double cfrom, double cto);
-void scale_stepwise(std::vector<double>& x, double cfrom, double cto);
+/// over/underflow-free steps, never forming a ratio outside T's
+/// representable range (the chip-away unit is numeric_limits<T>::min, so a
+/// float array is never multiplied through a denormal-crushing double
+/// step). cfrom must be nonzero and finite, cto finite; both are given in
+/// double but must be representable in T.
+template <class T>
+void scale_stepwise(T* x, std::size_t n, double cfrom, double cto);
+template <class T>
+void scale_stepwise(MatrixViewT<T> A, double cfrom, double cto);
+template <class T>
+void scale_stepwise(std::vector<T>& x, double cfrom, double cto);
 
 }  // namespace tbsvd

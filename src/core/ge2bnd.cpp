@@ -14,18 +14,19 @@ namespace tbsvd {
 namespace {
 
 // Resolves a symbolic TileAccess to the concrete tile base pointer.
+template <class T>
 struct GridSet {
-  TileMatrix* A;
-  TGrid* tqts;
-  TGrid* tqtt;
-  TGrid* tlts;
-  TGrid* tltt;
+  TileMatrixT<T>* A;
+  TGridT<T>* tqts;
+  TGridT<T>* tqtt;
+  TGridT<T>* tlts;
+  TGridT<T>* tltt;
 
   // Region-granular dependency key: the three parts of an A-tile map to
   // three distinct addresses inside the tile (base, +1, +2). For nb == 1
   // these may collide with a neighbouring tile's key, which only adds
   // conservative (correct) dependencies.
-  const double* ptr(Grid g, int i, int j, Part part) const {
+  const T* ptr(Grid g, int i, int j, Part part) const {
     switch (g) {
       case Grid::A: return A->tile_ptr(i, j) + static_cast<int>(part);
       case Grid::Tqts: return tqts->tile_ptr(i, j);
@@ -38,65 +39,66 @@ struct GridSet {
 };
 
 // The kernel call for one op. Captured by value in the task lambda.
-void run_op(const TileOp& t, const GridSet& g, int ib) {
-  TileMatrix& A = *g.A;
+template <class T>
+void run_op(const TileOp& t, const GridSet<T>& g, int ib) {
+  TileMatrixT<T>& A = *g.A;
   using namespace kernels;
   switch (t.op) {
     case Op::GEQRT:
-      geqrt(A.tile(t.tgt, t.k), g.tqts->tile(t.tgt, t.k), ib);
+      geqrt<T>(A.tile(t.tgt, t.k), g.tqts->tile(t.tgt, t.k), ib);
       break;
     case Op::UNMQR:
-      unmqr(Trans::Yes, A.tile(t.tgt, t.k), g.tqts->tile(t.tgt, t.k),
-            A.tile(t.tgt, t.upd), ib);
+      unmqr<T>(Trans::Yes, A.tile(t.tgt, t.k), g.tqts->tile(t.tgt, t.k),
+               A.tile(t.tgt, t.upd), ib);
       break;
     case Op::TSQRT:
-      tsqrt(A.tile(t.piv, t.k), A.tile(t.tgt, t.k),
-            g.tqts->tile(t.tgt, t.k), ib);
+      tsqrt<T>(A.tile(t.piv, t.k), A.tile(t.tgt, t.k),
+               g.tqts->tile(t.tgt, t.k), ib);
       break;
     case Op::TSMQR:
-      tsmqr(Trans::Yes, A.tile(t.piv, t.upd), A.tile(t.tgt, t.upd),
-            A.tile(t.tgt, t.k), g.tqts->tile(t.tgt, t.k), ib);
+      tsmqr<T>(Trans::Yes, A.tile(t.piv, t.upd), A.tile(t.tgt, t.upd),
+               A.tile(t.tgt, t.k), g.tqts->tile(t.tgt, t.k), ib);
       break;
     case Op::TTQRT:
-      ttqrt(A.tile(t.piv, t.k), A.tile(t.tgt, t.k),
-            g.tqtt->tile(t.tgt, t.k), ib);
+      ttqrt<T>(A.tile(t.piv, t.k), A.tile(t.tgt, t.k),
+               g.tqtt->tile(t.tgt, t.k), ib);
       break;
     case Op::TTMQR:
-      ttmqr(Trans::Yes, A.tile(t.piv, t.upd), A.tile(t.tgt, t.upd),
-            A.tile(t.tgt, t.k), g.tqtt->tile(t.tgt, t.k), ib);
+      ttmqr<T>(Trans::Yes, A.tile(t.piv, t.upd), A.tile(t.tgt, t.upd),
+               A.tile(t.tgt, t.k), g.tqtt->tile(t.tgt, t.k), ib);
       break;
     case Op::GELQT:
-      gelqt(A.tile(t.k, t.tgt), g.tlts->tile(t.k, t.tgt), ib);
+      gelqt<T>(A.tile(t.k, t.tgt), g.tlts->tile(t.k, t.tgt), ib);
       break;
     case Op::UNMLQ:
-      unmlq(Trans::Yes, A.tile(t.k, t.tgt), g.tlts->tile(t.k, t.tgt),
-            A.tile(t.upd, t.tgt), ib);
+      unmlq<T>(Trans::Yes, A.tile(t.k, t.tgt), g.tlts->tile(t.k, t.tgt),
+               A.tile(t.upd, t.tgt), ib);
       break;
     case Op::TSLQT:
-      tslqt(A.tile(t.k, t.piv), A.tile(t.k, t.tgt),
-            g.tlts->tile(t.k, t.tgt), ib);
+      tslqt<T>(A.tile(t.k, t.piv), A.tile(t.k, t.tgt),
+               g.tlts->tile(t.k, t.tgt), ib);
       break;
     case Op::TSMLQ:
-      tsmlq(Trans::Yes, A.tile(t.upd, t.piv), A.tile(t.upd, t.tgt),
-            A.tile(t.k, t.tgt), g.tlts->tile(t.k, t.tgt), ib);
+      tsmlq<T>(Trans::Yes, A.tile(t.upd, t.piv), A.tile(t.upd, t.tgt),
+               A.tile(t.k, t.tgt), g.tlts->tile(t.k, t.tgt), ib);
       break;
     case Op::TTLQT:
-      ttlqt(A.tile(t.k, t.piv), A.tile(t.k, t.tgt),
-            g.tltt->tile(t.k, t.tgt), ib);
+      ttlqt<T>(A.tile(t.k, t.piv), A.tile(t.k, t.tgt),
+               g.tltt->tile(t.k, t.tgt), ib);
       break;
     case Op::TTMLQ:
-      ttmlq(Trans::Yes, A.tile(t.upd, t.piv), A.tile(t.upd, t.tgt),
-            A.tile(t.k, t.tgt), g.tltt->tile(t.k, t.tgt), ib);
+      ttmlq<T>(Trans::Yes, A.tile(t.upd, t.piv), A.tile(t.upd, t.tgt),
+               A.tile(t.k, t.tgt), g.tltt->tile(t.k, t.tgt), ib);
       break;
     case Op::LASET: {
-      MatrixView tile = A.tile(t.tgt, t.k);
+      MatrixViewT<T> tile = A.tile(t.tgt, t.k);
       if (t.upd == 0) {
         for (int j = 0; j < tile.n; ++j) {
-          for (int i = 0; i < tile.m; ++i) tile(i, j) = 0.0;
+          for (int i = 0; i < tile.m; ++i) tile(i, j) = T(0);
         }
       } else {
         for (int j = 0; j < tile.n; ++j) {
-          for (int i = j + 1; i < tile.m; ++i) tile(i, j) = 0.0;
+          for (int i = j + 1; i < tile.m; ++i) tile(i, j) = T(0);
         }
       }
       break;
@@ -106,17 +108,19 @@ void run_op(const TileOp& t, const GridSet& g, int ib) {
 
 }  // namespace
 
-ExecResult execute_tile_ops(TileMatrix& A, const std::vector<TileOp>& ops,
+template <class T>
+ExecResult execute_tile_ops(TileMatrixT<T>& A, const std::vector<TileOp>& ops,
                             const ExecOptions& opt) {
-  TFactors tf(A.mt(), A.nt(), std::min(opt.ib, A.nb()), A.nb());
-  return execute_tile_ops(A, ops, opt, tf);
+  TFactorsT<T> tf(A.mt(), A.nt(), std::min(opt.ib, A.nb()), A.nb());
+  return execute_tile_ops<T>(A, ops, opt, tf);
 }
 
-ExecResult execute_tile_ops(TileMatrix& A, const std::vector<TileOp>& ops,
-                            const ExecOptions& opt, TFactors& tf) {
+template <class T>
+ExecResult execute_tile_ops(TileMatrixT<T>& A, const std::vector<TileOp>& ops,
+                            const ExecOptions& opt, TFactorsT<T>& tf) {
   TBSVD_CHECK(opt.ib >= 1 && opt.ib <= A.nb(), "ExecOptions: need 1<=ib<=nb");
   TBSVD_CHECK(opt.nthreads >= 1, "ExecOptions: need nthreads >= 1");
-  GridSet grids{&A, &tf.tqts, &tf.tqtt, &tf.tlts, &tf.tltt};
+  GridSet<T> grids{&A, &tf.tqts, &tf.tqtt, &tf.tlts, &tf.tltt};
 
   TaskGraph graph;
   std::vector<TileAccess> acc;
@@ -129,7 +133,7 @@ ExecResult execute_tile_ops(TileMatrix& A, const std::vector<TileOp>& ops,
       refs.push_back(DataRef{grids.ptr(a.grid, a.i, a.j, a.part), a.access});
     }
     graph.submit(op_name(t.op), [t, grids, ib = opt.ib] {
-      run_op(t, grids, ib);
+      run_op<T>(t, grids, ib);
     }, refs, t.prio);
   }
 
@@ -146,7 +150,8 @@ ExecResult execute_tile_ops(TileMatrix& A, const std::vector<TileOp>& ops,
   return res;
 }
 
-ExecResult ge2bnd(TileMatrix& A, const Ge2bndOptions& opt) {
+template <class T>
+ExecResult ge2bnd(TileMatrixT<T>& A, const Ge2bndOptions& opt) {
   const int p = A.mt(), q = A.nt();
   TBSVD_CHECK(p >= q && q >= 1, "ge2bnd requires p >= q >= 1 tiles");
   TBSVD_CHECK(opt.ib >= 1, "ge2bnd: need ib >= 1");
@@ -156,7 +161,7 @@ ExecResult ge2bnd(TileMatrix& A, const Ge2bndOptions& opt) {
   // T factors mix every entry of a panel); reject before spending O(mn^2).
   for (int j = 0; j < q; ++j) {
     for (int i = 0; i < p; ++i) {
-      if (!all_finite(A.tile(i, j))) {
+      if (!all_finite<T>(A.tile(i, j))) {
         throw numerical_hazard_error("ge2bnd: non-finite entry in tile");
       }
     }
@@ -176,7 +181,20 @@ ExecResult ge2bnd(TileMatrix& A, const Ge2bndOptions& opt) {
   eo.ib = std::min(opt.ib, A.nb());  // nb caps the useful inner blocking
   eo.nthreads = opt.nthreads;
   eo.serial = opt.serial;
-  return execute_tile_ops(A, ops, eo);
+  return execute_tile_ops<T>(A, ops, eo);
 }
+
+#define TBSVD_INSTANTIATE_GE2BND(T)                                       \
+  template ExecResult execute_tile_ops<T>(                                \
+      TileMatrixT<T>&, const std::vector<TileOp>&, const ExecOptions&);   \
+  template ExecResult execute_tile_ops<T>(                                \
+      TileMatrixT<T>&, const std::vector<TileOp>&, const ExecOptions&,    \
+      TFactorsT<T>&);                                                     \
+  template ExecResult ge2bnd<T>(TileMatrixT<T>&, const Ge2bndOptions&);
+
+TBSVD_INSTANTIATE_GE2BND(float)
+TBSVD_INSTANTIATE_GE2BND(double)
+
+#undef TBSVD_INSTANTIATE_GE2BND
 
 }  // namespace tbsvd

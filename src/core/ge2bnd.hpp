@@ -1,5 +1,7 @@
 // GE2BND driver: executes a TileOp stream on a tiled matrix with the task
 // runtime, reducing it to band bidiagonal form (upper bandwidth nb).
+// Templated over the scalar type T in {float, double}; the op stream and
+// runtime are precision-independent, only the tile kernels change.
 #pragma once
 
 #include <vector>
@@ -26,24 +28,29 @@ struct ExecResult {
 
 /// T-factor storage of one factorization (TS/TT x QR/LQ grids). Keep it
 /// alive to form explicit Q / P factors afterwards (core/qform.hpp).
-struct TFactors {
-  TGrid tqts, tqtt, tlts, tltt;
-  TFactors() = default;
-  TFactors(int mt, int nt, int ib, int nb)
+template <class T>
+struct TFactorsT {
+  TGridT<T> tqts, tqtt, tlts, tltt;
+  TFactorsT() = default;
+  TFactorsT(int mt, int nt, int ib, int nb)
       : tqts(mt, nt, ib, nb), tqtt(mt, nt, ib, nb),
         tlts(mt, nt, ib, nb), tltt(mt, nt, ib, nb) {}
 };
 
+using TFactors = TFactorsT<double>;
+
 /// Execute an op stream in place on tiled A. T-factor storage is created
 /// internally and discarded (singular values only, as in the paper's
 /// GE2VAL experiments).
-ExecResult execute_tile_ops(TileMatrix& A, const std::vector<TileOp>& ops,
+template <class T>
+ExecResult execute_tile_ops(TileMatrixT<T>& A, const std::vector<TileOp>& ops,
                             const ExecOptions& opt);
 
 /// As above, but keeping the T factors in caller-provided storage (must be
-/// constructed as TFactors(A.mt(), A.nt(), opt.ib, A.nb())).
-ExecResult execute_tile_ops(TileMatrix& A, const std::vector<TileOp>& ops,
-                            const ExecOptions& opt, TFactors& tf);
+/// constructed as TFactorsT<T>(A.mt(), A.nt(), opt.ib, A.nb())).
+template <class T>
+ExecResult execute_tile_ops(TileMatrixT<T>& A, const std::vector<TileOp>& ops,
+                            const ExecOptions& opt, TFactorsT<T>& tf);
 
 enum class BidiagAlg { Bidiag, RBidiag, Auto };
 
@@ -58,6 +65,7 @@ struct Ge2bndOptions {
 };
 
 /// Reduce tiled A (p >= q tile grid) to band bidiagonal form in place.
-ExecResult ge2bnd(TileMatrix& A, const Ge2bndOptions& opt);
+template <class T>
+ExecResult ge2bnd(TileMatrixT<T>& A, const Ge2bndOptions& opt);
 
 }  // namespace tbsvd

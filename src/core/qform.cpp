@@ -9,10 +9,11 @@
 
 namespace tbsvd {
 
-Ge2bndFactors bidiag_factored(TileMatrix A, const Ge2bndOptions& opt) {
+template <class T>
+Ge2bndFactorsT<T> bidiag_factored(TileMatrixT<T> A, const Ge2bndOptions& opt) {
   const int p = A.mt(), q = A.nt();
   TBSVD_CHECK(p >= q && q >= 1, "bidiag_factored requires p >= q >= 1");
-  Ge2bndFactors f;
+  Ge2bndFactorsT<T> f;
   f.ib = std::min(opt.ib, A.nb());
   AlgConfig cfg;
   cfg.qr_tree = opt.qr_tree;
@@ -21,21 +22,22 @@ Ge2bndFactors bidiag_factored(TileMatrix A, const Ge2bndOptions& opt) {
   cfg.gamma = opt.gamma;
   f.ops = build_bidiag_ops(p, q, cfg);
   f.A = std::move(A);
-  f.t = TFactors(p, q, f.ib, f.A.nb());
+  f.t = TFactorsT<T>(p, q, f.ib, f.A.nb());
   ExecOptions eo;
   eo.ib = f.ib;
   eo.nthreads = opt.nthreads;
   eo.serial = opt.serial;
-  execute_tile_ops(f.A, f.ops, eo, f.t);
+  execute_tile_ops<T>(f.A, f.ops, eo, f.t);
   return f;
 }
 
-Matrix form_q(const Ge2bndFactors& f) {
+template <class T>
+MatrixT<T> form_q(const Ge2bndFactorsT<T>& f) {
   using namespace kernels;
   const int p = f.A.mt(), nb = f.A.nb(), ib = f.ib;
   const int m = f.A.rows();
-  TileMatrix Q(m, m, nb);
-  for (int i = 0; i < m; ++i) Q.at(i, i) = 1.0;
+  TileMatrixT<T> Q(m, m, nb);
+  for (int i = 0; i < m; ++i) Q.at(i, i) = T(1);
 
   // Q^T is the composition of the panel transforms in submission order;
   // Q = (first)^T (second)^T ... applied to I in reverse with Trans::No.
@@ -45,16 +47,16 @@ Matrix form_q(const Ge2bndFactors& f) {
     for (int jq = 0; jq < p; ++jq) {
       switch (t.op) {
         case Op::GEQRT:
-          unmqr(Trans::No, f.A.tile(t.tgt, t.k), f.t.tqts.tile(t.tgt, t.k),
-                Q.tile(t.tgt, jq), ib);
+          unmqr<T>(Trans::No, f.A.tile(t.tgt, t.k), f.t.tqts.tile(t.tgt, t.k),
+                   Q.tile(t.tgt, jq), ib);
           break;
         case Op::TSQRT:
-          tsmqr(Trans::No, Q.tile(t.piv, jq), Q.tile(t.tgt, jq),
-                f.A.tile(t.tgt, t.k), f.t.tqts.tile(t.tgt, t.k), ib);
+          tsmqr<T>(Trans::No, Q.tile(t.piv, jq), Q.tile(t.tgt, jq),
+                   f.A.tile(t.tgt, t.k), f.t.tqts.tile(t.tgt, t.k), ib);
           break;
         case Op::TTQRT:
-          ttmqr(Trans::No, Q.tile(t.piv, jq), Q.tile(t.tgt, jq),
-                f.A.tile(t.tgt, t.k), f.t.tqtt.tile(t.tgt, t.k), ib);
+          ttmqr<T>(Trans::No, Q.tile(t.piv, jq), Q.tile(t.tgt, jq),
+                   f.A.tile(t.tgt, t.k), f.t.tqtt.tile(t.tgt, t.k), ib);
           break;
         default:
           break;
@@ -64,12 +66,13 @@ Matrix form_q(const Ge2bndFactors& f) {
   return Q.to_dense();
 }
 
-Matrix form_pt(const Ge2bndFactors& f) {
+template <class T>
+MatrixT<T> form_pt(const Ge2bndFactorsT<T>& f) {
   using namespace kernels;
   const int q = f.A.nt(), nb = f.A.nb(), ib = f.ib;
   const int n = f.A.cols();
-  TileMatrix P(n, n, nb);
-  for (int i = 0; i < n; ++i) P.at(i, i) = 1.0;
+  TileMatrixT<T> P(n, n, nb);
+  for (int i = 0; i < n; ++i) P.at(i, i) = T(1);
 
   // A is right-multiplied by the LQ panel transforms in submission order:
   // P = P_1 P_2 ...; form it as I * P_1 * P_2 * ... (forward, Trans::Yes,
@@ -79,26 +82,37 @@ Matrix form_pt(const Ge2bndFactors& f) {
     for (int iq = 0; iq < q; ++iq) {
       switch (t.op) {
         case Op::GELQT:
-          unmlq(Trans::Yes, f.A.tile(t.k, t.tgt), f.t.tlts.tile(t.k, t.tgt),
-                P.tile(iq, t.tgt), ib);
+          unmlq<T>(Trans::Yes, f.A.tile(t.k, t.tgt),
+                   f.t.tlts.tile(t.k, t.tgt), P.tile(iq, t.tgt), ib);
           break;
         case Op::TSLQT:
-          tsmlq(Trans::Yes, P.tile(iq, t.piv), P.tile(iq, t.tgt),
-                f.A.tile(t.k, t.tgt), f.t.tlts.tile(t.k, t.tgt), ib);
+          tsmlq<T>(Trans::Yes, P.tile(iq, t.piv), P.tile(iq, t.tgt),
+                   f.A.tile(t.k, t.tgt), f.t.tlts.tile(t.k, t.tgt), ib);
           break;
         case Op::TTLQT:
-          ttmlq(Trans::Yes, P.tile(iq, t.piv), P.tile(iq, t.tgt),
-                f.A.tile(t.k, t.tgt), f.t.tltt.tile(t.k, t.tgt), ib);
+          ttmlq<T>(Trans::Yes, P.tile(iq, t.piv), P.tile(iq, t.tgt),
+                   f.A.tile(t.k, t.tgt), f.t.tltt.tile(t.k, t.tgt), ib);
           break;
         default:
           break;
       }
     }
   }
-  Matrix Pd = P.to_dense();
-  Matrix Pt(n, n);
-  transpose(Pd.cview(), Pt.view());
+  MatrixT<T> Pd = P.to_dense();
+  MatrixT<T> Pt(n, n);
+  transpose<T>(Pd.cview(), Pt.view());
   return Pt;
 }
+
+#define TBSVD_INSTANTIATE_QFORM(T)                                         \
+  template Ge2bndFactorsT<T> bidiag_factored<T>(TileMatrixT<T>,            \
+                                                const Ge2bndOptions&);     \
+  template MatrixT<T> form_q<T>(const Ge2bndFactorsT<T>&);                 \
+  template MatrixT<T> form_pt<T>(const Ge2bndFactorsT<T>&);
+
+TBSVD_INSTANTIATE_QFORM(float)
+TBSVD_INSTANTIATE_QFORM(double)
+
+#undef TBSVD_INSTANTIATE_QFORM
 
 }  // namespace tbsvd

@@ -1,14 +1,18 @@
 #include "core/svd.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "band/band_matrix.hpp"
 #include "band/bnd2bd.hpp"
+#include "band/sturm.hpp"
 #include "common/check.hpp"
 #include "common/fault.hpp"
 #include "common/hazard.hpp"
 #include "common/timer.hpp"
+#include "core/qform.hpp"
+#include "lac/blas.hpp"
 
 namespace tbsvd {
 
@@ -16,11 +20,12 @@ namespace {
 
 // One pass over every tile: finiteness plus max |a_ij|. Padding tiles are
 // zero, so they never affect the result.
-ExtremeScan scan_tiles(const TileMatrix& A) {
+template <class T>
+ExtremeScan scan_tiles(const TileMatrixT<T>& A) {
   ExtremeScan s;
   for (int j = 0; j < A.nt(); ++j) {
     for (int i = 0; i < A.mt(); ++i) {
-      const ExtremeScan c = scan_extremes(A.tile(i, j));
+      const ExtremeScan c = scan_extremes<T>(A.tile(i, j));
       s.finite = s.finite && c.finite;
       if (c.amax > s.amax) s.amax = c.amax;
     }
@@ -28,58 +33,69 @@ ExtremeScan scan_tiles(const TileMatrix& A) {
   return s;
 }
 
-void scale_tiles(TileMatrix& A, double cfrom, double cto) {
+template <class T>
+void scale_tiles(TileMatrixT<T>& A, double cfrom, double cto) {
   for (int j = 0; j < A.nt(); ++j) {
     for (int i = 0; i < A.mt(); ++i) {
-      scale_stepwise(A.tile(i, j), cfrom, cto);
+      scale_stepwise<T>(A.tile(i, j), cfrom, cto);
     }
   }
 }
 
+template <class T>
+constexpr Precision precision_of() {
+  return sizeof(T) == sizeof(float) ? Precision::F32 : Precision::F64;
+}
+
 }  // namespace
 
-std::vector<double> gesvd_values(TileMatrix& A, const GesvdOptions& opts,
+template <class T>
+std::vector<double> gesvd_values(TileMatrixT<T>& A, const GesvdOptions& opts,
                                  GesvdTimings* timings, SvdInfo* info) {
   TBSVD_CHECK(opts.nb >= 1, "gesvd_values: tile size nb must be >= 1");
   SvdInfo local_info;
   SvdInfo& si = (info != nullptr) ? *info : local_info;
   si = SvdInfo{};
+  si.reduce_precision = precision_of<T>();
+  si.values_precision = precision_of<T>();
 
   // Hazard scan + dlascl-style safe pre-scaling (dgesvd protocol): bring
-  // extreme norms into [svd_safe_min(), svd_safe_max()] so the reduction
-  // squares nothing out of range, and unscale the spectrum on exit.
-  const ExtremeScan scan = scan_tiles(A);
+  // extreme norms into the per-precision range [svd_safe_min<T>(),
+  // svd_safe_max<T>()] so the reduction squares nothing out of range, and
+  // unscale the spectrum on exit.
+  const ExtremeScan scan = scan_tiles<T>(A);
   if (!scan.finite) {
     throw numerical_hazard_error("gesvd_values: non-finite entry in input");
   }
-  const double target = svd_safe_target(scan.amax);
+  const double target = svd_safe_target<T>(scan.amax);
   if (target != scan.amax) {
-    scale_tiles(A, scan.amax, target);
+    scale_tiles<T>(A, scan.amax, target);
     si.scaled = true;
     si.scale_from = scan.amax;
     si.scale_to = target;
   }
   if (TBSVD_FAULT_FIRE("core.svd.poison_tile")) {
-    A.tile(0, 0)(0, 0) = std::numeric_limits<double>::quiet_NaN();
+    A.tile(0, 0)(0, 0) = std::numeric_limits<T>::quiet_NaN();
   }
 
   WallTimer timer;
-  ExecResult r = ge2bnd(A, opts.ge2bnd);
+  ExecResult r = ge2bnd<T>(A, opts.ge2bnd);
   const double t1 = timer.seconds();
 
-  BandMatrix band = band_from_tiles(A);
-  Bidiagonal bd = bnd2bd(band);
+  BandMatrixT<T> band = band_from_tiles<T>(A);
+  BidiagonalT<T> bd = bnd2bd<T>(band);
   const double t2 = timer.seconds();
 
   Bd2valInfo bi;
-  std::vector<double> sv = bd2val(bd, opts.bd2val, &bi);
+  std::vector<T> svt = bd2val<T>(bd, opts.bd2val, &bi);
   const double t3 = timer.seconds();
 
   si.qr_iterations = bi.qr_iterations;
   si.bisection_fallback = bi.bisection_fallback;
   si.status = bi.status;
   si.ge2bnd_tasks = r.ntasks;
-  if (si.scaled) scale_stepwise(sv, si.scale_to, si.scale_from);
+  std::vector<double> sv(svt.begin(), svt.end());
+  if (si.scaled) scale_stepwise<double>(sv, si.scale_to, si.scale_from);
 
   if (timings != nullptr) {
     timings->ge2bnd_seconds = t1;
@@ -90,19 +106,176 @@ std::vector<double> gesvd_values(TileMatrix& A, const GesvdOptions& opts,
   return sv;
 }
 
-std::vector<double> gesvd_values(ConstMatrixView A, const GesvdOptions& opts,
+template <class T>
+std::vector<double> gesvd_values(ConstMatrixViewT<T> A,
+                                 const GesvdOptions& opts,
                                  GesvdTimings* timings, SvdInfo* info) {
   TBSVD_CHECK(A.m >= A.n, "gesvd_values requires m >= n (transpose first)");
   TBSVD_CHECK(A.n == 0 || A.a != nullptr, "gesvd_values: null input data");
   TBSVD_CHECK(opts.nb >= 1, "gesvd_values: tile size nb must be >= 1");
   if (info != nullptr) *info = SvdInfo{};
   if (A.n == 0) return {};
-  TileMatrix tiled = tile_from_dense_padded(A, opts.nb);
-  std::vector<double> sv = gesvd_values(tiled, opts, timings, info);
+  TileMatrixT<T> tiled = tile_from_dense_padded<T>(A, opts.nb);
+  std::vector<double> sv = gesvd_values<T>(tiled, opts, timings, info);
   // Padding contributed exactly (padded_n - n) zero singular values at the
   // tail of the sorted spectrum; keep the leading n.
   sv.resize(A.n);
   return sv;
 }
+
+std::vector<double> gesvd_values_mixed(ConstMatrixView A,
+                                       const GesvdOptions& opts,
+                                       GesvdTimings* timings, SvdInfo* info) {
+  TBSVD_CHECK(A.m >= A.n, "gesvd_values_mixed requires m >= n");
+  TBSVD_CHECK(A.n == 0 || A.a != nullptr, "gesvd_values_mixed: null input");
+  TBSVD_CHECK(opts.nb >= 1, "gesvd_values_mixed: tile size nb must be >= 1");
+  SvdInfo local_info;
+  SvdInfo& si = (info != nullptr) ? *info : local_info;
+  si = SvdInfo{};
+  si.mixed = true;
+  si.reduce_precision = Precision::F32;
+  si.values_precision = Precision::F64;
+  if (A.n == 0) return {};
+
+  const ExtremeScan scan = scan_extremes<double>(A);
+  if (!scan.finite) {
+    throw numerical_hazard_error(
+        "gesvd_values_mixed: non-finite entry in input");
+  }
+
+  // Padded double working copy. The reduction runs in float, so the norm
+  // must be brought into the *float* safe range; the refinement then sees
+  // the same scaled data, and the spectrum is unscaled at the very end.
+  const int mp = pad_to_tiles(A.m, opts.nb);
+  const int np = pad_to_tiles(A.n, opts.nb);
+  Matrix Ad(mp, np);
+  copy<double>(A, Ad.view().block(0, 0, A.m, A.n));
+  const double target = svd_safe_target<float>(scan.amax);
+  if (target != scan.amax) {
+    scale_stepwise<double>(Ad.view(), scan.amax, target);
+    si.scaled = true;
+    si.scale_from = scan.amax;
+    si.scale_to = target;
+  }
+
+  // Demote to float and tile. The factored (BIDIAG) path keeps the
+  // Householder data and T triangles alive for the vector lift below.
+  TileMatrixT<float> tiled(mp, np, opts.nb);
+  {
+    MatrixT<float> Af(mp, np);
+    convert_matrix<float, double>(Ad.cview(), Af.view());
+    tiled.from_dense(Af.cview());
+  }
+  if (TBSVD_FAULT_FIRE("core.svd.poison_tile")) {
+    tiled.tile(0, 0)(0, 0) = std::numeric_limits<float>::quiet_NaN();
+  }
+
+  WallTimer timer;
+  Ge2bndOptions go = opts.ge2bnd;
+  go.alg = BidiagAlg::Bidiag;
+  Ge2bndFactorsT<float> f = bidiag_factored<float>(std::move(tiled), go);
+  const double t1 = timer.seconds();
+
+  BandMatrixT<float> band = band_from_tiles<float>(f.A);
+  std::vector<ChaseRot> chase_log;
+  BidiagonalT<float> bdf = bnd2bd<float>(band, &chase_log);
+  const double t2 = timer.seconds();
+
+  // Promote the bidiagonal (exact) and finish in double.
+  std::vector<double> d(bdf.d.begin(), bdf.d.end());
+  std::vector<double> e(bdf.e.begin(), bdf.e.end());
+  Bd2valInfo bi;
+  std::vector<double> sv = bd2val<double>(d, e, opts.bd2val, &bi);
+
+  // Rayleigh-quotient refinement against the double data: for each value,
+  // recover the bidiagonal's singular vectors by TGK inverse iteration,
+  // map them back through the recorded bulge chase, lift them through the
+  // float factorization's Q and P, and evaluate sigma = u^T A v /
+  // (||u|| ||v||) in double. The lifted vectors carry O(eps_f) errors,
+  // which enter the quotient only quadratically — O(eps_f^2) ~ 1e-14.
+  const double sigma_max = sv.empty() ? 0.0 : sv.front();
+  if (sigma_max > 0.0) {
+    Matrix Q(mp, mp), Pt(np, np);
+    {
+      MatrixT<float> Qf = form_q<float>(f);
+      MatrixT<float> Ptf = form_pt<float>(f);
+      convert_matrix<double, float>(Qf.cview(), Q.view());
+      convert_matrix<double, float>(Ptf.cview(), Pt.view());
+    }
+    const double eps_f =
+        static_cast<double>(std::numeric_limits<float>::epsilon());
+    std::vector<double> u_bd(np), v_bd(np), u_a(mp), v_a(np), w(mp);
+    for (int k = 0; k < A.n && k < static_cast<int>(sv.size()); ++k) {
+      const double sk = sv[k];
+      // Values at or below the float noise floor carry no usable vector
+      // information; leave them at their double-eigensolve estimate.
+      if (!(sk > 4.0 * eps_f * sigma_max)) continue;
+      const std::vector<double> z = tgk_inverse_iteration(d, e, sk);
+      double un = 0.0, vn = 0.0;
+      for (int i = 0; i < np; ++i) {
+        v_bd[i] = z[2 * i];
+        u_bd[i] = z[2 * i + 1];
+        vn += v_bd[i] * v_bd[i];
+        un += u_bd[i] * u_bd[i];
+      }
+      un = std::sqrt(un);
+      vn = std::sqrt(vn);
+      if (!(un > 0.0) || !(vn > 0.0)) continue;
+      for (int i = 0; i < np; ++i) {
+        u_bd[i] /= un;
+        v_bd[i] /= vn;
+      }
+      chase_map_to_band(chase_log, u_bd, v_bd);
+      // u_A = Q(:, 0:np) u_band ; v_A = Pt^T v_band ; w = Ad v_A.
+      gemv<double>(Trans::No, 1.0, Q.cview().block(0, 0, mp, np),
+                   u_bd.data(), 1, 0.0, u_a.data(), 1);
+      gemv<double>(Trans::Yes, 1.0, Pt.cview(), v_bd.data(), 1, 0.0,
+                   v_a.data(), 1);
+      gemv<double>(Trans::No, 1.0, Ad.cview(), v_a.data(), 1, 0.0, w.data(),
+                   1);
+      const double num = dot<double>(mp, u_a.data(), 1, w.data(), 1);
+      const double den = static_cast<double>(nrm2<double>(mp, u_a.data(), 1)) *
+                         static_cast<double>(nrm2<double>(np, v_a.data(), 1));
+      if (!(den > 0.0)) continue;
+      const double refined = std::fabs(num) / den;
+      // Sanity guard: the float pipeline is backward stable, so the true
+      // value lies within O(eps_f)*sigma_max of the estimate; a correction
+      // far beyond that means the inverse iteration latched onto the wrong
+      // vector (e.g. inside a tight cluster) — keep the unrefined value.
+      if (std::fabs(refined - sk) <= 64.0 * eps_f * sigma_max) {
+        sv[k] = refined;
+        ++si.refined_values;
+      }
+    }
+    // Refinement can reorder near-equal neighbours.
+    std::sort(sv.begin(), sv.end(), std::greater<>());
+  }
+  const double t3 = timer.seconds();
+
+  si.qr_iterations = bi.qr_iterations;
+  si.bisection_fallback = bi.bisection_fallback;
+  si.status = bi.status;
+  if (si.scaled) scale_stepwise<double>(sv, si.scale_to, si.scale_from);
+  sv.resize(A.n);
+
+  if (timings != nullptr) {
+    timings->ge2bnd_seconds = t1;
+    timings->bnd2bd_seconds = t2 - t1;
+    timings->bd2val_seconds = t3 - t2;
+    timings->ge2bnd_tasks = 0;
+  }
+  return sv;
+}
+
+#define TBSVD_INSTANTIATE_GESVD(T)                                        \
+  template std::vector<double> gesvd_values<T>(                           \
+      TileMatrixT<T>&, const GesvdOptions&, GesvdTimings*, SvdInfo*);     \
+  template std::vector<double> gesvd_values<T>(                           \
+      ConstMatrixViewT<T>, const GesvdOptions&, GesvdTimings*, SvdInfo*);
+
+TBSVD_INSTANTIATE_GESVD(float)
+TBSVD_INSTANTIATE_GESVD(double)
+
+#undef TBSVD_INSTANTIATE_GESVD
 
 }  // namespace tbsvd

@@ -1,13 +1,24 @@
 // GE2VAL: singular values of a general dense matrix via the paper's
 // pipeline GE2BND (tiled, parallel) + BND2BD (bulge chasing) + BD2VAL
-// (bidiagonal QR iteration).
+// (bidiagonal QR iteration). Templated over the scalar type T in {float,
+// double}; singular values are always returned in double (float results
+// embed exactly), while every pipeline stage runs in T arithmetic.
 //
 // Hazard contract (docs/ROBUSTNESS.md): the input is scanned once up
 // front — NaN/Inf throws numerical_hazard_error; a max-norm outside the
-// safe range [svd_safe_min(), svd_safe_max()] is scaled into it before the
-// reduction (LAPACK dgesvd/dlascl protocol) and the singular values are
-// unscaled on exit, flagged in SvdInfo. A QR-iteration stall in BD2VAL
-// degrades to Sturm bisection (Status::Degraded) instead of failing.
+// per-precision safe range [svd_safe_min<T>(), svd_safe_max<T>()] is
+// scaled into it before the reduction (LAPACK dgesvd/dlascl protocol) and
+// the singular values are unscaled on exit, flagged in SvdInfo. A
+// QR-iteration stall in BD2VAL degrades to Sturm bisection
+// (Status::Degraded) instead of failing.
+//
+// gesvd_values_mixed is the precision-split driver: the O(mn^2) GE2BND
+// reduction and the O(n^2 nb) bulge chase run in float (16 zmm lanes), the
+// bidiagonal is promoted to double for BD2VAL/Sturm, and each singular
+// value is then refined against the original double data with one
+// Rayleigh-quotient step through the float factorization's singular
+// vectors — recovering ~double accuracy (the O(eps_f) vector errors enter
+// the quotient quadratically).
 #pragma once
 
 #include <vector>
@@ -35,6 +46,9 @@ struct GesvdTimings {
   }
 };
 
+/// Which precision a pipeline stage ran in.
+enum class Precision { F32, F64 };
+
 /// Per-solve diagnostics: what the hazard-hardening layer did. status is
 /// Ok on the clean path and Degraded when a fallback produced the (still
 /// correct) result; hazards that cannot be absorbed throw instead.
@@ -47,6 +61,14 @@ struct SvdInfo {
   bool bisection_fallback = false;  ///< BD2VAL degraded to Sturm bisection
   std::size_t ge2bnd_tasks = 0;
 
+  /// Precision split of the solve: the reduction stages (GE2BND + BND2BD)
+  /// and the eigensolve stages (BD2VAL / Sturm / refinement). Equal on the
+  /// uniform-precision drivers; F32/F64 on gesvd_values_mixed.
+  Precision reduce_precision = Precision::F64;
+  Precision values_precision = Precision::F64;
+  bool mixed = false;            ///< solve used the mixed-precision path
+  int refined_values = 0;        ///< Rayleigh-refined values (mixed path)
+
   /// True when the returned values are trustworthy — a flagged degraded
   /// solve (e.g. the Sturm bisection fallback) still produced a correct
   /// spectrum, just off the primary path.
@@ -58,15 +80,29 @@ struct SvdInfo {
 /// Singular values (descending) of tiled A (consumed in place, p >= q).
 /// A is scanned for non-finite entries (throws numerical_hazard_error) and
 /// pre-scaled in place when its norm is extreme (reported via info).
-std::vector<double> gesvd_values(TileMatrix& A, const GesvdOptions& opts,
+template <class T>
+std::vector<double> gesvd_values(TileMatrixT<T>& A, const GesvdOptions& opts,
                                  GesvdTimings* timings = nullptr,
                                  SvdInfo* info = nullptr);
 
 /// Singular values (descending) of a dense m x n matrix, m >= n. The input
 /// is padded to tile multiples internally (zero rows/columns add exactly
 /// zero singular values, which are trimmed from the result).
-std::vector<double> gesvd_values(ConstMatrixView A, const GesvdOptions& opts,
+template <class T>
+std::vector<double> gesvd_values(ConstMatrixViewT<T> A,
+                                 const GesvdOptions& opts,
                                  GesvdTimings* timings = nullptr,
                                  SvdInfo* info = nullptr);
+
+/// Mixed-precision GE2VAL: float reduction (BIDIAG with kept factors +
+/// float bulge chase), double eigensolve, and a double Rayleigh-quotient
+/// refinement of each value against the original input. opts.ge2bnd.alg is
+/// ignored (the factored path is BIDIAG-only). On well-conditioned inputs
+/// the result matches the all-double driver to ~1e-12 relative while the
+/// O(mn^2) work runs at float speed.
+std::vector<double> gesvd_values_mixed(ConstMatrixView A,
+                                       const GesvdOptions& opts,
+                                       GesvdTimings* timings = nullptr,
+                                       SvdInfo* info = nullptr);
 
 }  // namespace tbsvd

@@ -11,104 +11,122 @@ namespace tbsvd::kernels {
 
 namespace {
 
-thread_local std::vector<double> g_tau;
-thread_local std::vector<double> g_w;
-thread_local Matrix g_apply_work;  // larfb_right_rows / larfb_ts / larfb_tt
+// Per-thread scratch, one instance per scalar type.
+template <class T>
+std::vector<T>& g_tau() {
+  thread_local std::vector<T> v;
+  return v;
+}
+template <class T>
+std::vector<T>& g_w() {
+  thread_local std::vector<T> v;
+  return v;
+}
+template <class T>
+MatrixT<T>& g_apply_work() {  // larfb_right_rows / larfb_ts / larfb_tt
+  thread_local MatrixT<T> w;
+  return w;
+}
 
-double* scratch(std::vector<double>& v, std::size_t n) {
+template <class T>
+T* scratch(std::vector<T>& v, std::size_t n) {
   if (v.size() < n) v.resize(n);
   return v.data();
 }
 
 }  // namespace
 
-void gelqt(MatrixView A, MatrixView T, int ib) {
+template <class T>
+void gelqt(MatrixViewT<T> A, MatrixViewT<T> Tm, int ib) {
   const int m = A.m, n = A.n;
   const int k = std::min(m, n);
-  TBSVD_CHECK(ib >= 1 && T.m >= std::min(ib, k) && T.n >= k,
+  TBSVD_CHECK(ib >= 1 && Tm.m >= std::min(ib, k) && Tm.n >= k,
               "gelqt: bad ib or T shape");
 
   for (int i0 = 0; i0 < k; i0 += ib) {
     const int kb = std::min(ib, k - i0);
     // --- Recursive BLAS3 row panel (factor + T in one pass). ---
-    MatrixView Tp = T.block(0, i0, kb, kb);
-    gelqf_rec(A.block(i0, i0, kb, n - i0), Tp);
+    MatrixViewT<T> Tp = Tm.block(0, i0, kb, kb);
+    gelqf_rec<T>(A.block(i0, i0, kb, n - i0), Tp);
     // --- Apply the block reflector to trailing rows. ---
     const int mr = m - i0 - kb;
     if (mr > 0) {
-      larfb_right_rows(Trans::Yes, A.block(i0, i0, kb, n - i0), Tp,
-                       A.block(i0 + kb, i0, mr, n - i0), g_apply_work);
+      larfb_right_rows<T>(Trans::Yes, A.block(i0, i0, kb, n - i0), Tp,
+                          A.block(i0 + kb, i0, mr, n - i0),
+                          g_apply_work<T>());
     }
   }
 }
 
-void gelqt_ref(MatrixView A, MatrixView T, int ib) {
+template <class T>
+void gelqt_ref(MatrixViewT<T> A, MatrixViewT<T> Tm, int ib) {
   const int m = A.m, n = A.n;
   const int k = std::min(m, n);
-  TBSVD_CHECK(ib >= 1 && T.m >= std::min(ib, k) && T.n >= k,
+  TBSVD_CHECK(ib >= 1 && Tm.m >= std::min(ib, k) && Tm.n >= k,
               "gelqt_ref: bad ib or T shape");
-  double* tau = scratch(g_tau, static_cast<std::size_t>(k));
+  T* tau = scratch(g_tau<T>(), static_cast<std::size_t>(k));
 
   for (int i0 = 0; i0 < k; i0 += ib) {
     const int kb = std::min(ib, k - i0);
     // --- Factor the row panel. ---
     for (int il = 0; il < kb; ++il) {
       const int i = i0 + il;
-      tau[i] = larfg(n - i, A(i, i), &A(i, std::min(i + 1, n - 1)), A.ld);
+      tau[i] = larfg<T>(n - i, A(i, i), &A(i, std::min(i + 1, n - 1)), A.ld);
       for (int ii = i + 1; ii < i0 + kb; ++ii) {
-        double w = A(ii, i) +
-                   dot(n - i - 1, &A(i, i + 1), A.ld, &A(ii, i + 1), A.ld);
+        T w = A(ii, i) +
+              dot<T>(n - i - 1, &A(i, i + 1), A.ld, &A(ii, i + 1), A.ld);
         w *= tau[i];
         A(ii, i) -= w;
-        axpy(n - i - 1, -w, &A(i, i + 1), A.ld, &A(ii, i + 1), A.ld);
+        axpy<T>(n - i - 1, -w, &A(i, i + 1), A.ld, &A(ii, i + 1), A.ld);
       }
     }
     // --- Accumulate T (row-storage larft). ---
-    MatrixView Tp = T.block(0, i0, kb, kb);
+    MatrixViewT<T> Tp = Tm.block(0, i0, kb, kb);
     for (int il = 0; il < kb; ++il) {
       const int i = i0 + il;
       if (il > 0) {
         for (int pl = 0; pl < il; ++pl) {
           const int ip = i0 + pl;
           Tp(pl, il) =
-              -tau[i] * (A(ip, i) + dot(n - i - 1, &A(ip, i + 1), A.ld,
-                                        &A(i, i + 1), A.ld));
+              -tau[i] * (A(ip, i) + dot<T>(n - i - 1, &A(ip, i + 1), A.ld,
+                                           &A(i, i + 1), A.ld));
         }
-        MatrixView tcol{Tp.col(il), il, 1, Tp.ld};
-        trmm_left(UpLo::Upper, Trans::No, Diag::NonUnit,
-                  ConstMatrixView{Tp.a, il, il, Tp.ld}, tcol);
+        MatrixViewT<T> tcol{Tp.col(il), il, 1, Tp.ld};
+        trmm_left<T>(UpLo::Upper, Trans::No, Diag::NonUnit,
+                     ConstMatrixViewT<T>{Tp.a, il, il, Tp.ld}, tcol);
       }
       Tp(il, il) = tau[i];
     }
     // --- Apply the block reflector to trailing rows. ---
     const int mr = m - i0 - kb;
     if (mr > 0) {
-      ConstMatrixView V1 = A.block(i0, i0, kb, kb);  // unit upper
-      MatrixView Ca = A.block(i0 + kb, i0, mr, kb);
-      MatrixView W{scratch(g_w, static_cast<std::size_t>(mr) * kb), mr, kb,
-                   mr};
-      copy(Ca, W);
-      trmm_right(UpLo::Upper, Trans::Yes, Diag::Unit, W, V1);
+      ConstMatrixViewT<T> V1 = A.block(i0, i0, kb, kb);  // unit upper
+      MatrixViewT<T> Ca = A.block(i0 + kb, i0, mr, kb);
+      MatrixViewT<T> W{
+          scratch(g_w<T>(), static_cast<std::size_t>(mr) * kb), mr, kb, mr};
+      copy<T>(Ca, W);
+      trmm_right<T>(UpLo::Upper, Trans::Yes, Diag::Unit, W, V1);
       const int ntail = n - i0 - kb;
       if (ntail > 0) {
-        ConstMatrixView V2p = A.block(i0, i0 + kb, kb, ntail);
-        ConstMatrixView Cb = A.block(i0 + kb, i0 + kb, mr, ntail);
-        gemm(Trans::No, Trans::Yes, 1.0, Cb, V2p, 1.0, W);
+        ConstMatrixViewT<T> V2p = A.block(i0, i0 + kb, kb, ntail);
+        ConstMatrixViewT<T> Cb = A.block(i0 + kb, i0 + kb, mr, ntail);
+        gemm<T>(Trans::No, Trans::Yes, T(1), Cb, V2p, T(1), W);
       }
-      trmm_right(UpLo::Upper, Trans::No, Diag::NonUnit, W, Tp);
+      trmm_right<T>(UpLo::Upper, Trans::No, Diag::NonUnit, W, Tp);
       if (ntail > 0) {
-        ConstMatrixView V2p = A.block(i0, i0 + kb, kb, ntail);
-        gemm(Trans::No, Trans::No, -1.0, W, V2p, 1.0,
-             A.block(i0 + kb, i0 + kb, mr, ntail));
+        ConstMatrixViewT<T> V2p = A.block(i0, i0 + kb, kb, ntail);
+        gemm<T>(Trans::No, Trans::No, T(-1), W, V2p, T(1),
+                A.block(i0 + kb, i0 + kb, mr, ntail));
       }
-      trmm_right(UpLo::Upper, Trans::No, Diag::Unit, W, V1);
-      sub_inplace(Ca, W);
+      trmm_right<T>(UpLo::Upper, Trans::No, Diag::Unit, W, V1);
+      sub_inplace<T>(Ca, W);
     }
   }
 }
 
-void unmlq(Trans trans, ConstMatrixView V, ConstMatrixView T, MatrixView C,
-           int ib) {
+template <class T>
+void unmlq(Trans trans, ConstMatrixViewT<T> V, ConstMatrixViewT<T> Tm,
+           MatrixViewT<T> C, int ib) {
   const int k = std::min(V.m, V.n);
   const int n = V.n;
   TBSVD_CHECK(C.n == n, "unmlq: V/C column mismatch");
@@ -118,13 +136,14 @@ void unmlq(Trans trans, ConstMatrixView V, ConstMatrixView T, MatrixView C,
     const int pb = (trans == Trans::Yes) ? b : npanels - 1 - b;
     const int i0 = pb * ib;
     const int kb = std::min(ib, k - i0);
-    larfb_right_rows(trans, V.block(i0, i0, kb, n - i0),
-                     T.block(0, i0, kb, kb), C.block(0, i0, C.m, n - i0),
-                     g_apply_work);
+    larfb_right_rows<T>(trans, V.block(i0, i0, kb, n - i0),
+                        Tm.block(0, i0, kb, kb),
+                        C.block(0, i0, C.m, n - i0), g_apply_work<T>());
   }
 }
 
-void tslqt(MatrixView A1, MatrixView A2, MatrixView T, int ib) {
+template <class T>
+void tslqt(MatrixViewT<T> A1, MatrixViewT<T> A2, MatrixViewT<T> Tm, int ib) {
   const int n1 = A1.m;
   const int m2 = A2.n;
   TBSVD_CHECK(A1.n == n1 && A2.m == n1, "tslqt: shape mismatch");
@@ -133,19 +152,21 @@ void tslqt(MatrixView A1, MatrixView A2, MatrixView T, int ib) {
     const int kb = std::min(ib, n1 - i0);
     // --- Recursive BLAS3 row panel: reflectors live in A2's rows, T comes
     // out of the recursion. ---
-    MatrixView Tp = T.block(0, i0, kb, kb);
-    tslqf_rec(A1.block(i0, i0, kb, kb), A2.block(i0, 0, kb, m2), Tp);
+    MatrixViewT<T> Tp = Tm.block(0, i0, kb, kb);
+    tslqf_rec<T>(A1.block(i0, i0, kb, kb), A2.block(i0, 0, kb, m2), Tp);
     // --- Trailing rows of [A1 | A2] (identity V1 part: no trmm). ---
     const int mr = n1 - i0 - kb;
     if (mr > 0) {
-      larfb_ts(Side::Right, Trans::Yes, A2.block(i0, 0, kb, m2), Tp,
-               A1.block(i0 + kb, i0, mr, kb), A2.block(i0 + kb, 0, mr, m2),
-               g_apply_work);
+      larfb_ts<T>(Side::Right, Trans::Yes, A2.block(i0, 0, kb, m2), Tp,
+                  A1.block(i0 + kb, i0, mr, kb),
+                  A2.block(i0 + kb, 0, mr, m2), g_apply_work<T>());
     }
   }
 }
 
-void tslqt_ref(MatrixView A1, MatrixView A2, MatrixView T, int ib) {
+template <class T>
+void tslqt_ref(MatrixViewT<T> A1, MatrixViewT<T> A2, MatrixViewT<T> Tm,
+               int ib) {
   const int n1 = A1.m;
   const int m2 = A2.n;
   TBSVD_CHECK(A1.n == n1 && A2.m == n1, "tslqt_ref: shape mismatch");
@@ -153,80 +174,83 @@ void tslqt_ref(MatrixView A1, MatrixView A2, MatrixView T, int ib) {
     // Empty-edge tile: identity reflectors, L untouched, T triangles zero.
     for (int i0 = 0; i0 < n1; i0 += ib) {
       const int kb = std::min(ib, n1 - i0);
-      MatrixView Tp = T.block(0, i0, kb, kb);
+      MatrixViewT<T> Tp = Tm.block(0, i0, kb, kb);
       for (int il = 0; il < kb; ++il)
-        for (int pl = 0; pl <= il; ++pl) Tp(pl, il) = 0.0;
+        for (int pl = 0; pl <= il; ++pl) Tp(pl, il) = T(0);
     }
     return;
   }
-  double* tau = scratch(g_tau, static_cast<std::size_t>(n1));
+  T* tau = scratch(g_tau<T>(), static_cast<std::size_t>(n1));
 
   for (int i0 = 0; i0 < n1; i0 += ib) {
     const int kb = std::min(ib, n1 - i0);
     // --- Factor the row panel: reflectors live in A2's rows. ---
     for (int il = 0; il < kb; ++il) {
       const int i = i0 + il;
-      tau[i] = larfg(m2 + 1, A1(i, i), &A2(i, 0), A2.ld);
+      tau[i] = larfg<T>(m2 + 1, A1(i, i), &A2(i, 0), A2.ld);
       for (int ii = i + 1; ii < i0 + kb; ++ii) {
-        double w = A1(ii, i) + dot(m2, &A2(i, 0), A2.ld, &A2(ii, 0), A2.ld);
+        T w = A1(ii, i) + dot<T>(m2, &A2(i, 0), A2.ld, &A2(ii, 0), A2.ld);
         w *= tau[i];
         A1(ii, i) -= w;
-        axpy(m2, -w, &A2(i, 0), A2.ld, &A2(ii, 0), A2.ld);
+        axpy<T>(m2, -w, &A2(i, 0), A2.ld, &A2(ii, 0), A2.ld);
       }
     }
     // --- Accumulate T. ---
-    MatrixView Tp = T.block(0, i0, kb, kb);
+    MatrixViewT<T> Tp = Tm.block(0, i0, kb, kb);
     for (int il = 0; il < kb; ++il) {
       const int i = i0 + il;
       if (il > 0) {
         for (int pl = 0; pl < il; ++pl) {
-          Tp(pl, il) =
-              -tau[i] * dot(m2, &A2(i0 + pl, 0), A2.ld, &A2(i, 0), A2.ld);
+          Tp(pl, il) = -tau[i] *
+                       dot<T>(m2, &A2(i0 + pl, 0), A2.ld, &A2(i, 0), A2.ld);
         }
-        MatrixView tcol{Tp.col(il), il, 1, Tp.ld};
-        trmm_left(UpLo::Upper, Trans::No, Diag::NonUnit,
-                  ConstMatrixView{Tp.a, il, il, Tp.ld}, tcol);
+        MatrixViewT<T> tcol{Tp.col(il), il, 1, Tp.ld};
+        trmm_left<T>(UpLo::Upper, Trans::No, Diag::NonUnit,
+                     ConstMatrixViewT<T>{Tp.a, il, il, Tp.ld}, tcol);
       }
       Tp(il, il) = tau[i];
     }
     // --- Trailing rows of [A1 | A2] (identity V1 part: no trmm). ---
     const int mr = n1 - i0 - kb;
     if (mr > 0) {
-      ConstMatrixView V2p = A2.block(i0, 0, kb, m2);
-      MatrixView Ca = A1.block(i0 + kb, i0, mr, kb);
-      MatrixView Cb = A2.block(i0 + kb, 0, mr, m2);
-      MatrixView W{scratch(g_w, static_cast<std::size_t>(mr) * kb), mr, kb,
-                   mr};
-      copy(Ca, W);
-      gemm(Trans::No, Trans::Yes, 1.0, Cb, V2p, 1.0, W);
-      trmm_right(UpLo::Upper, Trans::No, Diag::NonUnit, W, Tp);
-      sub_inplace(Ca, W);
-      gemm(Trans::No, Trans::No, -1.0, W, V2p, 1.0, Cb);
+      ConstMatrixViewT<T> V2p = A2.block(i0, 0, kb, m2);
+      MatrixViewT<T> Ca = A1.block(i0 + kb, i0, mr, kb);
+      MatrixViewT<T> Cb = A2.block(i0 + kb, 0, mr, m2);
+      MatrixViewT<T> W{
+          scratch(g_w<T>(), static_cast<std::size_t>(mr) * kb), mr, kb, mr};
+      copy<T>(Ca, W);
+      gemm<T>(Trans::No, Trans::Yes, T(1), Cb, V2p, T(1), W);
+      trmm_right<T>(UpLo::Upper, Trans::No, Diag::NonUnit, W, Tp);
+      sub_inplace<T>(Ca, W);
+      gemm<T>(Trans::No, Trans::No, T(-1), W, V2p, T(1), Cb);
     }
   }
 }
 
-void tsmlq(Trans trans, MatrixView C1, MatrixView C2, ConstMatrixView V2,
-           ConstMatrixView T, int ib) {
+template <class T>
+void tsmlq(Trans trans, MatrixViewT<T> C1, MatrixViewT<T> C2,
+           ConstMatrixViewT<T> V2, ConstMatrixViewT<T> Tm, int ib) {
   const int k = V2.m;
   const int m2 = V2.n;
   const int mc = C1.m;
-  TBSVD_CHECK(C1.n >= k && C2.m == mc && C2.n == m2, "tsmlq: shape mismatch");
+  TBSVD_CHECK(C1.n >= k && C2.m == mc && C2.n == m2,
+              "tsmlq: shape mismatch");
   const int npanels = (k + ib - 1) / ib;
   for (int b = 0; b < npanels; ++b) {
     const int pb = (trans == Trans::Yes) ? b : npanels - 1 - b;
     const int i0 = pb * ib;
     const int kb = std::min(ib, k - i0);
-    larfb_ts(Side::Right, trans, V2.block(i0, 0, kb, m2),
-             T.block(0, i0, kb, kb), C1.block(0, i0, mc, kb), C2,
-             g_apply_work);
+    larfb_ts<T>(Side::Right, trans, V2.block(i0, 0, kb, m2),
+                Tm.block(0, i0, kb, kb), C1.block(0, i0, mc, kb), C2,
+                g_apply_work<T>());
   }
 }
 
-void ttlqt(MatrixView A1, MatrixView A2, MatrixView T, int ib) {
+template <class T>
+void ttlqt(MatrixViewT<T> A1, MatrixViewT<T> A2, MatrixViewT<T> Tm, int ib) {
   const int n = A1.m;
   TBSVD_CHECK(A1.n == n && A2.m == n && A2.n == n, "ttlqt: shape mismatch");
-  TBSVD_CHECK(ib >= 1 && (n == 0 || (T.m >= std::min(ib, n) && T.n >= n)),
+  TBSVD_CHECK(ib >= 1 && (n == 0 || (Tm.m >= std::min(ib, n) && Tm.n >= n)),
               "ttlqt: bad ib or T shape");
 
   for (int i0 = 0; i0 < n; i0 += ib) {
@@ -237,8 +261,9 @@ void ttlqt(MatrixView A1, MatrixView A2, MatrixView T, int ib) {
     // came from a triangularization). ttlqf_rec routes every half-panel
     // apply and T merge through the support-masked gemm_trap path and
     // produces the full kb x kb T triangle. ---
-    MatrixView Tp = T.block(0, i0, kb, kb);
-    ttlqf_rec(A1.block(i0, i0, kb, kb), A2.block(i0, 0, kb, i0 + kb), Tp, i0);
+    MatrixViewT<T> Tp = Tm.block(0, i0, kb, kb);
+    ttlqf_rec<T>(A1.block(i0, i0, kb, kb), A2.block(i0, 0, kb, i0 + kb), Tp,
+                 i0);
     // --- Trailing rows through the same masked BLAS3 apply. Columns
     // 0..i0+kb-1 of every trailing row are valid L data (the row's own
     // support reaches further down), so the dense writes never touch
@@ -246,21 +271,22 @@ void ttlqt(MatrixView A1, MatrixView A2, MatrixView T, int ib) {
     const int mr = n - i0 - kb;
     if (mr > 0) {
       const int nv = i0 + kb;
-      ConstMatrixView V2p = A2.block(i0, 0, kb, nv);
-      larfb_tt(Side::Right, Trans::Yes, V2p, Tp,
-               A1.block(i0 + kb, i0, mr, kb), A2.block(i0 + kb, 0, mr, nv),
-               i0, g_apply_work);
+      ConstMatrixViewT<T> V2p = A2.block(i0, 0, kb, nv);
+      larfb_tt<T>(Side::Right, Trans::Yes, V2p, Tp,
+                  A1.block(i0 + kb, i0, mr, kb),
+                  A2.block(i0 + kb, 0, mr, nv), i0, g_apply_work<T>());
     }
   }
 }
 
-void ttmlq(Trans trans, MatrixView C1, MatrixView C2, ConstMatrixView V2,
-           ConstMatrixView T, int ib) {
+template <class T>
+void ttmlq(Trans trans, MatrixViewT<T> C1, MatrixViewT<T> C2,
+           ConstMatrixViewT<T> V2, ConstMatrixViewT<T> Tm, int ib) {
   const int k = V2.m;
   const int mc = C1.m;
   TBSVD_CHECK(V2.n == k, "ttmlq: V2 must be square (triangular reflector)");
   TBSVD_CHECK(C1.n == k && C2.n == k && C2.m == mc, "ttmlq: shape mismatch");
-  TBSVD_CHECK(ib >= 1 && (k == 0 || (T.m >= std::min(ib, k) && T.n >= k)),
+  TBSVD_CHECK(ib >= 1 && (k == 0 || (Tm.m >= std::min(ib, k) && Tm.n >= k)),
               "ttmlq: bad ib or T shape");
   if (k == 0 || mc == 0) return;
   const int npanels = (k + ib - 1) / ib;
@@ -272,10 +298,10 @@ void ttmlq(Trans trans, MatrixView C1, MatrixView C2, ConstMatrixView V2,
     // storage); the panel is a lower trapezoid of width i0 + kb handled by
     // larfb_tt's support-masked apply.
     const int nv = i0 + kb;
-    ConstMatrixView V2p = V2.block(i0, 0, kb, nv);
-    larfb_tt(Side::Right, trans, V2p, T.block(0, i0, kb, kb),
-             C1.block(0, i0, mc, kb), C2.block(0, 0, mc, nv), i0,
-             g_apply_work);
+    ConstMatrixViewT<T> V2p = V2.block(i0, 0, kb, nv);
+    larfb_tt<T>(Side::Right, trans, V2p, Tm.block(0, i0, kb, kb),
+                C1.block(0, i0, mc, kb), C2.block(0, 0, mc, nv), i0,
+                g_apply_work<T>());
   }
 }
 
@@ -284,64 +310,67 @@ void ttmlq(Trans trans, MatrixView C1, MatrixView C2, ConstMatrixView V2,
 // retained for test cross-validation of the blocked gemm_trap path above.
 // ---------------------------------------------------------------------------
 
-void ttlqt_ref(MatrixView A1, MatrixView A2, MatrixView T, int ib) {
+template <class T>
+void ttlqt_ref(MatrixViewT<T> A1, MatrixViewT<T> A2, MatrixViewT<T> Tm,
+               int ib) {
   const int n = A1.m;
-  TBSVD_CHECK(A1.n == n && A2.m == n && A2.n == n, "ttlqt_ref: shape mismatch");
-  double* tau = scratch(g_tau, static_cast<std::size_t>(n));
+  TBSVD_CHECK(A1.n == n && A2.m == n && A2.n == n,
+              "ttlqt_ref: shape mismatch");
+  T* tau = scratch(g_tau<T>(), static_cast<std::size_t>(n));
 
   for (int i0 = 0; i0 < n; i0 += ib) {
     const int kb = std::min(ib, n - i0);
     for (int il = 0; il < kb; ++il) {
       const int i = i0 + il;
-      tau[i] = larfg(i + 2, A1(i, i), &A2(i, 0), A2.ld);
+      tau[i] = larfg<T>(i + 2, A1(i, i), &A2(i, 0), A2.ld);
       for (int ii = i + 1; ii < i0 + kb; ++ii) {
-        double w =
-            A1(ii, i) + dot(i + 1, &A2(i, 0), A2.ld, &A2(ii, 0), A2.ld);
+        T w = A1(ii, i) + dot<T>(i + 1, &A2(i, 0), A2.ld, &A2(ii, 0), A2.ld);
         w *= tau[i];
         A1(ii, i) -= w;
-        axpy(i + 1, -w, &A2(i, 0), A2.ld, &A2(ii, 0), A2.ld);
+        axpy<T>(i + 1, -w, &A2(i, 0), A2.ld, &A2(ii, 0), A2.ld);
       }
     }
-    MatrixView Tp = T.block(0, i0, kb, kb);
+    MatrixViewT<T> Tp = Tm.block(0, i0, kb, kb);
     for (int il = 0; il < kb; ++il) {
       const int i = i0 + il;
       if (il > 0) {
         for (int pl = 0; pl < il; ++pl) {
           const int ip = i0 + pl;
-          Tp(pl, il) =
-              -tau[i] * dot(ip + 1, &A2(ip, 0), A2.ld, &A2(i, 0), A2.ld);
+          Tp(pl, il) = -tau[i] *
+                       dot<T>(ip + 1, &A2(ip, 0), A2.ld, &A2(i, 0), A2.ld);
         }
-        MatrixView tcol{Tp.col(il), il, 1, Tp.ld};
-        trmm_left(UpLo::Upper, Trans::No, Diag::NonUnit,
-                  ConstMatrixView{Tp.a, il, il, Tp.ld}, tcol);
+        MatrixViewT<T> tcol{Tp.col(il), il, 1, Tp.ld};
+        trmm_left<T>(UpLo::Upper, Trans::No, Diag::NonUnit,
+                     ConstMatrixViewT<T>{Tp.a, il, il, Tp.ld}, tcol);
       }
       Tp(il, il) = tau[i];
     }
     const int mr = n - i0 - kb;
     if (mr > 0) {
-      MatrixView Ca = A1.block(i0 + kb, i0, mr, kb);
-      MatrixView W{scratch(g_w, static_cast<std::size_t>(mr) * kb), mr, kb,
-                   mr};
-      copy(Ca, W);
+      MatrixViewT<T> Ca = A1.block(i0 + kb, i0, mr, kb);
+      MatrixViewT<T> W{
+          scratch(g_w<T>(), static_cast<std::size_t>(mr) * kb), mr, kb, mr};
+      copy<T>(Ca, W);
       for (int l = 0; l < kb; ++l) {
         const int il = i0 + l;
-        gemv(Trans::No, 1.0, A2.block(i0 + kb, 0, mr, il + 1), &A2(il, 0),
-             A2.ld, 1.0, &W(0, l), 1);
+        gemv<T>(Trans::No, T(1), A2.block(i0 + kb, 0, mr, il + 1),
+                &A2(il, 0), A2.ld, T(1), &W(0, l), 1);
       }
-      trmm_right(UpLo::Upper, Trans::No, Diag::NonUnit, W, Tp);
-      sub_inplace(Ca, W);
+      trmm_right<T>(UpLo::Upper, Trans::No, Diag::NonUnit, W, Tp);
+      sub_inplace<T>(Ca, W);
       for (int l = 0; l < kb; ++l) {
         const int il = i0 + l;
         for (int c = 0; c <= il; ++c) {
-          axpy(mr, -A2(il, c), W.col(l), 1, &A2(i0 + kb, c), 1);
+          axpy<T>(mr, -A2(il, c), W.col(l), 1, &A2(i0 + kb, c), 1);
         }
       }
     }
   }
 }
 
-void ttmlq_ref(Trans trans, MatrixView C1, MatrixView C2, ConstMatrixView V2,
-               ConstMatrixView T, int ib) {
+template <class T>
+void ttmlq_ref(Trans trans, MatrixViewT<T> C1, MatrixViewT<T> C2,
+               ConstMatrixViewT<T> V2, ConstMatrixViewT<T> Tm, int ib) {
   const int k = V2.m;
   const int mc = C1.m;
   TBSVD_CHECK(C1.n >= k && C2.m == mc && C2.n >= k,
@@ -351,25 +380,51 @@ void ttmlq_ref(Trans trans, MatrixView C1, MatrixView C2, ConstMatrixView V2,
     const int pb = (trans == Trans::Yes) ? b : npanels - 1 - b;
     const int i0 = pb * ib;
     const int kb = std::min(ib, k - i0);
-    ConstMatrixView Tp = T.block(0, i0, kb, kb);
-    MatrixView C1p = C1.block(0, i0, mc, kb);
-    MatrixView W{scratch(g_w, static_cast<std::size_t>(mc) * kb), mc, kb, mc};
-    copy(C1p, W);
+    ConstMatrixViewT<T> Tp = Tm.block(0, i0, kb, kb);
+    MatrixViewT<T> C1p = C1.block(0, i0, mc, kb);
+    MatrixViewT<T> W{
+        scratch(g_w<T>(), static_cast<std::size_t>(mc) * kb), mc, kb, mc};
+    copy<T>(C1p, W);
     for (int l = 0; l < kb; ++l) {
       const int il = i0 + l;
-      gemv(Trans::No, 1.0, C2.block(0, 0, mc, il + 1), V2.a + il, V2.ld,
-           1.0, &W(0, l), 1);
+      gemv<T>(Trans::No, T(1), C2.block(0, 0, mc, il + 1), V2.a + il, V2.ld,
+              T(1), &W(0, l), 1);
     }
-    trmm_right(UpLo::Upper, trans == Trans::Yes ? Trans::No : Trans::Yes,
-               Diag::NonUnit, W, Tp);
-    sub_inplace(C1p, W);
+    trmm_right<T>(UpLo::Upper, trans == Trans::Yes ? Trans::No : Trans::Yes,
+                  Diag::NonUnit, W, Tp);
+    sub_inplace<T>(C1p, W);
     for (int l = 0; l < kb; ++l) {
       const int il = i0 + l;
       for (int c = 0; c <= il; ++c) {
-        axpy(mc, -V2(il, c), W.col(l), 1, C2.col(c), 1);
+        axpy<T>(mc, -V2(il, c), W.col(l), 1, C2.col(c), 1);
       }
     }
   }
 }
+
+#define TBSVD_INSTANTIATE_LQ_KERNELS(T)                                       \
+  template void gelqt<T>(MatrixViewT<T>, MatrixViewT<T>, int);                \
+  template void gelqt_ref<T>(MatrixViewT<T>, MatrixViewT<T>, int);            \
+  template void unmlq<T>(Trans, ConstMatrixViewT<T>, ConstMatrixViewT<T>,     \
+                         MatrixViewT<T>, int);                                \
+  template void tslqt<T>(MatrixViewT<T>, MatrixViewT<T>, MatrixViewT<T>,      \
+                         int);                                                \
+  template void tslqt_ref<T>(MatrixViewT<T>, MatrixViewT<T>, MatrixViewT<T>,  \
+                             int);                                            \
+  template void tsmlq<T>(Trans, MatrixViewT<T>, MatrixViewT<T>,               \
+                         ConstMatrixViewT<T>, ConstMatrixViewT<T>, int);      \
+  template void ttlqt<T>(MatrixViewT<T>, MatrixViewT<T>, MatrixViewT<T>,      \
+                         int);                                                \
+  template void ttlqt_ref<T>(MatrixViewT<T>, MatrixViewT<T>, MatrixViewT<T>,  \
+                             int);                                            \
+  template void ttmlq<T>(Trans, MatrixViewT<T>, MatrixViewT<T>,               \
+                         ConstMatrixViewT<T>, ConstMatrixViewT<T>, int);      \
+  template void ttmlq_ref<T>(Trans, MatrixViewT<T>, MatrixViewT<T>,           \
+                             ConstMatrixViewT<T>, ConstMatrixViewT<T>, int);
+
+TBSVD_INSTANTIATE_LQ_KERNELS(float)
+TBSVD_INSTANTIATE_LQ_KERNELS(double)
+
+#undef TBSVD_INSTANTIATE_LQ_KERNELS
 
 }  // namespace tbsvd::kernels

@@ -1,5 +1,6 @@
 // Tile LQ kernels — exact row-wise mirrors of the QR kernels, used by the
 // LQ steps interleaved in BIDIAG (column eliminations in the tile grid).
+// Templated over the scalar type T in {float, double}.
 //
 //   GELQT  A -> (L, V, T)            factor square into (lower) triangle
 //   UNMLQ  C := C op(Q)              apply GELQT's Q from the right
@@ -25,20 +26,24 @@ namespace tbsvd::kernels {
 /// LQ of an m x n tile: L in the lower triangle, row reflectors above the
 /// diagonal; T is ib x m (one triangle per row panel). Row panels are
 /// factored by the recursive BLAS3 path (lac/qr_rec.hpp).
-void gelqt(MatrixView A, MatrixView T, int ib);
+template <class T>
+void gelqt(MatrixViewT<T> A, MatrixViewT<T> Tm, int ib);
 
 /// C := C Q^T (Trans::Yes) or C Q, with (V, T) from gelqt; C.n == V.n.
-void unmlq(Trans trans, ConstMatrixView V, ConstMatrixView T, MatrixView C,
-           int ib);
+template <class T>
+void unmlq(Trans trans, ConstMatrixViewT<T> V, ConstMatrixViewT<T> Tm,
+           MatrixViewT<T> C, int ib);
 
 /// LQ of [A1 | A2] with A1 (n1 x n1) lower triangular, A2 (n1 x m2) full.
 /// On exit A1 holds the new L, A2 holds V2 (full rows), T as above.
-void tslqt(MatrixView A1, MatrixView A2, MatrixView T, int ib);
+template <class T>
+void tslqt(MatrixViewT<T> A1, MatrixViewT<T> A2, MatrixViewT<T> Tm, int ib);
 
 /// [C1 | C2] := [C1 | C2] op(Q) with Q from tslqt; C1 (mc x n1) sits in the
 /// pivot tile column, C2 (mc x m2) in the eliminated tile column.
-void tsmlq(Trans trans, MatrixView C1, MatrixView C2, ConstMatrixView V2,
-           ConstMatrixView T, int ib);
+template <class T>
+void tsmlq(Trans trans, MatrixViewT<T> C1, MatrixViewT<T> C2,
+           ConstMatrixViewT<T> V2, ConstMatrixViewT<T> Tm, int ib);
 
 /// LQ of [A1 | A2] with both tiles (n x n) lower triangular. On exit A2
 /// holds V2 (lower trapezoidal rows: row i has support columns 0..i).
@@ -54,28 +59,37 @@ void tsmlq(Trans trans, MatrixView C1, MatrixView C2, ConstMatrixView V2,
 /// path writes only each panel's upper triangle, same as the level-2
 /// reference. All scratch beyond T (larfb_tt's mr x kb workspace per
 /// trailing apply and the recursion's merge/tau buffers) is thread_local
-/// inside the kernels and grows on demand — callers never size it.
-void ttlqt(MatrixView A1, MatrixView A2, MatrixView T, int ib);
+/// inside the kernels — one instance per scalar type — and grows on
+/// demand; callers never size it.
+template <class T>
+void ttlqt(MatrixViewT<T> A1, MatrixViewT<T> A2, MatrixViewT<T> Tm, int ib);
 
 /// [C1 | C2] := [C1 | C2] op(Q) with Q from ttlqt (triangular V2). C1, C2
 /// and V2 must all have exactly k = V2.m columns (triangular-tile
 /// contract); T needs T.m >= min(ib, k), T.n >= k (throws
 /// invalid_argument_error otherwise). The per-panel applies share
-/// larfb_tt's thread_local workspace (mc x kb doubles, grow-only) with
+/// larfb_tt's thread_local workspace (mc x kb scalars, grow-only) with
 /// ttlqt.
-void ttmlq(Trans trans, MatrixView C1, MatrixView C2, ConstMatrixView V2,
-           ConstMatrixView T, int ib);
+template <class T>
+void ttmlq(Trans trans, MatrixViewT<T> C1, MatrixViewT<T> C2,
+           ConstMatrixViewT<T> V2, ConstMatrixViewT<T> Tm, int ib);
 
 /// Reference kernels with level-2 (gelq2-style) panel factorization,
 /// retained for test cross-validation of the recursive BLAS3 panel path
 /// and for re-measuring the panel speedup; not on the execution path.
-void gelqt_ref(MatrixView A, MatrixView T, int ib);
-void tslqt_ref(MatrixView A1, MatrixView A2, MatrixView T, int ib);
+template <class T>
+void gelqt_ref(MatrixViewT<T> A, MatrixViewT<T> Tm, int ib);
+template <class T>
+void tslqt_ref(MatrixViewT<T> A1, MatrixViewT<T> A2, MatrixViewT<T> Tm,
+               int ib);
 
 /// Reference level-2 TT kernels (per-row-support gemv/axpy loops), retained
 /// for test cross-validation of the blocked path; not on the hot path.
-void ttlqt_ref(MatrixView A1, MatrixView A2, MatrixView T, int ib);
-void ttmlq_ref(Trans trans, MatrixView C1, MatrixView C2, ConstMatrixView V2,
-               ConstMatrixView T, int ib);
+template <class T>
+void ttlqt_ref(MatrixViewT<T> A1, MatrixViewT<T> A2, MatrixViewT<T> Tm,
+               int ib);
+template <class T>
+void ttmlq_ref(Trans trans, MatrixViewT<T> C1, MatrixViewT<T> C2,
+               ConstMatrixViewT<T> V2, ConstMatrixViewT<T> Tm, int ib);
 
 }  // namespace tbsvd::kernels

@@ -14,90 +14,109 @@ namespace tbsvd::kernels {
 
 namespace {
 
-// Per-thread scratch to avoid per-task allocation in the runtime's hot path.
-thread_local std::vector<double> g_tau;
-thread_local std::vector<double> g_w;
-thread_local Matrix g_larfb_work;
+// Per-thread scratch, one instance per scalar type, to avoid per-task
+// allocation in the runtime's hot path.
+template <class T>
+std::vector<T>& g_tau() {
+  thread_local std::vector<T> v;
+  return v;
+}
+template <class T>
+std::vector<T>& g_w() {
+  thread_local std::vector<T> v;
+  return v;
+}
+template <class T>
+MatrixT<T>& g_larfb_work() {
+  thread_local MatrixT<T> w;
+  return w;
+}
 
-double* scratch(std::vector<double>& v, std::size_t n) {
+template <class T>
+T* scratch(std::vector<T>& v, std::size_t n) {
   if (v.size() < n) v.resize(n);
   return v.data();
 }
 
 // Size the shared larfb workspace once for a whole kernel invocation so the
 // per-panel larfb calls never have to grow it mid-factorization.
+template <class T>
 void reserve_larfb_work(int rows, int cols) {
-  if (rows > 0 && cols > 0 &&
-      (g_larfb_work.rows() < rows || g_larfb_work.cols() < cols)) {
+  MatrixT<T>& w = g_larfb_work<T>();
+  if (rows > 0 && cols > 0 && (w.rows() < rows || w.cols() < cols)) {
     // Grow-only in each dimension: alternating kernel shapes must not shrink
     // the other extent and force a reallocation per invocation.
-    g_larfb_work = Matrix(std::max(g_larfb_work.rows(), rows),
-                          std::max(g_larfb_work.cols(), cols));
+    w = MatrixT<T>(std::max(w.rows(), rows), std::max(w.cols(), cols));
   }
 }
 
 }  // namespace
 
-void geqrt(MatrixView A, MatrixView T, int ib) {
+template <class T>
+void geqrt(MatrixViewT<T> A, MatrixViewT<T> Tm, int ib) {
   const int m = A.m, n = A.n;
   const int k = std::min(m, n);
-  TBSVD_CHECK(ib >= 1 && T.m >= std::min(ib, k) && T.n >= k,
+  TBSVD_CHECK(ib >= 1 && Tm.m >= std::min(ib, k) && Tm.n >= k,
               "geqrt: bad ib or T shape");
-  reserve_larfb_work(n - std::min(ib, k), std::min(ib, k));
+  reserve_larfb_work<T>(n - std::min(ib, k), std::min(ib, k));
   for (int j0 = 0; j0 < k; j0 += ib) {
     const int kb = std::min(ib, k - j0);
-    MatrixView panel = A.block(j0, j0, m - j0, kb);
-    MatrixView Tp = T.block(0, j0, kb, kb);
+    MatrixViewT<T> panel = A.block(j0, j0, m - j0, kb);
+    MatrixViewT<T> Tp = Tm.block(0, j0, kb, kb);
     // Recursive BLAS3 panel: V, R and the full kb x kb T in one pass.
-    geqrf_rec(panel, Tp);
+    geqrf_rec<T>(panel, Tp);
     if (j0 + kb < n) {
-      larfb_left_t(Trans::Yes, panel, Tp,
-                   A.block(j0, j0 + kb, m - j0, n - j0 - kb), g_larfb_work);
+      larfb_left_t<T>(Trans::Yes, panel, Tp,
+                      A.block(j0, j0 + kb, m - j0, n - j0 - kb),
+                      g_larfb_work<T>());
     }
   }
   if (TBSVD_FAULT_FIRE("kernels.geqrt.poison_nan")) {
-    A(0, 0) = std::numeric_limits<double>::quiet_NaN();
+    A(0, 0) = std::numeric_limits<T>::quiet_NaN();
   }
 }
 
-void geqrt_ref(MatrixView A, MatrixView T, int ib) {
+template <class T>
+void geqrt_ref(MatrixViewT<T> A, MatrixViewT<T> Tm, int ib) {
   const int m = A.m, n = A.n;
   const int k = std::min(m, n);
-  TBSVD_CHECK(ib >= 1 && T.m >= std::min(ib, k) && T.n >= k,
+  TBSVD_CHECK(ib >= 1 && Tm.m >= std::min(ib, k) && Tm.n >= k,
               "geqrt_ref: bad ib or T shape");
-  double* tau = scratch(g_tau, static_cast<std::size_t>(k));
-  reserve_larfb_work(std::min(ib, k), n - std::min(ib, k));
+  T* tau = scratch(g_tau<T>(), static_cast<std::size_t>(k));
+  reserve_larfb_work<T>(std::min(ib, k), n - std::min(ib, k));
   for (int j0 = 0; j0 < k; j0 += ib) {
     const int kb = std::min(ib, k - j0);
-    MatrixView panel = A.block(j0, j0, m - j0, kb);
-    geqr2(panel, tau + j0);
-    MatrixView Tp = T.block(0, j0, kb, kb);
-    larft(panel, tau + j0, Tp);
+    MatrixViewT<T> panel = A.block(j0, j0, m - j0, kb);
+    geqr2<T>(panel, tau + j0);
+    MatrixViewT<T> Tp = Tm.block(0, j0, kb, kb);
+    larft<T>(panel, tau + j0, Tp);
     if (j0 + kb < n) {
-      larfb(Side::Left, Trans::Yes, panel, Tp,
-            A.block(j0, j0 + kb, m - j0, n - j0 - kb), g_larfb_work);
+      larfb<T>(Side::Left, Trans::Yes, panel, Tp,
+               A.block(j0, j0 + kb, m - j0, n - j0 - kb), g_larfb_work<T>());
     }
   }
 }
 
-void unmqr(Trans trans, ConstMatrixView V, ConstMatrixView T, MatrixView C,
-           int ib) {
+template <class T>
+void unmqr(Trans trans, ConstMatrixViewT<T> V, ConstMatrixViewT<T> Tm,
+           MatrixViewT<T> C, int ib) {
   const int k = std::min(V.m, V.n);
   TBSVD_CHECK(V.m == C.m, "unmqr: V/C row mismatch");
-  reserve_larfb_work(C.n, std::min(ib, k));
+  reserve_larfb_work<T>(C.n, std::min(ib, k));
   const int npanels = (k + ib - 1) / ib;
   for (int b = 0; b < npanels; ++b) {
     // Q^T C applies panels forward; Q C applies them backward.
     const int pb = (trans == Trans::Yes) ? b : npanels - 1 - b;
     const int j0 = pb * ib;
     const int kb = std::min(ib, k - j0);
-    larfb_left_t(trans, V.block(j0, j0, V.m - j0, kb),
-                 T.block(0, j0, kb, kb), C.block(j0, 0, C.m - j0, C.n),
-                 g_larfb_work);
+    larfb_left_t<T>(trans, V.block(j0, j0, V.m - j0, kb),
+                    Tm.block(0, j0, kb, kb), C.block(j0, 0, C.m - j0, C.n),
+                    g_larfb_work<T>());
   }
 }
 
-void tsqrt(MatrixView A1, MatrixView A2, MatrixView T, int ib) {
+template <class T>
+void tsqrt(MatrixViewT<T> A1, MatrixViewT<T> A2, MatrixViewT<T> Tm, int ib) {
   const int n = A1.n;
   const int m2 = A2.m;
   TBSVD_CHECK(A1.m == n && A2.n == n, "tsqrt: shape mismatch");
@@ -106,22 +125,24 @@ void tsqrt(MatrixView A1, MatrixView A2, MatrixView T, int ib) {
     const int kb = std::min(ib, n - j0);
     // --- Recursive BLAS3 panel: reflectors live entirely in A2's columns,
     // and the full kb x kb T triangle comes out of the recursion. ---
-    MatrixView Tp = T.block(0, j0, kb, kb);
-    tsqrf_rec(A1.block(j0, j0, kb, kb), A2.block(0, j0, m2, kb), Tp);
+    MatrixViewT<T> Tp = Tm.block(0, j0, kb, kb);
+    tsqrf_rec<T>(A1.block(j0, j0, kb, kb), A2.block(0, j0, m2, kb), Tp);
     // --- Apply the block reflector to trailing columns of [A1; A2]
     // (larfb_ts keeps its workspace transposed so the T product runs on
     // the vectorizable trmm_right sweep). ---
     const int nc = n - j0 - kb;
     if (nc > 0) {
-      ConstMatrixView V2p{A2.col(j0), m2, kb, A2.ld};
-      larfb_ts(Side::Left, Trans::Yes, V2p, Tp,
-               A1.block(j0, j0 + kb, kb, nc), A2.block(0, j0 + kb, m2, nc),
-               g_larfb_work);
+      ConstMatrixViewT<T> V2p{A2.col(j0), m2, kb, A2.ld};
+      larfb_ts<T>(Side::Left, Trans::Yes, V2p, Tp,
+                  A1.block(j0, j0 + kb, kb, nc), A2.block(0, j0 + kb, m2, nc),
+                  g_larfb_work<T>());
     }
   }
 }
 
-void tsqrt_ref(MatrixView A1, MatrixView A2, MatrixView T, int ib) {
+template <class T>
+void tsqrt_ref(MatrixViewT<T> A1, MatrixViewT<T> A2, MatrixViewT<T> Tm,
+               int ib) {
   const int n = A1.n;
   const int m2 = A2.m;
   TBSVD_CHECK(A1.m == n && A2.n == n, "tsqrt_ref: shape mismatch");
@@ -129,82 +150,86 @@ void tsqrt_ref(MatrixView A1, MatrixView A2, MatrixView T, int ib) {
     // Empty-edge tile: identity reflectors, R untouched, T triangles zero.
     for (int j0 = 0; j0 < n; j0 += ib) {
       const int kb = std::min(ib, n - j0);
-      MatrixView Tp = T.block(0, j0, kb, kb);
+      MatrixViewT<T> Tp = Tm.block(0, j0, kb, kb);
       for (int jl = 0; jl < kb; ++jl)
-        for (int il = 0; il <= jl; ++il) Tp(il, jl) = 0.0;
+        for (int il = 0; il <= jl; ++il) Tp(il, jl) = T(0);
     }
     return;
   }
-  double* tau = scratch(g_tau, static_cast<std::size_t>(n));
+  T* tau = scratch(g_tau<T>(), static_cast<std::size_t>(n));
 
   for (int j0 = 0; j0 < n; j0 += ib) {
     const int kb = std::min(ib, n - j0);
     // --- Factor the panel: reflectors live entirely in A2's columns. ---
     for (int jl = 0; jl < kb; ++jl) {
       const int j = j0 + jl;
-      tau[j] = larfg(m2 + 1, A1(j, j), A2.col(j), 1);
+      tau[j] = larfg<T>(m2 + 1, A1(j, j), A2.col(j), 1);
       for (int jj = j + 1; jj < j0 + kb; ++jj) {
-        double w = A1(j, jj) + dot(m2, A2.col(j), 1, A2.col(jj), 1);
+        T w = A1(j, jj) + dot<T>(m2, A2.col(j), 1, A2.col(jj), 1);
         w *= tau[j];
         A1(j, jj) -= w;
-        axpy(m2, -w, A2.col(j), 1, A2.col(jj), 1);
+        axpy<T>(m2, -w, A2.col(j), 1, A2.col(jj), 1);
       }
     }
     // --- Accumulate T for the panel (V_i^T V_j reduces to v2 dot v2). ---
-    MatrixView Tp = T.block(0, j0, kb, kb);
+    MatrixViewT<T> Tp = Tm.block(0, j0, kb, kb);
     for (int jl = 0; jl < kb; ++jl) {
       const int j = j0 + jl;
       if (jl > 0) {
-        for (int il = 0; il < jl; ++il) Tp(il, jl) = 0.0;
-        gemv(Trans::Yes, -tau[j],
-             ConstMatrixView{A2.col(j0), m2, jl, A2.ld}, A2.col(j), 1, 1.0,
-             Tp.col(jl), 1);
-        MatrixView tcol{Tp.col(jl), jl, 1, Tp.ld};
-        trmm_left(UpLo::Upper, Trans::No, Diag::NonUnit,
-                  ConstMatrixView{Tp.a, jl, jl, Tp.ld}, tcol);
+        for (int il = 0; il < jl; ++il) Tp(il, jl) = T(0);
+        gemv<T>(Trans::Yes, -tau[j],
+                ConstMatrixViewT<T>{A2.col(j0), m2, jl, A2.ld}, A2.col(j), 1,
+                T(1), Tp.col(jl), 1);
+        MatrixViewT<T> tcol{Tp.col(jl), jl, 1, Tp.ld};
+        trmm_left<T>(UpLo::Upper, Trans::No, Diag::NonUnit,
+                     ConstMatrixViewT<T>{Tp.a, jl, jl, Tp.ld}, tcol);
       }
       Tp(jl, jl) = tau[j];
     }
     // --- Apply the block reflector to trailing columns of [A1; A2]. ---
     const int nc = n - j0 - kb;
     if (nc > 0) {
-      ConstMatrixView V2p{A2.col(j0), m2, kb, A2.ld};
-      MatrixView C1 = A1.block(j0, j0 + kb, kb, nc);
-      MatrixView C2 = A2.block(0, j0 + kb, m2, nc);
-      MatrixView W{scratch(g_w, static_cast<std::size_t>(kb) * nc), kb, nc, kb};
-      copy(C1, W);
-      gemm(Trans::Yes, Trans::No, 1.0, V2p, C2, 1.0, W);
-      trmm_left(UpLo::Upper, Trans::Yes, Diag::NonUnit, Tp, W);
+      ConstMatrixViewT<T> V2p{A2.col(j0), m2, kb, A2.ld};
+      MatrixViewT<T> C1 = A1.block(j0, j0 + kb, kb, nc);
+      MatrixViewT<T> C2 = A2.block(0, j0 + kb, m2, nc);
+      MatrixViewT<T> W{
+          scratch(g_w<T>(), static_cast<std::size_t>(kb) * nc), kb, nc, kb};
+      copy<T>(C1, W);
+      gemm<T>(Trans::Yes, Trans::No, T(1), V2p, C2, T(1), W);
+      trmm_left<T>(UpLo::Upper, Trans::Yes, Diag::NonUnit, Tp, W);
       for (int j = 0; j < nc; ++j) {
         for (int i = 0; i < kb; ++i) C1(i, j) -= W(i, j);
       }
-      gemm(Trans::No, Trans::No, -1.0, V2p, W, 1.0, C2);
+      gemm<T>(Trans::No, Trans::No, T(-1), V2p, W, T(1), C2);
     }
   }
 }
 
-void tsmqr(Trans trans, MatrixView C1, MatrixView C2, ConstMatrixView V2,
-           ConstMatrixView T, int ib) {
+template <class T>
+void tsmqr(Trans trans, MatrixViewT<T> C1, MatrixViewT<T> C2,
+           ConstMatrixViewT<T> V2, ConstMatrixViewT<T> Tm, int ib) {
   const int k = V2.n;
   const int m2 = V2.m;
   const int nc = C1.n;
-  TBSVD_CHECK(C1.m >= k && C2.m == m2 && C2.n == nc, "tsmqr: shape mismatch");
+  TBSVD_CHECK(C1.m >= k && C2.m == m2 && C2.n == nc,
+              "tsmqr: shape mismatch");
   const int npanels = (k + ib - 1) / ib;
   for (int b = 0; b < npanels; ++b) {
     const int pb = (trans == Trans::Yes) ? b : npanels - 1 - b;
     const int j0 = pb * ib;
     const int kb = std::min(ib, k - j0);
-    ConstMatrixView V2p{V2.col(j0), m2, kb, V2.ld};
-    ConstMatrixView Tp = T.block(0, j0, kb, kb);
-    larfb_ts(Side::Left, trans, V2p, Tp, C1.block(j0, 0, kb, nc), C2,
-             g_larfb_work);
+    ConstMatrixViewT<T> V2p{V2.col(j0), m2, kb, V2.ld};
+    ConstMatrixViewT<T> Tp = Tm.block(0, j0, kb, kb);
+    larfb_ts<T>(Side::Left, trans, V2p, Tp, C1.block(j0, 0, kb, nc), C2,
+                g_larfb_work<T>());
   }
 }
 
-void ttqrt(MatrixView A1, MatrixView A2, MatrixView T, int ib) {
+template <class T>
+void ttqrt(MatrixViewT<T> A1, MatrixViewT<T> A2, MatrixViewT<T> Tm, int ib) {
   const int n = A1.n;
   TBSVD_CHECK(A1.m == n && A2.m == n && A2.n == n, "ttqrt: shape mismatch");
-  TBSVD_CHECK(ib >= 1 && (n == 0 || (T.m >= std::min(ib, n) && T.n >= n)),
+  TBSVD_CHECK(ib >= 1 && (n == 0 || (Tm.m >= std::min(ib, n) && Tm.n >= n)),
               "ttqrt: bad ib or T shape");
 
   for (int j0 = 0; j0 < n; j0 += ib) {
@@ -215,8 +240,9 @@ void ttqrt(MatrixView A1, MatrixView A2, MatrixView T, int ib) {
     // from a triangularization). ttqrf_rec routes every half-panel apply
     // and T merge through the support-masked gemm_trap path and produces
     // the full kb x kb T triangle. ---
-    MatrixView Tp = T.block(0, j0, kb, kb);
-    ttqrf_rec(A1.block(j0, j0, kb, kb), A2.block(0, j0, j0 + kb, kb), Tp, j0);
+    MatrixViewT<T> Tp = Tm.block(0, j0, kb, kb);
+    ttqrf_rec<T>(A1.block(j0, j0, kb, kb), A2.block(0, j0, j0 + kb, kb), Tp,
+                 j0);
     // --- Trailing update through the same masked BLAS3 apply. Rows
     // 0..j0+kb-1 of every trailing column are valid R data (the column's
     // own support reaches further right), so the dense writes never touch
@@ -224,21 +250,22 @@ void ttqrt(MatrixView A1, MatrixView A2, MatrixView T, int ib) {
     const int nc = n - j0 - kb;
     if (nc > 0) {
       const int mv = j0 + kb;
-      ConstMatrixView V2p{A2.col(j0), mv, kb, A2.ld};
-      larfb_tt(Side::Left, Trans::Yes, V2p, Tp,
-               A1.block(j0, j0 + kb, kb, nc), A2.block(0, j0 + kb, mv, nc),
-               j0, g_larfb_work);
+      ConstMatrixViewT<T> V2p{A2.col(j0), mv, kb, A2.ld};
+      larfb_tt<T>(Side::Left, Trans::Yes, V2p, Tp,
+                  A1.block(j0, j0 + kb, kb, nc),
+                  A2.block(0, j0 + kb, mv, nc), j0, g_larfb_work<T>());
     }
   }
 }
 
-void ttmqr(Trans trans, MatrixView C1, MatrixView C2, ConstMatrixView V2,
-           ConstMatrixView T, int ib) {
+template <class T>
+void ttmqr(Trans trans, MatrixViewT<T> C1, MatrixViewT<T> C2,
+           ConstMatrixViewT<T> V2, ConstMatrixViewT<T> Tm, int ib) {
   const int k = V2.n;
   const int nc = C1.n;
   TBSVD_CHECK(V2.m == k, "ttmqr: V2 must be square (triangular reflector)");
   TBSVD_CHECK(C1.m == k && C2.m == k && C2.n == nc, "ttmqr: shape mismatch");
-  TBSVD_CHECK(ib >= 1 && (k == 0 || (T.m >= std::min(ib, k) && T.n >= k)),
+  TBSVD_CHECK(ib >= 1 && (k == 0 || (Tm.m >= std::min(ib, k) && Tm.n >= k)),
               "ttmqr: bad ib or T shape");
   if (k == 0 || nc == 0) return;
   const int npanels = (k + ib - 1) / ib;
@@ -250,10 +277,10 @@ void ttmqr(Trans trans, MatrixView C1, MatrixView C2, ConstMatrixView V2,
     // storage); the panel is an upper trapezoid of height j0 + kb handled
     // by larfb_tt's support-masked apply.
     const int mv = j0 + kb;
-    ConstMatrixView V2p{V2.col(j0), mv, kb, V2.ld};
-    larfb_tt(Side::Left, trans, V2p, T.block(0, j0, kb, kb),
-             C1.block(j0, 0, kb, nc), C2.block(0, 0, mv, nc), j0,
-             g_larfb_work);
+    ConstMatrixViewT<T> V2p{V2.col(j0), mv, kb, V2.ld};
+    larfb_tt<T>(Side::Left, trans, V2p, Tm.block(0, j0, kb, kb),
+                C1.block(j0, 0, kb, nc), C2.block(0, 0, mv, nc), j0,
+                g_larfb_work<T>());
   }
 }
 
@@ -264,63 +291,69 @@ void ttmqr(Trans trans, MatrixView C1, MatrixView C2, ConstMatrixView V2,
 // independent implementation; not used on the execution path.
 // ---------------------------------------------------------------------------
 
-void ttqrt_ref(MatrixView A1, MatrixView A2, MatrixView T, int ib) {
+template <class T>
+void ttqrt_ref(MatrixViewT<T> A1, MatrixViewT<T> A2, MatrixViewT<T> Tm,
+               int ib) {
   const int n = A1.n;
-  TBSVD_CHECK(A1.m == n && A2.m == n && A2.n == n, "ttqrt_ref: shape mismatch");
-  double* tau = scratch(g_tau, static_cast<std::size_t>(n));
+  TBSVD_CHECK(A1.m == n && A2.m == n && A2.n == n,
+              "ttqrt_ref: shape mismatch");
+  T* tau = scratch(g_tau<T>(), static_cast<std::size_t>(n));
 
   for (int j0 = 0; j0 < n; j0 += ib) {
     const int kb = std::min(ib, n - j0);
     for (int jl = 0; jl < kb; ++jl) {
       const int j = j0 + jl;
-      tau[j] = larfg(j + 2, A1(j, j), A2.col(j), 1);
+      tau[j] = larfg<T>(j + 2, A1(j, j), A2.col(j), 1);
       for (int jj = j + 1; jj < j0 + kb; ++jj) {
-        double w = A1(j, jj) + dot(j + 1, A2.col(j), 1, A2.col(jj), 1);
+        T w = A1(j, jj) + dot<T>(j + 1, A2.col(j), 1, A2.col(jj), 1);
         w *= tau[j];
         A1(j, jj) -= w;
-        axpy(j + 1, -w, A2.col(j), 1, A2.col(jj), 1);
+        axpy<T>(j + 1, -w, A2.col(j), 1, A2.col(jj), 1);
       }
     }
-    MatrixView Tp = T.block(0, j0, kb, kb);
+    MatrixViewT<T> Tp = Tm.block(0, j0, kb, kb);
     for (int jl = 0; jl < kb; ++jl) {
       const int j = j0 + jl;
       if (jl > 0) {
         for (int pl = 0; pl < jl; ++pl) {
           const int jp = j0 + pl;
-          Tp(pl, jl) = -tau[j] * dot(jp + 1, A2.col(jp), 1, A2.col(j), 1);
+          Tp(pl, jl) =
+              -tau[j] * dot<T>(jp + 1, A2.col(jp), 1, A2.col(j), 1);
         }
-        MatrixView tcol{Tp.col(jl), jl, 1, Tp.ld};
-        trmm_left(UpLo::Upper, Trans::No, Diag::NonUnit,
-                  ConstMatrixView{Tp.a, jl, jl, Tp.ld}, tcol);
+        MatrixViewT<T> tcol{Tp.col(jl), jl, 1, Tp.ld};
+        trmm_left<T>(UpLo::Upper, Trans::No, Diag::NonUnit,
+                     ConstMatrixViewT<T>{Tp.a, jl, jl, Tp.ld}, tcol);
       }
       Tp(jl, jl) = tau[j];
     }
     const int nc = n - j0 - kb;
     if (nc > 0) {
-      MatrixView C1 = A1.block(j0, j0 + kb, kb, nc);
-      MatrixView W{scratch(g_w, static_cast<std::size_t>(kb) * nc), kb, nc, kb};
-      copy(C1, W);
+      MatrixViewT<T> C1 = A1.block(j0, j0 + kb, kb, nc);
+      MatrixViewT<T> W{
+          scratch(g_w<T>(), static_cast<std::size_t>(kb) * nc), kb, nc, kb};
+      copy<T>(C1, W);
       for (int l = 0; l < kb; ++l) {
         const int jl = j0 + l;
-        gemv(Trans::Yes, 1.0, A2.block(0, j0 + kb, jl + 1, nc), A2.col(jl),
-             1, 1.0, &W(l, 0), W.ld);
+        gemv<T>(Trans::Yes, T(1), A2.block(0, j0 + kb, jl + 1, nc),
+                A2.col(jl), 1, T(1), &W(l, 0), W.ld);
       }
-      trmm_left(UpLo::Upper, Trans::Yes, Diag::NonUnit, Tp, W);
+      trmm_left<T>(UpLo::Upper, Trans::Yes, Diag::NonUnit, Tp, W);
       for (int j = 0; j < nc; ++j) {
         for (int i = 0; i < kb; ++i) C1(i, j) -= W(i, j);
       }
       for (int l = 0; l < kb; ++l) {
         const int jl = j0 + l;
         for (int c = 0; c < nc; ++c) {
-          axpy(jl + 1, -W(l, c), A2.col(jl), 1, A2.col(j0 + kb + c), 1);
+          axpy<T>(jl + 1, -W(l, c), A2.col(jl), 1, A2.col(j0 + kb + c), 1);
         }
       }
     }
   }
 }
 
-void ttmqr_ref(Trans trans, MatrixView C1, MatrixView C2, ConstMatrixView V2,
-               ConstMatrixView T, int ib) {
+template <class T>
+void ttmqr_ref(Trans trans, MatrixViewT<T> C1, MatrixViewT<T> C2,
+               ConstMatrixViewT<T> V2, ConstMatrixViewT<T> Tm, int ib) {
   const int k = V2.n;
   const int nc = C1.n;
   TBSVD_CHECK(C1.m >= k && C2.n == nc && C2.m >= k,
@@ -330,26 +363,52 @@ void ttmqr_ref(Trans trans, MatrixView C1, MatrixView C2, ConstMatrixView V2,
     const int pb = (trans == Trans::Yes) ? b : npanels - 1 - b;
     const int j0 = pb * ib;
     const int kb = std::min(ib, k - j0);
-    ConstMatrixView Tp = T.block(0, j0, kb, kb);
-    MatrixView C1p = C1.block(j0, 0, kb, nc);
-    MatrixView W{scratch(g_w, static_cast<std::size_t>(kb) * nc), kb, nc, kb};
-    copy(C1p, W);
+    ConstMatrixViewT<T> Tp = Tm.block(0, j0, kb, kb);
+    MatrixViewT<T> C1p = C1.block(j0, 0, kb, nc);
+    MatrixViewT<T> W{
+        scratch(g_w<T>(), static_cast<std::size_t>(kb) * nc), kb, nc, kb};
+    copy<T>(C1p, W);
     for (int l = 0; l < kb; ++l) {
       const int jl = j0 + l;
-      gemv(Trans::Yes, 1.0, C2.block(0, 0, jl + 1, nc), V2.col(jl), 1, 1.0,
-           &W(l, 0), W.ld);
+      gemv<T>(Trans::Yes, T(1), C2.block(0, 0, jl + 1, nc), V2.col(jl), 1,
+              T(1), &W(l, 0), W.ld);
     }
-    trmm_left(UpLo::Upper, trans, Diag::NonUnit, Tp, W);
+    trmm_left<T>(UpLo::Upper, trans, Diag::NonUnit, Tp, W);
     for (int j = 0; j < nc; ++j) {
       for (int i = 0; i < kb; ++i) C1p(i, j) -= W(i, j);
     }
     for (int l = 0; l < kb; ++l) {
       const int jl = j0 + l;
       for (int c = 0; c < nc; ++c) {
-        axpy(jl + 1, -W(l, c), V2.col(jl), 1, C2.col(c), 1);
+        axpy<T>(jl + 1, -W(l, c), V2.col(jl), 1, C2.col(c), 1);
       }
     }
   }
 }
+
+#define TBSVD_INSTANTIATE_QR_KERNELS(T)                                       \
+  template void geqrt<T>(MatrixViewT<T>, MatrixViewT<T>, int);                \
+  template void geqrt_ref<T>(MatrixViewT<T>, MatrixViewT<T>, int);            \
+  template void unmqr<T>(Trans, ConstMatrixViewT<T>, ConstMatrixViewT<T>,     \
+                         MatrixViewT<T>, int);                                \
+  template void tsqrt<T>(MatrixViewT<T>, MatrixViewT<T>, MatrixViewT<T>,      \
+                         int);                                                \
+  template void tsqrt_ref<T>(MatrixViewT<T>, MatrixViewT<T>, MatrixViewT<T>,  \
+                             int);                                            \
+  template void tsmqr<T>(Trans, MatrixViewT<T>, MatrixViewT<T>,               \
+                         ConstMatrixViewT<T>, ConstMatrixViewT<T>, int);      \
+  template void ttqrt<T>(MatrixViewT<T>, MatrixViewT<T>, MatrixViewT<T>,      \
+                         int);                                                \
+  template void ttqrt_ref<T>(MatrixViewT<T>, MatrixViewT<T>, MatrixViewT<T>,  \
+                             int);                                            \
+  template void ttmqr<T>(Trans, MatrixViewT<T>, MatrixViewT<T>,               \
+                         ConstMatrixViewT<T>, ConstMatrixViewT<T>, int);      \
+  template void ttmqr_ref<T>(Trans, MatrixViewT<T>, MatrixViewT<T>,           \
+                             ConstMatrixViewT<T>, ConstMatrixViewT<T>, int);
+
+TBSVD_INSTANTIATE_QR_KERNELS(float)
+TBSVD_INSTANTIATE_QR_KERNELS(double)
+
+#undef TBSVD_INSTANTIATE_QR_KERNELS
 
 }  // namespace tbsvd::kernels

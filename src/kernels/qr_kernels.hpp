@@ -1,4 +1,5 @@
-// Tile QR kernels (PLASMA-style core kernels, hand-written):
+// Tile QR kernels (PLASMA-style core kernels, hand-written), templated over
+// the scalar type T in {float, double}:
 //
 //   GEQRT  A -> (V, R, T)           "factor square into triangle"
 //   UNMQR  C := op(Q) C             "apply GEQRT's Q to a tile"
@@ -30,21 +31,25 @@ namespace tbsvd::kernels {
 /// T (ib x n, ld >= ib) holds the panel T triangles. 1 <= ib <= n.
 /// Panels are factored by the recursive BLAS3 path (lac/qr_rec.hpp), which
 /// also produces each panel's T directly (no separate larft pass).
-void geqrt(MatrixView A, MatrixView T, int ib);
+template <class T>
+void geqrt(MatrixViewT<T> A, MatrixViewT<T> Tm, int ib);
 
 /// C := Q^T C (Trans::Yes) or Q C, with (V, T) from geqrt(A) where V is the
 /// whole tile A (reflectors below the diagonal, k = min(m, n)).
-void unmqr(Trans trans, ConstMatrixView V, ConstMatrixView T, MatrixView C,
-           int ib);
+template <class T>
+void unmqr(Trans trans, ConstMatrixViewT<T> V, ConstMatrixViewT<T> Tm,
+           MatrixViewT<T> C, int ib);
 
 /// QR of [A1; A2] where A1 (n x n) is upper triangular and A2 (m2 x n) is
 /// full. On exit A1 holds the new R, A2 holds V2 (full columns), T as above.
-void tsqrt(MatrixView A1, MatrixView A2, MatrixView T, int ib);
+template <class T>
+void tsqrt(MatrixViewT<T> A1, MatrixViewT<T> A2, MatrixViewT<T> Tm, int ib);
 
 /// [C1; C2] := op(Q) [C1; C2] with Q from tsqrt: C1 is the tile in the
 /// pivot row (n x nc), C2 the tile in the eliminated row (m2 x nc).
-void tsmqr(Trans trans, MatrixView C1, MatrixView C2, ConstMatrixView V2,
-           ConstMatrixView T, int ib);
+template <class T>
+void tsmqr(Trans trans, MatrixViewT<T> C1, MatrixViewT<T> C2,
+           ConstMatrixViewT<T> V2, ConstMatrixViewT<T> Tm, int ib);
 
 /// QR of [A1; A2] where both A1 and A2 (n x n) are upper triangular.
 /// On exit A1 holds the new R, A2 holds V2 (upper trapezoidal columns:
@@ -59,33 +64,41 @@ void tsmqr(Trans trans, MatrixView C1, MatrixView C2, ConstMatrixView V2,
 /// (validated up front, throws invalid_argument_error); the recursive
 /// path writes only each panel's upper triangle, same as the level-2
 /// reference. All scratch beyond T (the larfb_tt workspace of
-/// nc x kb doubles per trailing apply and the recursion's merge/tau
-/// buffers) is thread_local inside the kernels and grows on demand —
-/// callers never size it.
-void ttqrt(MatrixView A1, MatrixView A2, MatrixView T, int ib);
+/// nc x kb scalars per trailing apply and the recursion's merge/tau
+/// buffers) is thread_local inside the kernels — one instance per scalar
+/// type — and grows on demand; callers never size it.
+template <class T>
+void ttqrt(MatrixViewT<T> A1, MatrixViewT<T> A2, MatrixViewT<T> Tm, int ib);
 
 /// [C1; C2] := op(Q) [C1; C2] with Q from ttqrt (triangular V2). C1, C2 and
 /// V2 must all have exactly k = V2.n rows (the triangular-tile contract);
 /// T needs T.m >= min(ib, k), T.n >= k (throws invalid_argument_error
 /// otherwise). The per-panel applies share larfb_tt's thread_local
-/// workspace (nc x kb doubles, grow-only) with ttqrt.
-void ttmqr(Trans trans, MatrixView C1, MatrixView C2, ConstMatrixView V2,
-           ConstMatrixView T, int ib);
+/// workspace (nc x kb scalars, grow-only) with ttqrt.
+template <class T>
+void ttmqr(Trans trans, MatrixViewT<T> C1, MatrixViewT<T> C2,
+           ConstMatrixViewT<T> V2, ConstMatrixViewT<T> Tm, int ib);
 
 /// Reference kernels with level-2 (geqr2-style) panel factorization: the
 /// pre-recursive formulation, retained so the tests can cross-validate the
 /// recursive BLAS3 panel path against an independent implementation and so
 /// the benches can re-measure the panel speedup on the current machine.
 /// Not on the execution path.
-void geqrt_ref(MatrixView A, MatrixView T, int ib);
-void tsqrt_ref(MatrixView A1, MatrixView A2, MatrixView T, int ib);
+template <class T>
+void geqrt_ref(MatrixViewT<T> A, MatrixViewT<T> Tm, int ib);
+template <class T>
+void tsqrt_ref(MatrixViewT<T> A1, MatrixViewT<T> A2, MatrixViewT<T> Tm,
+               int ib);
 
 /// Reference level-2 TT kernels (per-column-support gemv/axpy loops, the
 /// pre-BLAS3 formulation). Retained so tests can cross-validate the blocked
 /// kernels against an independent implementation; not on the hot path.
-void ttqrt_ref(MatrixView A1, MatrixView A2, MatrixView T, int ib);
-void ttmqr_ref(Trans trans, MatrixView C1, MatrixView C2, ConstMatrixView V2,
-               ConstMatrixView T, int ib);
+template <class T>
+void ttqrt_ref(MatrixViewT<T> A1, MatrixViewT<T> A2, MatrixViewT<T> Tm,
+               int ib);
+template <class T>
+void ttmqr_ref(Trans trans, MatrixViewT<T> C1, MatrixViewT<T> C2,
+               ConstMatrixViewT<T> V2, ConstMatrixViewT<T> Tm, int ib);
 
 /// Leading-order flop counts (for GFlop/s reporting in benches).
 constexpr double flops_geqrt(double m, double n) {

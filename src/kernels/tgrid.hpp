@@ -2,6 +2,8 @@
 // of T per matrix tile, as in PLASMA's descriptor-T. Separate grids are
 // used for the TS-family and TT-family factors of a factorization because
 // a tile can be both GEQRT'd and later TT-eliminated (FlatTT / Greedy trees).
+// Templated over the scalar type T in {float, double}; the unsuffixed TGrid
+// remains the double alias.
 #pragma once
 
 #include <vector>
@@ -12,12 +14,13 @@
 namespace tbsvd {
 
 /// Grid of mt x nt T-factor tiles, each ib rows by nb columns.
-class TGrid {
+template <class T>
+class TGridT {
  public:
-  TGrid() = default;
-  TGrid(int mt, int nt, int ib, int nb)
+  TGridT() = default;
+  TGridT(int mt, int nt, int ib, int nb)
       : mt_(mt), nt_(nt), ib_(ib), nb_(nb),
-        buf_(static_cast<std::size_t>(mt) * nt * ib * nb, 0.0) {
+        buf_(static_cast<std::size_t>(mt) * nt * ib * nb, T(0)) {
     TBSVD_CHECK(mt >= 0 && nt >= 0 && ib >= 1 && nb >= ib,
                 "TGrid: need 1 <= ib <= nb");
   }
@@ -25,15 +28,15 @@ class TGrid {
   [[nodiscard]] int ib() const noexcept { return ib_; }
   [[nodiscard]] int nb() const noexcept { return nb_; }
 
-  [[nodiscard]] MatrixView tile(int i, int j) noexcept {
+  [[nodiscard]] MatrixViewT<T> tile(int i, int j) noexcept {
     return {buf_.data() + offset(i, j), ib_, nb_, ib_};
   }
-  [[nodiscard]] ConstMatrixView tile(int i, int j) const noexcept {
+  [[nodiscard]] ConstMatrixViewT<T> tile(int i, int j) const noexcept {
     return {buf_.data() + offset(i, j), ib_, nb_, ib_};
   }
 
   /// Base pointer of T tile (i, j); doubles as the runtime data key.
-  [[nodiscard]] double* tile_ptr(int i, int j) noexcept {
+  [[nodiscard]] T* tile_ptr(int i, int j) noexcept {
     return buf_.data() + offset(i, j);
   }
 
@@ -45,7 +48,9 @@ class TGrid {
   }
 
   int mt_ = 0, nt_ = 0, ib_ = 1, nb_ = 1;
-  std::vector<double> buf_;
+  std::vector<T> buf_;
 };
+
+using TGrid = TGridT<double>;
 
 }  // namespace tbsvd

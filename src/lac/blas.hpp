@@ -1,7 +1,9 @@
 // Minimal BLAS-like dense operations (hand-written; no external BLAS is
-// available in this environment). gemm and the trmm variants run on a
-// cache-blocked, packed micro-kernel backend (see gemm_microkernel.hpp);
-// small/skinny products take direct vectorized loops.
+// available in this environment), templated over the scalar type
+// T in {float, double}. gemm and the trmm variants run on a cache-blocked,
+// packed micro-kernel backend (see gemm_microkernel.hpp); small/skinny
+// products take direct vectorized loops. Definitions live in blas.cpp with
+// explicit instantiations for float and double.
 #pragma once
 
 #include "lac/dense.hpp"
@@ -13,8 +15,9 @@ enum class UpLo { Upper, Lower };
 enum class Diag { Unit, NonUnit };
 
 /// C := alpha * op(A) * op(B) + beta * C.
-void gemm(Trans ta, Trans tb, double alpha, ConstMatrixView A,
-          ConstMatrixView B, double beta, MatrixView C);
+template <class T>
+void gemm(Trans ta, Trans tb, T alpha, ConstMatrixViewT<T> A,
+          ConstMatrixViewT<T> B, T beta, MatrixViewT<T> C);
 
 /// Which operand of gemm_trap carries the trapezoidal support mask.
 enum class TrapSide { A, B };
@@ -28,55 +31,69 @@ enum class TrapSide { A, B };
 /// are unrelated Householder data — through the packed micro-kernel at
 /// blocked-gemm speed, with the mask applied during panel packing instead
 /// of densifying the operand first.
-void gemm_trap(Trans ta, Trans tb, double alpha, ConstMatrixView A,
-               ConstMatrixView B, double beta, MatrixView C, TrapSide side,
+template <class T>
+void gemm_trap(Trans ta, Trans tb, T alpha, ConstMatrixViewT<T> A,
+               ConstMatrixViewT<T> B, T beta, MatrixViewT<T> C, TrapSide side,
                UpLo uplo, int off);
 
 /// y := alpha * op(A) * x + beta * y  (x, y contiguous with given strides).
-void gemv(Trans ta, double alpha, ConstMatrixView A, const double* x, int incx,
-          double beta, double* y, int incy);
+template <class T>
+void gemv(Trans ta, T alpha, ConstMatrixViewT<T> A, const T* x, int incx,
+          T beta, T* y, int incy);
 
 /// Dot product of two strided vectors of length n.
-[[nodiscard]] double dot(int n, const double* x, int incx, const double* y,
-                         int incy) noexcept;
+template <class T>
+[[nodiscard]] T dot(int n, const T* x, int incx, const T* y,
+                    int incy) noexcept;
 
 /// Euclidean norm of a strided vector (with scaling for robustness).
-[[nodiscard]] double nrm2(int n, const double* x, int incx) noexcept;
+template <class T>
+[[nodiscard]] T nrm2(int n, const T* x, int incx) noexcept;
 
 /// y := a*x + y on strided vectors.
-void axpy(int n, double a, const double* x, int incx, double* y,
-          int incy) noexcept;
+template <class T>
+void axpy(int n, T a, const T* x, int incx, T* y, int incy) noexcept;
 
 /// x := a*x on a strided vector.
-void scal(int n, double a, double* x, int incx) noexcept;
+template <class T>
+void scal(int n, T a, T* x, int incx) noexcept;
 
 /// W := op(T) * W in place, T triangular (k x k), W (k x n).
-void trmm_left(UpLo uplo, Trans trans, Diag diag, ConstMatrixView T,
-               MatrixView W);
+template <class T>
+void trmm_left(UpLo uplo, Trans trans, Diag diag, ConstMatrixViewT<T> Tm,
+               MatrixViewT<T> W);
 
 /// W := W * op(T) in place, T triangular (n x n), W (m x n).
-void trmm_right(UpLo uplo, Trans trans, Diag diag, MatrixView W,
-                ConstMatrixView T);
+template <class T>
+void trmm_right(UpLo uplo, Trans trans, Diag diag, MatrixViewT<T> W,
+                ConstMatrixViewT<T> Tm);
 
 /// B := A (shape-checked element copy between views).
-void copy(ConstMatrixView A, MatrixView B);
+template <class T>
+void copy(ConstMatrixViewT<T> A, MatrixViewT<T> B);
 
 /// B := A^T.
-void transpose(ConstMatrixView A, MatrixView B);
+template <class T>
+void transpose(ConstMatrixViewT<T> A, MatrixViewT<T> B);
 
 /// C -= W elementwise (the block-reflector "subtract the W product" step).
-void sub_inplace(MatrixView C, ConstMatrixView W);
+template <class T>
+void sub_inplace(MatrixViewT<T> C, ConstMatrixViewT<T> W);
 
 /// C -= W^T (same step for the transposed-workspace applies).
-void sub_transposed(MatrixView C, ConstMatrixView W);
+template <class T>
+void sub_transposed(MatrixViewT<T> C, ConstMatrixViewT<T> W);
 
-/// Frobenius norm of a view.
-[[nodiscard]] double norm_fro(ConstMatrixView A) noexcept;
+/// Frobenius norm of a view (accumulated in double in either precision).
+template <class T>
+[[nodiscard]] double norm_fro(ConstMatrixViewT<T> A) noexcept;
 
 /// max |A(i,j)|.
-[[nodiscard]] double norm_max(ConstMatrixView A) noexcept;
+template <class T>
+[[nodiscard]] double norm_max(ConstMatrixViewT<T> A) noexcept;
 
 /// ||A^T A - I||_F, measuring loss of column orthonormality.
-[[nodiscard]] double orthogonality_error(ConstMatrixView A);
+template <class T>
+[[nodiscard]] double orthogonality_error(ConstMatrixViewT<T> A);
 
 }  // namespace tbsvd

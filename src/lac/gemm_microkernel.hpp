@@ -1,6 +1,7 @@
 // Internal building blocks of the blocked GEMM backend: cache-block sizing,
 // 64-byte-aligned thread-local packing buffers, panel packing for all four
-// transpose combinations, and the register-tiled micro-kernel.
+// transpose combinations, and the register-tiled micro-kernel — all
+// templated over the scalar type T in {float, double}.
 //
 // The design follows the BLIS/GotoBLAS decomposition: C is computed as a sum
 // of rank-KC updates; for each (jc, pc, ic) cache block, op(B) is packed into
@@ -9,6 +10,13 @@
 // with all accumulators held in registers. Strips are zero-padded to full
 // MR/NR width so the micro-kernel never sees a partial tile; edge tiles land
 // in a local buffer and only the valid region is added back to C.
+//
+// The register tile is sized per scalar type so the accumulator block fills
+// the vector register file in both precisions: on AVX-512, 32x4 doubles are
+// 16 zmm accumulators (8 lanes each) and 64x4 floats are again 16 zmm
+// accumulators (16 lanes each) — same register budget, twice the flops per
+// cycle. The cache blocks are sized in *elements* so the packed A-panel
+// footprint stays ~480 KB in either precision.
 //
 // This header is an implementation detail of src/lac/blas.cpp; it is exposed
 // as a header only so tests and benches can reach the micro-kernel directly.
@@ -22,26 +30,57 @@
 
 namespace tbsvd::detail {
 
-// Register micro-tile. The shapes are chosen so that the accumulator block
-// (MR x NR doubles) fits the vector register file exactly and GCC keeps it
-// fully in registers: 16 zmm accumulators for AVX-512, 12 ymm for AVX2.
-#if defined(__AVX512F__)
-inline constexpr int kMR = 32;
-inline constexpr int kNR = 4;
-#elif defined(__AVX2__)
-inline constexpr int kMR = 12;
-inline constexpr int kNR = 4;
-#else
-inline constexpr int kMR = 8;
-inline constexpr int kNR = 4;
-#endif
+/// Per-scalar register micro-tile and cache-block sizing. The shapes are
+/// chosen so that the accumulator block (MR x NR elements) fits the vector
+/// register file exactly and GCC keeps it fully in registers: 16 zmm
+/// accumulators for AVX-512, 12 ymm for AVX2, in both precisions.
+template <class T>
+struct MicroTile;
 
-// Cache blocking: KC x NR B-strips stay in L1 (~8 KB), the packed MC x KC
-// A-panel stays in L2 (256 * 240 * 8 B ~ 480 KB), and NC bounds the
-// packed-B footprint.
-inline constexpr int kKC = 240;
-inline constexpr int kMC = (256 / kMR) * kMR;
-inline constexpr int kNC = 1024;
+template <>
+struct MicroTile<double> {
+#if defined(__AVX512F__)
+  static constexpr int kMR = 32;
+  static constexpr int kNR = 4;
+#elif defined(__AVX2__)
+  static constexpr int kMR = 12;
+  static constexpr int kNR = 4;
+#else
+  static constexpr int kMR = 8;
+  static constexpr int kNR = 4;
+#endif
+  // KC x NR B-strips stay in L1 (~8 KB), the packed MC x KC A-panel stays
+  // in L2 (256 * 240 * 8 B ~ 480 KB), and NC bounds the packed-B footprint.
+  static constexpr int kKC = 240;
+  static constexpr int kMC = (256 / kMR) * kMR;
+  static constexpr int kNC = 1024;
+};
+
+template <>
+struct MicroTile<float> {
+#if defined(__AVX512F__)
+  static constexpr int kMR = 64;  // 16 zmm accumulators of 16 float lanes
+  static constexpr int kNR = 4;
+#elif defined(__AVX2__)
+  static constexpr int kMR = 24;  // 12 ymm accumulators of 8 float lanes
+  static constexpr int kNR = 4;
+#else
+  static constexpr int kMR = 16;
+  static constexpr int kNR = 4;
+#endif
+  // Same cache footprint as the double tile: 512 * 240 * 4 B ~ 480 KB.
+  static constexpr int kKC = 240;
+  static constexpr int kMC = (512 / kMR) * kMR;
+  static constexpr int kNC = 1024;
+};
+
+// Legacy unsuffixed constants: the double tile, kept for the gemm bench and
+// any double-only introspection.
+inline constexpr int kMR = MicroTile<double>::kMR;
+inline constexpr int kNR = MicroTile<double>::kNR;
+inline constexpr int kKC = MicroTile<double>::kKC;
+inline constexpr int kMC = MicroTile<double>::kMC;
+inline constexpr int kNC = MicroTile<double>::kNC;
 
 // Shapes below this are served by the direct (un-packed) loops in blas.cpp:
 // packing costs more than it saves on the skinny ib-panel products inside
@@ -53,9 +92,11 @@ inline constexpr int kSmallK = 4;
 inline constexpr int kSmallMN = 64;
 inline constexpr int kSmallDirectK = 64;
 
-/// Grow-only 64-byte-aligned buffer; one per thread per panel role, so the
-/// packing storage is reused across gemm calls like the kernel scratch in
-/// qr_kernels.cpp.
+/// Grow-only 64-byte-aligned buffer of T; one per thread per panel role, so
+/// the packing storage is reused across gemm calls like the kernel scratch
+/// in qr_kernels.cpp. The capacity is tracked in elements of T; alignment
+/// stays at 64 bytes (a full cache line / zmm vector) for either scalar.
+template <class T>
 class AlignedWorkspace {
  public:
   AlignedWorkspace() = default;
@@ -63,11 +104,11 @@ class AlignedWorkspace {
   AlignedWorkspace& operator=(const AlignedWorkspace&) = delete;
   ~AlignedWorkspace() { release(); }
 
-  double* ensure(std::size_t n) {
+  T* ensure(std::size_t n) {
     if (cap_ < n) {
       release();
-      data_ = static_cast<double*>(
-          ::operator new[](n * sizeof(double), std::align_val_t{64}));
+      data_ = static_cast<T*>(
+          ::operator new[](n * sizeof(T), std::align_val_t{64}));
       cap_ = n;
     }
     return data_;
@@ -81,39 +122,43 @@ class AlignedWorkspace {
       cap_ = 0;
     }
   }
-  double* data_ = nullptr;
+  T* data_ = nullptr;
   std::size_t cap_ = 0;
 };
 
-inline AlignedWorkspace& pack_a_workspace() {
-  thread_local AlignedWorkspace ws;
+template <class T>
+inline AlignedWorkspace<T>& pack_a_workspace() {
+  thread_local AlignedWorkspace<T> ws;
   return ws;
 }
-inline AlignedWorkspace& pack_b_workspace() {
-  thread_local AlignedWorkspace ws;
+template <class T>
+inline AlignedWorkspace<T>& pack_b_workspace() {
+  thread_local AlignedWorkspace<T> ws;
   return ws;
 }
 
 /// Pack op(A)(ic:ic+mc, pc:pc+kc), scaled by alpha, into MR-tall strips:
 /// strip ir holds kc consecutive groups of MR values, zero-padded past mc.
-inline void pack_a(bool transa, double alpha, ConstMatrixView A, int ic,
-                   int pc, int mc, int kc, double* __restrict dst) {
-  for (int ir = 0; ir < mc; ir += kMR) {
-    const int mr = (mc - ir < kMR) ? mc - ir : kMR;
-    double* d = dst + static_cast<std::size_t>(ir) * kc;
+template <class T>
+inline void pack_a(bool transa, T alpha, ConstMatrixViewT<T> A, int ic,
+                   int pc, int mc, int kc, T* __restrict dst) {
+  constexpr int MR = MicroTile<T>::kMR;
+  for (int ir = 0; ir < mc; ir += MR) {
+    const int mr = (mc - ir < MR) ? mc - ir : MR;
+    T* d = dst + static_cast<std::size_t>(ir) * kc;
     if (!transa) {
       for (int l = 0; l < kc; ++l) {
-        const double* src = A.col(pc + l) + ic + ir;
+        const T* src = A.col(pc + l) + ic + ir;
         for (int i = 0; i < mr; ++i) d[i] = alpha * src[i];
-        for (int i = mr; i < kMR; ++i) d[i] = 0.0;
-        d += kMR;
+        for (int i = mr; i < MR; ++i) d[i] = T(0);
+        d += MR;
       }
     } else {
       // op(A)(i, l) = A(l, i): each strip row i is a contiguous column of A.
       for (int l = 0; l < kc; ++l) {
         for (int i = 0; i < mr; ++i) d[i] = alpha * A(pc + l, ic + ir + i);
-        for (int i = mr; i < kMR; ++i) d[i] = 0.0;
-        d += kMR;
+        for (int i = mr; i < MR; ++i) d[i] = T(0);
+        d += MR;
       }
     }
   }
@@ -121,24 +166,26 @@ inline void pack_a(bool transa, double alpha, ConstMatrixView A, int ic,
 
 /// Pack op(B)(pc:pc+kc, jc:jc+nc) into NR-wide strips: strip jr holds kc
 /// consecutive groups of NR values, zero-padded past nc.
-inline void pack_b(bool transb, ConstMatrixView B, int pc, int jc, int kc,
-                   int nc, double* __restrict dst) {
-  for (int jr = 0; jr < nc; jr += kNR) {
-    const int nr = (nc - jr < kNR) ? nc - jr : kNR;
-    double* d = dst + static_cast<std::size_t>(jr) * kc;
+template <class T>
+inline void pack_b(bool transb, ConstMatrixViewT<T> B, int pc, int jc, int kc,
+                   int nc, T* __restrict dst) {
+  constexpr int NR = MicroTile<T>::kNR;
+  for (int jr = 0; jr < nc; jr += NR) {
+    const int nr = (nc - jr < NR) ? nc - jr : NR;
+    T* d = dst + static_cast<std::size_t>(jr) * kc;
     if (!transb) {
       for (int l = 0; l < kc; ++l) {
         for (int j = 0; j < nr; ++j) d[j] = B(pc + l, jc + jr + j);
-        for (int j = nr; j < kNR; ++j) d[j] = 0.0;
-        d += kNR;
+        for (int j = nr; j < NR; ++j) d[j] = T(0);
+        d += NR;
       }
     } else {
       // op(B)(l, j) = B(j, l): each strip row j is a contiguous column of B.
       for (int l = 0; l < kc; ++l) {
-        const double* src = B.col(pc + l) + jc + jr;
+        const T* src = B.col(pc + l) + jc + jr;
         for (int j = 0; j < nr; ++j) d[j] = src[j];
-        for (int j = nr; j < kNR; ++j) d[j] = 0.0;
-        d += kNR;
+        for (int j = nr; j < NR; ++j) d[j] = T(0);
+        d += NR;
       }
     }
   }
@@ -150,16 +197,18 @@ inline void pack_b(bool transb, ConstMatrixView B, int pc, int jc, int kc,
 /// what the storage holds. This is how the TT kernels feed triangular V2
 /// panels (whose out-of-support entries are unrelated Householder data)
 /// through the micro-kernel without densifying them first.
-inline void pack_a_trap(bool transa, double alpha, ConstMatrixView A, int ic,
+template <class T>
+inline void pack_a_trap(bool transa, T alpha, ConstMatrixViewT<T> A, int ic,
                         int pc, int mc, int kc, bool upper, int off,
-                        double* __restrict dst) {
+                        T* __restrict dst) {
+  constexpr int MR = MicroTile<T>::kMR;
   // Within one MR strip the valid op(A) entries of column l form a prefix
   // or a suffix of the segment; only [lo, hi) is copied, the rest packs as
   // zero exactly like the mc-edge padding.
   const bool prefix = (transa != upper);
-  for (int ir = 0; ir < mc; ir += kMR) {
-    const int mr = (mc - ir < kMR) ? mc - ir : kMR;
-    double* d = dst + static_cast<std::size_t>(ir) * kc;
+  for (int ir = 0; ir < mc; ir += MR) {
+    const int mr = (mc - ir < MR) ? mc - ir : MR;
+    T* d = dst + static_cast<std::size_t>(ir) * kc;
     const int base = ic + ir;
     for (int l = 0; l < kc; ++l) {
       int lo = 0, hi = mr;
@@ -173,26 +222,29 @@ inline void pack_a_trap(bool transa, double alpha, ConstMatrixView A, int ic,
       if (hi < lo) hi = lo;
       int i = 0;
       if (!transa) {
-        const double* src = A.col(pc + l) + base;
-        for (; i < lo; ++i) d[i] = 0.0;
+        const T* src = A.col(pc + l) + base;
+        for (; i < lo; ++i) d[i] = T(0);
         for (; i < hi; ++i) d[i] = alpha * src[i];
       } else {
-        for (; i < lo; ++i) d[i] = 0.0;
+        for (; i < lo; ++i) d[i] = T(0);
         for (; i < hi; ++i) d[i] = alpha * A(pc + l, base + i);
       }
-      for (; i < kMR; ++i) d[i] = 0.0;
-      d += kMR;
+      for (; i < MR; ++i) d[i] = T(0);
+      d += MR;
     }
   }
 }
 
 /// pack_b with the same stored-index trapezoidal mask as pack_a_trap.
-inline void pack_b_trap(bool transb, ConstMatrixView B, int pc, int jc, int kc,
-                        int nc, bool upper, int off, double* __restrict dst) {
+template <class T>
+inline void pack_b_trap(bool transb, ConstMatrixViewT<T> B, int pc, int jc,
+                        int kc, int nc, bool upper, int off,
+                        T* __restrict dst) {
+  constexpr int NR = MicroTile<T>::kNR;
   const bool prefix = (transb == upper);
-  for (int jr = 0; jr < nc; jr += kNR) {
-    const int nr = (nc - jr < kNR) ? nc - jr : kNR;
-    double* d = dst + static_cast<std::size_t>(jr) * kc;
+  for (int jr = 0; jr < nc; jr += NR) {
+    const int nr = (nc - jr < NR) ? nc - jr : NR;
+    T* d = dst + static_cast<std::size_t>(jr) * kc;
     const int base = jc + jr;
     for (int l = 0; l < kc; ++l) {
       int lo = 0, hi = nr;
@@ -206,15 +258,15 @@ inline void pack_b_trap(bool transb, ConstMatrixView B, int pc, int jc, int kc,
       if (hi < lo) hi = lo;
       int j = 0;
       if (!transb) {
-        for (; j < lo; ++j) d[j] = 0.0;
+        for (; j < lo; ++j) d[j] = T(0);
         for (; j < hi; ++j) d[j] = B(pc + l, base + j);
       } else {
-        const double* src = B.col(pc + l) + base;
-        for (; j < lo; ++j) d[j] = 0.0;
+        const T* src = B.col(pc + l) + base;
+        for (; j < lo; ++j) d[j] = T(0);
         for (; j < hi; ++j) d[j] = src[j];
       }
-      for (; j < kNR; ++j) d[j] = 0.0;
-      d += kNR;
+      for (; j < NR; ++j) d[j] = T(0);
+      d += NR;
     }
   }
 }
@@ -222,19 +274,21 @@ inline void pack_b_trap(bool transb, ConstMatrixView B, int pc, int jc, int kc,
 /// C(0:MR, 0:NR) += packed_A_strip * packed_B_strip over kc. The fixed trip
 /// counts let the compiler keep the whole accumulator block in vector
 /// registers (one FMA per (i, j) lane per l).
-inline void micro_kernel(int kc, const double* __restrict ap,
-                         const double* __restrict bp, double* __restrict c,
-                         int ldc) {
-  double acc[kNR][kMR] __attribute__((aligned(64))) = {};
+template <class T>
+inline void micro_kernel(int kc, const T* __restrict ap,
+                         const T* __restrict bp, T* __restrict c, int ldc) {
+  constexpr int MR = MicroTile<T>::kMR;
+  constexpr int NR = MicroTile<T>::kNR;
+  T acc[NR][MR] __attribute__((aligned(64))) = {};
   for (int l = 0; l < kc; ++l) {
-    const double* a = ap + static_cast<std::size_t>(l) * kMR;
-    const double* b = bp + static_cast<std::size_t>(l) * kNR;
-    for (int j = 0; j < kNR; ++j)
-      for (int i = 0; i < kMR; ++i) acc[j][i] += a[i] * b[j];
+    const T* a = ap + static_cast<std::size_t>(l) * MR;
+    const T* b = bp + static_cast<std::size_t>(l) * NR;
+    for (int j = 0; j < NR; ++j)
+      for (int i = 0; i < MR; ++i) acc[j][i] += a[i] * b[j];
   }
-  for (int j = 0; j < kNR; ++j) {
-    double* cj = c + static_cast<std::size_t>(j) * ldc;
-    for (int i = 0; i < kMR; ++i) cj[i] += acc[j][i];
+  for (int j = 0; j < NR; ++j) {
+    T* cj = c + static_cast<std::size_t>(j) * ldc;
+    for (int i = 0; i < MR; ++i) cj[i] += acc[j][i];
   }
 }
 

@@ -4,32 +4,40 @@
 
 namespace tbsvd {
 
-GivensRotation lartg(double f, double g) noexcept {
-  if (g == 0.0) {
-    return {1.0, 0.0, f};
+template <class T>
+GivensRotationT<T> lartg(T f, T g) noexcept {
+  if (g == T(0)) {
+    return {T(1), T(0), f};
   }
-  if (f == 0.0) {
-    return {0.0, 1.0, g};
+  if (f == T(0)) {
+    return {T(0), T(1), g};
   }
-  const double r = std::copysign(std::hypot(f, g), f);
+  const T r = std::copysign(std::hypot(f, g), f);
   return {f / r, g / r, r};
 }
 
-void rot(int n, double* x, int incx, double* y, int incy, double c,
-         double s) noexcept {
+template <class T>
+void rot(int n, T* x, int incx, T* y, int incy, T c, T s) noexcept {
   if (incx == 1 && incy == 1) {
     for (int i = 0; i < n; ++i) {
-      const double xi = x[i], yi = y[i];
+      const T xi = x[i], yi = y[i];
       x[i] = c * xi + s * yi;
       y[i] = -s * xi + c * yi;
     }
   } else {
     for (int i = 0; i < n; ++i) {
-      const double xi = x[i * incx], yi = y[i * incy];
+      const T xi = x[i * incx], yi = y[i * incy];
       x[i * incx] = c * xi + s * yi;
       y[i * incy] = -s * xi + c * yi;
     }
   }
 }
+
+template GivensRotationT<float> lartg<float>(float, float) noexcept;
+template GivensRotationT<double> lartg<double>(double, double) noexcept;
+template void rot<float>(int, float*, int, float*, int, float,
+                         float) noexcept;
+template void rot<double>(int, double*, int, double*, int, double,
+                          double) noexcept;
 
 }  // namespace tbsvd

@@ -1,22 +1,27 @@
 // Givens plane rotations (LAPACK dlartg equivalent), used by the
-// band-to-bidiagonal bulge chasing stage.
+// band-to-bidiagonal bulge chasing stage. Templated over the scalar type
+// T in {float, double}; the unsuffixed names remain the double aliases.
 #pragma once
 
 namespace tbsvd {
 
 /// Plane rotation: computes c, s with c^2 + s^2 = 1 such that
 /// [ c  s ; -s  c ] [ f ; g ] = [ r ; 0 ]. Matches dlartg semantics.
-struct GivensRotation {
-  double c;
-  double s;
-  double r;
+template <class T>
+struct GivensRotationT {
+  T c;
+  T s;
+  T r;
 };
 
-[[nodiscard]] GivensRotation lartg(double f, double g) noexcept;
+using GivensRotation = GivensRotationT<double>;
+
+template <class T>
+[[nodiscard]] GivensRotationT<T> lartg(T f, T g) noexcept;
 
 /// Apply rotation to the pair (x, y): x' = c*x + s*y, y' = -s*x + c*y,
 /// over n strided elements.
-void rot(int n, double* x, int incx, double* y, int incy, double c,
-         double s) noexcept;
+template <class T>
+void rot(int n, T* x, int incx, T* y, int incy, T c, T s) noexcept;
 
 }  // namespace tbsvd

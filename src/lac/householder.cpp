@@ -5,47 +5,48 @@
 
 namespace tbsvd {
 
-double larfg(int n, double& alpha, double* x, int incx) noexcept {
-  if (n <= 1) return 0.0;
-  double xnorm = nrm2(n - 1, x, incx);
-  if (xnorm == 0.0) return 0.0;
+template <class T>
+T larfg(int n, T& alpha, T* x, int incx) noexcept {
+  if (n <= 1) return T(0);
+  T xnorm = nrm2<T>(n - 1, x, incx);
+  if (xnorm == T(0)) return T(0);
 
   // beta = -sign(alpha) * ||(alpha, x)||, computed with scaling protection.
-  const double a = alpha;
-  double beta = -std::copysign(std::hypot(a, xnorm), a);
+  const T a = alpha;
+  T beta = -std::copysign(std::hypot(a, xnorm), a);
 
   // Rescale if beta is dangerously small (mirrors dlarfg's safmin loop).
-  const double safmin =
-      std::numeric_limits<double>::min() / std::numeric_limits<double>::epsilon();
+  const T safmin =
+      std::numeric_limits<T>::min() / std::numeric_limits<T>::epsilon();
   int kount = 0;
-  double alpha_s = a, xnorm_s = xnorm, beta_s = beta;
+  T alpha_s = a, xnorm_s = xnorm, beta_s = beta;
   if (std::fabs(beta) < safmin) {
-    const double rsafmn = 1.0 / safmin;
+    const T rsafmn = T(1) / safmin;
     while (std::fabs(beta_s) < safmin && kount < 20) {
       ++kount;
-      scal(n - 1, rsafmn, x, incx);
+      scal<T>(n - 1, rsafmn, x, incx);
       beta_s *= rsafmn;
       alpha_s *= rsafmn;
       xnorm_s *= rsafmn;
     }
-    xnorm_s = nrm2(n - 1, x, incx);
+    xnorm_s = nrm2<T>(n - 1, x, incx);
     beta_s = -std::copysign(std::hypot(alpha_s, xnorm_s), alpha_s);
   }
-  const double tau = (beta_s - alpha_s) / beta_s;
-  scal(n - 1, 1.0 / (alpha_s - beta_s), x, incx);
+  const T tau = (beta_s - alpha_s) / beta_s;
+  scal<T>(n - 1, T(1) / (alpha_s - beta_s), x, incx);
   for (int k = 0; k < kount; ++k) beta_s *= safmin;
   alpha = beta_s;
   return tau;
 }
 
-void larf_left(double tau, const double* v, int incv, MatrixView C,
-               double* work) {
-  if (tau == 0.0) return;
+template <class T>
+void larf_left(T tau, const T* v, int incv, MatrixViewT<T> C, T* work) {
+  if (tau == T(0)) return;
   const int m = C.m, n = C.n;
   // work := C^T v
   for (int j = 0; j < n; ++j) {
-    const double* cj = C.col(j);
-    double s = 0.0;
+    const T* cj = C.col(j);
+    T s = T(0);
     if (incv == 1) {
       for (int i = 0; i < m; ++i) s += cj[i] * v[i];
     } else {
@@ -55,9 +56,9 @@ void larf_left(double tau, const double* v, int incv, MatrixView C,
   }
   // C -= tau * v * work^T
   for (int j = 0; j < n; ++j) {
-    const double twj = tau * work[j];
-    if (twj == 0.0) continue;
-    double* cj = C.col(j);
+    const T twj = tau * work[j];
+    if (twj == T(0)) continue;
+    T* cj = C.col(j);
     if (incv == 1) {
       for (int i = 0; i < m; ++i) cj[i] -= twj * v[i];
     } else {
@@ -66,53 +67,56 @@ void larf_left(double tau, const double* v, int incv, MatrixView C,
   }
 }
 
-void larf_right(double tau, const double* v, int incv, MatrixView C,
-                double* work) {
-  if (tau == 0.0) return;
+template <class T>
+void larf_right(T tau, const T* v, int incv, MatrixViewT<T> C, T* work) {
+  if (tau == T(0)) return;
   const int m = C.m, n = C.n;
   // work := C v
-  for (int i = 0; i < m; ++i) work[i] = 0.0;
+  for (int i = 0; i < m; ++i) work[i] = T(0);
   for (int j = 0; j < n; ++j) {
-    const double vj = v[j * incv];
-    if (vj == 0.0) continue;
-    const double* cj = C.col(j);
+    const T vj = v[j * incv];
+    if (vj == T(0)) continue;
+    const T* cj = C.col(j);
     for (int i = 0; i < m; ++i) work[i] += vj * cj[i];
   }
   // C -= tau * work * v^T
   for (int j = 0; j < n; ++j) {
-    const double tvj = tau * v[j * incv];
-    if (tvj == 0.0) continue;
-    double* cj = C.col(j);
+    const T tvj = tau * v[j * incv];
+    if (tvj == T(0)) continue;
+    T* cj = C.col(j);
     for (int i = 0; i < m; ++i) cj[i] -= tvj * work[i];
   }
 }
 
-void larft(ConstMatrixView V, const double* tau, MatrixView T) {
+template <class T>
+void larft(ConstMatrixViewT<T> V, const T* tau, MatrixViewT<T> Tm) {
   const int n = V.m, k = V.n;
-  TBSVD_CHECK(T.m >= k && T.n >= k, "larft: T too small");
+  TBSVD_CHECK(Tm.m >= k && Tm.n >= k, "larft: T too small");
   for (int i = 0; i < k; ++i) {
-    if (tau[i] == 0.0) {
-      for (int j = 0; j < i; ++j) T(j, i) = 0.0;
+    if (tau[i] == T(0)) {
+      for (int j = 0; j < i; ++j) Tm(j, i) = T(0);
     } else {
       // T(0:i, i) = -tau_i * V(:, 0:i)^T * v_i, with v_i = [0_i; 1; V(i+1:, i)].
-      for (int j = 0; j < i; ++j) T(j, i) = -tau[i] * V(i, j);
+      for (int j = 0; j < i; ++j) Tm(j, i) = -tau[i] * V(i, j);
       if (i + 1 < n) {
-        ConstMatrixView Vtail = V.block(i + 1, 0, n - i - 1, i);
-        gemv(Trans::Yes, -tau[i], Vtail, V.col(i) + i + 1, 1, 1.0, T.col(i), 1);
+        ConstMatrixViewT<T> Vtail = V.block(i + 1, 0, n - i - 1, i);
+        gemv<T>(Trans::Yes, -tau[i], Vtail, V.col(i) + i + 1, 1, T(1),
+                Tm.col(i), 1);
       }
       // T(0:i, i) := T(0:i, 0:i) * T(0:i, i)
       if (i > 0) {
-        MatrixView ti{T.col(i), i, 1, T.ld};
-        trmm_left(UpLo::Upper, Trans::No, Diag::NonUnit,
-                  ConstMatrixView{T.a, i, i, T.ld}, ti);
+        MatrixViewT<T> ti{Tm.col(i), i, 1, Tm.ld};
+        trmm_left<T>(UpLo::Upper, Trans::No, Diag::NonUnit,
+                     ConstMatrixViewT<T>{Tm.a, i, i, Tm.ld}, ti);
       }
     }
-    T(i, i) = tau[i];
+    Tm(i, i) = tau[i];
   }
 }
 
-void larfb(Side side, Trans trans, ConstMatrixView V, ConstMatrixView T,
-           MatrixView C, Matrix& work) {
+template <class T>
+void larfb(Side side, Trans trans, ConstMatrixViewT<T> V,
+           ConstMatrixViewT<T> Tm, MatrixViewT<T> C, MatrixT<T>& work) {
   const int k = V.n;
   if (k == 0) return;
   if (side == Side::Left) {
@@ -121,27 +125,27 @@ void larfb(Side side, Trans trans, ConstMatrixView V, ConstMatrixView T,
     // W (k x n) := V^T C = V1^T C1 + V2^T C2. Workspace grows per dimension
     // so alternating call shapes never shrink-and-reallocate it.
     if (work.rows() < k || work.cols() < n) {
-      work = Matrix(std::max(work.rows(), k), std::max(work.cols(), n));
+      work = MatrixT<T>(std::max(work.rows(), k), std::max(work.cols(), n));
     }
-    MatrixView W = work.view().block(0, 0, k, n);
-    copy(C.block(0, 0, k, n), W);
-    trmm_left(UpLo::Lower, Trans::Yes, Diag::Unit, V.block(0, 0, k, k), W);
+    MatrixViewT<T> W = work.view().block(0, 0, k, n);
+    copy<T>(C.block(0, 0, k, n), W);
+    trmm_left<T>(UpLo::Lower, Trans::Yes, Diag::Unit, V.block(0, 0, k, k), W);
     if (V.m > k) {
-      gemm(Trans::Yes, Trans::No, 1.0, V.block(k, 0, V.m - k, k),
-           C.block(k, 0, C.m - k, n), 1.0, W);
+      gemm<T>(Trans::Yes, Trans::No, T(1), V.block(k, 0, V.m - k, k),
+              C.block(k, 0, C.m - k, n), T(1), W);
     }
     // W := op(T) W.
-    trmm_left(UpLo::Upper, trans, Diag::NonUnit, T.block(0, 0, k, k), W);
+    trmm_left<T>(UpLo::Upper, trans, Diag::NonUnit, Tm.block(0, 0, k, k), W);
     // C2 -= V2 W, then C1 -= V1 W with the triangular product formed in
     // place (W is dead afterwards, so no second workspace is needed).
     if (V.m > k) {
-      gemm(Trans::No, Trans::No, -1.0, V.block(k, 0, V.m - k, k), W, 1.0,
-           C.block(k, 0, C.m - k, n));
+      gemm<T>(Trans::No, Trans::No, T(-1), V.block(k, 0, V.m - k, k), W, T(1),
+              C.block(k, 0, C.m - k, n));
     }
-    trmm_left(UpLo::Lower, Trans::No, Diag::Unit, V.block(0, 0, k, k), W);
+    trmm_left<T>(UpLo::Lower, Trans::No, Diag::Unit, V.block(0, 0, k, k), W);
     for (int j = 0; j < n; ++j) {
-      double* cj = C.col(j);
-      const double* wj = W.col(j);
+      T* cj = C.col(j);
+      const T* wj = W.col(j);
       for (int i = 0; i < k; ++i) cj[i] -= wj[i];
     }
   } else {
@@ -149,95 +153,100 @@ void larfb(Side side, Trans trans, ConstMatrixView V, ConstMatrixView T,
     const int m = C.m;
     // W (m x k) := C V = C1 V1 + C2 V2.
     if (work.rows() < m || work.cols() < k) {
-      work = Matrix(std::max(work.rows(), m), std::max(work.cols(), k));
+      work = MatrixT<T>(std::max(work.rows(), m), std::max(work.cols(), k));
     }
-    MatrixView W = work.view().block(0, 0, m, k);
-    copy(C.block(0, 0, m, k), W);
-    trmm_right(UpLo::Lower, Trans::No, Diag::Unit, W, V.block(0, 0, k, k));
+    MatrixViewT<T> W = work.view().block(0, 0, m, k);
+    copy<T>(C.block(0, 0, m, k), W);
+    trmm_right<T>(UpLo::Lower, Trans::No, Diag::Unit, W, V.block(0, 0, k, k));
     if (V.m > k) {
-      gemm(Trans::No, Trans::No, 1.0, C.block(0, k, m, C.n - k),
-           V.block(k, 0, V.m - k, k), 1.0, W);
+      gemm<T>(Trans::No, Trans::No, T(1), C.block(0, k, m, C.n - k),
+              V.block(k, 0, V.m - k, k), T(1), W);
     }
     // W := W op(T). Note: right-multiplication by (I - V T V^T)^H uses T^H.
-    trmm_right(UpLo::Upper, trans, Diag::NonUnit, W, T.block(0, 0, k, k));
+    trmm_right<T>(UpLo::Upper, trans, Diag::NonUnit, W, Tm.block(0, 0, k, k));
     // C2 -= W V2^T, then C1 -= W V1^T with the triangular product in place.
     if (V.m > k) {
-      gemm(Trans::No, Trans::Yes, -1.0, W, V.block(k, 0, V.m - k, k), 1.0,
-           C.block(0, k, m, C.n - k));
+      gemm<T>(Trans::No, Trans::Yes, T(-1), W, V.block(k, 0, V.m - k, k),
+              T(1), C.block(0, k, m, C.n - k));
     }
-    trmm_right(UpLo::Lower, Trans::Yes, Diag::Unit, W, V.block(0, 0, k, k));
+    trmm_right<T>(UpLo::Lower, Trans::Yes, Diag::Unit, W, V.block(0, 0, k, k));
     for (int j = 0; j < k; ++j) {
-      double* cj = C.col(j);
-      const double* wj = W.col(j);
+      T* cj = C.col(j);
+      const T* wj = W.col(j);
       for (int i = 0; i < m; ++i) cj[i] -= wj[i];
     }
   }
 }
 
-void larfb_left_t(Trans trans, ConstMatrixView V, ConstMatrixView T,
-                  MatrixView C, Matrix& work) {
+template <class T>
+void larfb_left_t(Trans trans, ConstMatrixViewT<T> V, ConstMatrixViewT<T> Tm,
+                  MatrixViewT<T> C, MatrixT<T>& work) {
   const int k = V.n;
   const int m = C.m, n = C.n;
   if (k == 0 || n == 0) return;
   TBSVD_CHECK(V.m == m, "larfb_left_t: V/C row mismatch");
   if (work.rows() < n || work.cols() < k) {
-    work = Matrix(std::max(work.rows(), n), std::max(work.cols(), k));
+    work = MatrixT<T>(std::max(work.rows(), n), std::max(work.cols(), k));
   }
   // W (n x k) := (V^T C)^T = C1^T V1 + C2^T V2.
-  MatrixView W = work.view().block(0, 0, n, k);
-  transpose(C.block(0, 0, k, n), W);
-  trmm_right(UpLo::Lower, Trans::No, Diag::Unit, W, V.block(0, 0, k, k));
+  MatrixViewT<T> W = work.view().block(0, 0, n, k);
+  transpose<T>(C.block(0, 0, k, n), W);
+  trmm_right<T>(UpLo::Lower, Trans::No, Diag::Unit, W, V.block(0, 0, k, k));
   if (m > k) {
-    gemm(Trans::Yes, Trans::No, 1.0, C.block(k, 0, m - k, n),
-         V.block(k, 0, m - k, k), 1.0, W);
+    gemm<T>(Trans::Yes, Trans::No, T(1), C.block(k, 0, m - k, n),
+            V.block(k, 0, m - k, k), T(1), W);
   }
   // W := W op(T)^T  (the transpose of larfb's W := op(T) W).
-  trmm_right(UpLo::Upper, trans == Trans::Yes ? Trans::No : Trans::Yes,
-             Diag::NonUnit, W, T.block(0, 0, k, k));
+  trmm_right<T>(UpLo::Upper, trans == Trans::Yes ? Trans::No : Trans::Yes,
+                Diag::NonUnit, W, Tm.block(0, 0, k, k));
   // C2 -= V2 W^T, then C1 -= (W V1^T)^T with the triangular product formed
   // in place (W is dead afterwards).
   if (m > k) {
-    gemm(Trans::No, Trans::Yes, -1.0, V.block(k, 0, m - k, k), W, 1.0,
-         C.block(k, 0, m - k, n));
+    gemm<T>(Trans::No, Trans::Yes, T(-1), V.block(k, 0, m - k, k), W, T(1),
+            C.block(k, 0, m - k, n));
   }
-  trmm_right(UpLo::Lower, Trans::Yes, Diag::Unit, W, V.block(0, 0, k, k));
-  sub_transposed(C.block(0, 0, k, n), W);
+  trmm_right<T>(UpLo::Lower, Trans::Yes, Diag::Unit, W, V.block(0, 0, k, k));
+  sub_transposed<T>(C.block(0, 0, k, n), W);
 }
 
-void larfb_right_rows(Trans trans, ConstMatrixView V, ConstMatrixView T,
-                      MatrixView C, Matrix& work) {
+template <class T>
+void larfb_right_rows(Trans trans, ConstMatrixViewT<T> V,
+                      ConstMatrixViewT<T> Tm, MatrixViewT<T> C,
+                      MatrixT<T>& work) {
   const int k = V.m, n = V.n;
   const int mc = C.m;
   if (k == 0 || mc == 0) return;
   TBSVD_CHECK(C.n == n, "larfb_right_rows: V/C column mismatch");
   if (work.rows() < mc || work.cols() < k) {
-    work = Matrix(std::max(work.rows(), mc), std::max(work.cols(), k));
+    work = MatrixT<T>(std::max(work.rows(), mc), std::max(work.cols(), k));
   }
   // W (mc x k) := C1 V1u + C2 V2^T.
-  MatrixView W = work.view().block(0, 0, mc, k);
-  MatrixView Ca = C.block(0, 0, mc, k);
-  copy(Ca, W);
-  trmm_right(UpLo::Upper, Trans::Yes, Diag::Unit, W, V.block(0, 0, k, k));
+  MatrixViewT<T> W = work.view().block(0, 0, mc, k);
+  MatrixViewT<T> Ca = C.block(0, 0, mc, k);
+  copy<T>(Ca, W);
+  trmm_right<T>(UpLo::Upper, Trans::Yes, Diag::Unit, W, V.block(0, 0, k, k));
   const int ntail = n - k;
   if (ntail > 0) {
-    gemm(Trans::No, Trans::Yes, 1.0, C.block(0, k, mc, ntail),
-         V.block(0, k, k, ntail), 1.0, W);
+    gemm<T>(Trans::No, Trans::Yes, T(1), C.block(0, k, mc, ntail),
+            V.block(0, k, k, ntail), T(1), W);
   }
   // Forward application (Trans::Yes) uses T; backward uses T^T.
-  trmm_right(UpLo::Upper, trans == Trans::Yes ? Trans::No : Trans::Yes,
-             Diag::NonUnit, W, T.block(0, 0, k, k));
+  trmm_right<T>(UpLo::Upper, trans == Trans::Yes ? Trans::No : Trans::Yes,
+                Diag::NonUnit, W, Tm.block(0, 0, k, k));
   // Tail block first (it needs the untouched W), then the triangular
   // product in place — W is dead afterwards, so no copy.
   if (ntail > 0) {
-    gemm(Trans::No, Trans::No, -1.0, W, V.block(0, k, k, ntail), 1.0,
-         C.block(0, k, mc, ntail));
+    gemm<T>(Trans::No, Trans::No, T(-1), W, V.block(0, k, k, ntail), T(1),
+            C.block(0, k, mc, ntail));
   }
-  trmm_right(UpLo::Upper, Trans::No, Diag::Unit, W, V.block(0, 0, k, k));
-  sub_inplace(Ca, W);
+  trmm_right<T>(UpLo::Upper, Trans::No, Diag::Unit, W, V.block(0, 0, k, k));
+  sub_inplace<T>(Ca, W);
 }
 
-void larfb_ts(Side side, Trans trans, ConstMatrixView V, ConstMatrixView T,
-              MatrixView C1, MatrixView C2, Matrix& work) {
+template <class T>
+void larfb_ts(Side side, Trans trans, ConstMatrixViewT<T> V,
+              ConstMatrixViewT<T> Tm, MatrixViewT<T> C1, MatrixViewT<T> C2,
+              MatrixT<T>& work) {
   const Trans ttrans = (trans == Trans::Yes) ? Trans::No : Trans::Yes;
   if (side == Side::Left) {
     const int k = V.n, nc = C1.n;
@@ -245,36 +254,38 @@ void larfb_ts(Side side, Trans trans, ConstMatrixView V, ConstMatrixView T,
     TBSVD_CHECK(C1.m == k && C2.m == V.m && C2.n == nc,
                 "larfb_ts left: shape mismatch");
     if (work.rows() < nc || work.cols() < k) {
-      work = Matrix(std::max(work.rows(), nc), std::max(work.cols(), k));
+      work = MatrixT<T>(std::max(work.rows(), nc), std::max(work.cols(), k));
     }
     // W (nc x k) := (C1 + V^T C2)^T, transposed so the T product rides the
     // vectorizable trmm_right sweep.
-    MatrixView W = work.view().block(0, 0, nc, k);
-    transpose(C1, W);
-    gemm(Trans::Yes, Trans::No, 1.0, C2, V, 1.0, W);
-    trmm_right(UpLo::Upper, ttrans, Diag::NonUnit, W, T.block(0, 0, k, k));
-    sub_transposed(C1, W);
-    gemm(Trans::No, Trans::Yes, -1.0, V, W, 1.0, C2);
+    MatrixViewT<T> W = work.view().block(0, 0, nc, k);
+    transpose<T>(C1, W);
+    gemm<T>(Trans::Yes, Trans::No, T(1), C2, V, T(1), W);
+    trmm_right<T>(UpLo::Upper, ttrans, Diag::NonUnit, W, Tm.block(0, 0, k, k));
+    sub_transposed<T>(C1, W);
+    gemm<T>(Trans::No, Trans::Yes, T(-1), V, W, T(1), C2);
   } else {
     const int k = V.m, mc = C1.m;
     if (k == 0 || mc == 0) return;
     TBSVD_CHECK(C1.n == k && C2.m == mc && C2.n == V.n,
                 "larfb_ts right: shape mismatch");
     if (work.rows() < mc || work.cols() < k) {
-      work = Matrix(std::max(work.rows(), mc), std::max(work.cols(), k));
+      work = MatrixT<T>(std::max(work.rows(), mc), std::max(work.cols(), k));
     }
     // W (mc x k) := C1 + C2 V^T (already the fast orientation).
-    MatrixView W = work.view().block(0, 0, mc, k);
-    copy(C1, W);
-    gemm(Trans::No, Trans::Yes, 1.0, C2, V, 1.0, W);
-    trmm_right(UpLo::Upper, ttrans, Diag::NonUnit, W, T.block(0, 0, k, k));
-    sub_inplace(C1, W);
-    gemm(Trans::No, Trans::No, -1.0, W, V, 1.0, C2);
+    MatrixViewT<T> W = work.view().block(0, 0, mc, k);
+    copy<T>(C1, W);
+    gemm<T>(Trans::No, Trans::Yes, T(1), C2, V, T(1), W);
+    trmm_right<T>(UpLo::Upper, ttrans, Diag::NonUnit, W, Tm.block(0, 0, k, k));
+    sub_inplace<T>(C1, W);
+    gemm<T>(Trans::No, Trans::No, T(-1), W, V, T(1), C2);
   }
 }
 
-void larfb_tt(Side side, Trans trans, ConstMatrixView V, ConstMatrixView T,
-              MatrixView C1, MatrixView C2, int off, Matrix& work) {
+template <class T>
+void larfb_tt(Side side, Trans trans, ConstMatrixViewT<T> V,
+              ConstMatrixViewT<T> Tm, MatrixViewT<T> C1, MatrixViewT<T> C2,
+              int off, MatrixT<T>& work) {
   const Trans ttrans = (trans == Trans::Yes) ? Trans::No : Trans::Yes;
   if (side == Side::Left) {
     const int k = V.n, nc = C1.n;
@@ -282,36 +293,61 @@ void larfb_tt(Side side, Trans trans, ConstMatrixView V, ConstMatrixView T,
     TBSVD_CHECK(V.m == off + k && C1.m == k && C2.m == off + k && C2.n == nc,
                 "larfb_tt left: shape mismatch");
     if (work.rows() < nc || work.cols() < k) {
-      work = Matrix(std::max(work.rows(), nc), std::max(work.cols(), k));
+      work = MatrixT<T>(std::max(work.rows(), nc), std::max(work.cols(), k));
     }
     // W (nc x k) := (C1 + V^T C2)^T; the V product integrates only over
     // each column's support rows 0..off+c (mask applied during packing).
-    MatrixView W = work.view().block(0, 0, nc, k);
-    transpose(C1, W);
-    gemm_trap(Trans::Yes, Trans::No, 1.0, C2, V, 1.0, W, TrapSide::B,
-              UpLo::Upper, off);
-    trmm_right(UpLo::Upper, ttrans, Diag::NonUnit, W, T.block(0, 0, k, k));
-    sub_transposed(C1, W);
-    gemm_trap(Trans::No, Trans::Yes, -1.0, V, W, 1.0, C2, TrapSide::A,
-              UpLo::Upper, off);
+    MatrixViewT<T> W = work.view().block(0, 0, nc, k);
+    transpose<T>(C1, W);
+    gemm_trap<T>(Trans::Yes, Trans::No, T(1), C2, V, T(1), W, TrapSide::B,
+                 UpLo::Upper, off);
+    trmm_right<T>(UpLo::Upper, ttrans, Diag::NonUnit, W, Tm.block(0, 0, k, k));
+    sub_transposed<T>(C1, W);
+    gemm_trap<T>(Trans::No, Trans::Yes, T(-1), V, W, T(1), C2, TrapSide::A,
+                 UpLo::Upper, off);
   } else {
     const int k = V.m, mc = C1.m;
     if (k == 0 || mc == 0) return;
     TBSVD_CHECK(V.n == off + k && C1.n == k && C2.m == mc && C2.n == off + k,
                 "larfb_tt right: shape mismatch");
     if (work.rows() < mc || work.cols() < k) {
-      work = Matrix(std::max(work.rows(), mc), std::max(work.cols(), k));
+      work = MatrixT<T>(std::max(work.rows(), mc), std::max(work.cols(), k));
     }
     // W (mc x k) := C1 + C2 V^T over each row's support columns 0..off+r.
-    MatrixView W = work.view().block(0, 0, mc, k);
-    copy(C1, W);
-    gemm_trap(Trans::No, Trans::Yes, 1.0, C2, V, 1.0, W, TrapSide::B,
-              UpLo::Lower, off);
-    trmm_right(UpLo::Upper, ttrans, Diag::NonUnit, W, T.block(0, 0, k, k));
-    sub_inplace(C1, W);
-    gemm_trap(Trans::No, Trans::No, -1.0, W, V, 1.0, C2, TrapSide::B,
-              UpLo::Lower, off);
+    MatrixViewT<T> W = work.view().block(0, 0, mc, k);
+    copy<T>(C1, W);
+    gemm_trap<T>(Trans::No, Trans::Yes, T(1), C2, V, T(1), W, TrapSide::B,
+                 UpLo::Lower, off);
+    trmm_right<T>(UpLo::Upper, ttrans, Diag::NonUnit, W, Tm.block(0, 0, k, k));
+    sub_inplace<T>(C1, W);
+    gemm_trap<T>(Trans::No, Trans::No, T(-1), W, V, T(1), C2, TrapSide::B,
+                 UpLo::Lower, off);
   }
 }
+
+#define TBSVD_INSTANTIATE_HOUSEHOLDER(T)                                     \
+  template T larfg<T>(int, T&, T*, int) noexcept;                            \
+  template void larf_left<T>(T, const T*, int, MatrixViewT<T>, T*);          \
+  template void larf_right<T>(T, const T*, int, MatrixViewT<T>, T*);         \
+  template void larft<T>(ConstMatrixViewT<T>, const T*, MatrixViewT<T>);     \
+  template void larfb<T>(Side, Trans, ConstMatrixViewT<T>,                   \
+                         ConstMatrixViewT<T>, MatrixViewT<T>, MatrixT<T>&);  \
+  template void larfb_left_t<T>(Trans, ConstMatrixViewT<T>,                  \
+                                ConstMatrixViewT<T>, MatrixViewT<T>,         \
+                                MatrixT<T>&);                                \
+  template void larfb_right_rows<T>(Trans, ConstMatrixViewT<T>,              \
+                                    ConstMatrixViewT<T>, MatrixViewT<T>,     \
+                                    MatrixT<T>&);                            \
+  template void larfb_ts<T>(Side, Trans, ConstMatrixViewT<T>,                \
+                            ConstMatrixViewT<T>, MatrixViewT<T>,             \
+                            MatrixViewT<T>, MatrixT<T>&);                    \
+  template void larfb_tt<T>(Side, Trans, ConstMatrixViewT<T>,                \
+                            ConstMatrixViewT<T>, MatrixViewT<T>,             \
+                            MatrixViewT<T>, int, MatrixT<T>&);
+
+TBSVD_INSTANTIATE_HOUSEHOLDER(float)
+TBSVD_INSTANTIATE_HOUSEHOLDER(double)
+
+#undef TBSVD_INSTANTIATE_HOUSEHOLDER
 
 }  // namespace tbsvd

@@ -1,5 +1,6 @@
 // Householder reflector generation and application (LAPACK larfg / larf /
-// larft / larfb equivalents, forward column-wise storage only).
+// larft / larfb equivalents, forward column-wise storage only), templated
+// over the scalar type T in {float, double}.
 //
 // Conventions match LAPACK: H = I - tau * v * v^T with v(0) = 1. Block
 // reflectors are H_1 H_2 ... H_k = I - V T V^T with V unit lower trapezoidal
@@ -14,29 +15,34 @@ namespace tbsvd {
 /// Generate an elementary reflector annihilating the n-1 entries of x below
 /// alpha: on exit alpha = beta (the surviving value), x holds v(1:n-1), and
 /// the return value is tau. Handles the n == 1 and zero-tail cases (tau = 0).
-double larfg(int n, double& alpha, double* x, int incx) noexcept;
+/// The safmin rescue loop uses numeric_limits<T>, so float reflectors get
+/// float-sized underflow protection.
+template <class T>
+T larfg(int n, T& alpha, T* x, int incx) noexcept;
 
 /// C := (I - tau v v^T) C. v has length C.m with v[0] == 1 stored by caller.
-void larf_left(double tau, const double* v, int incv, MatrixView C,
-               double* work);
+template <class T>
+void larf_left(T tau, const T* v, int incv, MatrixViewT<T> C, T* work);
 
 /// C := C (I - tau v v^T). v has length C.n with v[0] == 1 stored by caller.
-void larf_right(double tau, const double* v, int incv, MatrixView C,
-                double* work);
+template <class T>
+void larf_right(T tau, const T* v, int incv, MatrixViewT<T> C, T* work);
 
 /// Form the T factor of a block reflector from k reflectors stored forward
 /// column-wise in V (n x k, unit lower trapezoidal; entries on/above the
 /// diagonal are not referenced) with scalars tau. T is k x k upper
 /// triangular on exit (strictly-lower part untouched).
-void larft(ConstMatrixView V, const double* tau, MatrixView T);
+template <class T>
+void larft(ConstMatrixViewT<T> V, const T* tau, MatrixViewT<T> Tm);
 
 enum class Side { Left, Right };
 
 /// Apply a block reflector: C := op(I - V T V^T) C (Side::Left) or
 /// C := C op(I - V T V^T) (Side::Right), where op is transpose when
 /// trans == Trans::Yes. V is unit lower trapezoidal as produced by larft.
-void larfb(Side side, Trans trans, ConstMatrixView V, ConstMatrixView T,
-           MatrixView C, Matrix& work);
+template <class T>
+void larfb(Side side, Trans trans, ConstMatrixViewT<T> V,
+           ConstMatrixViewT<T> Tm, MatrixViewT<T> C, MatrixT<T>& work);
 
 /// Left-side larfb with a transposed (C.n x k) workspace: mathematically
 /// identical to larfb(Side::Left, ...), but every triangular product runs
@@ -45,16 +51,19 @@ void larfb(Side side, Trans trans, ConstMatrixView V, ConstMatrixView T,
 /// sweeps are store-to-load dependency bound at the small k these applies
 /// use (k = ib..nb), which caps the plain larfb well below gemm speed.
 /// Used by the recursive panel path and the QR-side tile kernels.
-void larfb_left_t(Trans trans, ConstMatrixView V, ConstMatrixView T,
-                  MatrixView C, Matrix& work);
+template <class T>
+void larfb_left_t(Trans trans, ConstMatrixViewT<T> V, ConstMatrixViewT<T> Tm,
+                  MatrixViewT<T> C, MatrixT<T>& work);
 
 /// Right-side block apply for row-stored reflectors (the GELQT family):
 /// C := C op(Q) with V = [V1u | V2] (k x n, unit upper trapezoidal rows)
 /// and T from gelqf_rec/gelqt. trans == Trans::Yes applies the reflectors
 /// forward (H_1 first, the factorization direction), Trans::No backward.
 /// Shared by gelqt's trailing update, unmlq and gelqf_rec's recursion.
-void larfb_right_rows(Trans trans, ConstMatrixView V, ConstMatrixView T,
-                      MatrixView C, Matrix& work);
+template <class T>
+void larfb_right_rows(Trans trans, ConstMatrixViewT<T> V,
+                      ConstMatrixViewT<T> Tm, MatrixViewT<T> C,
+                      MatrixT<T>& work);
 
 /// Apply a TS-structured block reflector (identity top/left part, dense
 /// tails in V) to a pair of blocks, through the fast workspace
@@ -66,8 +75,10 @@ void larfb_right_rows(Trans trans, ConstMatrixView V, ConstMatrixView T,
 /// trans == Trans::Yes applies the reflectors forward as above. Shared by
 /// the TSQRT/TSLQT trailing updates, TSMQR/TSMLQ panels and the TS
 /// recursion.
-void larfb_ts(Side side, Trans trans, ConstMatrixView V, ConstMatrixView T,
-              MatrixView C1, MatrixView C2, Matrix& work);
+template <class T>
+void larfb_ts(Side side, Trans trans, ConstMatrixViewT<T> V,
+              ConstMatrixViewT<T> Tm, MatrixViewT<T> C1, MatrixViewT<T> C2,
+              MatrixT<T>& work);
 
 /// Apply a TT-structured block reflector (identity part in the pivot
 /// triangle, trapezoidal tails in V) to a pair of blocks through the
@@ -82,7 +93,9 @@ void larfb_ts(Side side, Trans trans, ConstMatrixView V, ConstMatrixView T,
 /// trans == Trans::Yes applies the reflectors forward (H_1 first, the
 /// factorization direction). Shared by the TTQRT/TTLQT trailing updates,
 /// the TTMQR/TTMLQ panels and the TT recursion's half-panel applies.
-void larfb_tt(Side side, Trans trans, ConstMatrixView V, ConstMatrixView T,
-              MatrixView C1, MatrixView C2, int off, Matrix& work);
+template <class T>
+void larfb_tt(Side side, Trans trans, ConstMatrixViewT<T> V,
+              ConstMatrixViewT<T> Tm, MatrixViewT<T> C1, MatrixViewT<T> C2,
+              int off, MatrixT<T>& work);
 
 }  // namespace tbsvd

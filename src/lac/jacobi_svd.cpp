@@ -9,16 +9,23 @@
 
 namespace tbsvd {
 
-std::vector<double> jacobi_singular_values(ConstMatrixView A, int max_sweeps) {
-  // Work on a copy W with rows >= cols.
+template <class T>
+std::vector<double> jacobi_singular_values(ConstMatrixViewT<T> A,
+                                           int max_sweeps) {
+  // Work on a double copy W with rows >= cols (float entries embed exactly).
   const bool flip = A.m < A.n;
   const int m = flip ? A.n : A.m;
   const int n = flip ? A.m : A.n;
   Matrix W(m, n);
-  if (flip) {
-    transpose(A, W.view());
-  } else {
-    copy(A, W.view());
+  for (int j = 0; j < A.n; ++j) {
+    for (int i = 0; i < A.m; ++i) {
+      const double v = static_cast<double>(A(i, j));
+      if (flip) {
+        W.view()(j, i) = v;
+      } else {
+        W.view()(i, j) = v;
+      }
+    }
   }
 
   const double eps = std::numeric_limits<double>::epsilon();
@@ -55,5 +62,10 @@ std::vector<double> jacobi_singular_values(ConstMatrixView A, int max_sweeps) {
   std::sort(sv.begin(), sv.end(), std::greater<>());
   return sv;
 }
+
+template std::vector<double> jacobi_singular_values<float>(
+    ConstMatrixViewT<float>, int);
+template std::vector<double> jacobi_singular_values<double>(
+    ConstMatrixViewT<double>, int);
 
 }  // namespace tbsvd

@@ -1,5 +1,7 @@
 // One-sided Jacobi SVD (singular values only). Slow but extremely robust;
-// used throughout the test suite as the numerical oracle.
+// used throughout the test suite as the numerical oracle. Accepts either
+// storage precision but always iterates in double — the oracle's accuracy
+// must not degrade when judging the float pipeline.
 #pragma once
 
 #include <vector>
@@ -9,8 +11,10 @@
 namespace tbsvd {
 
 /// Singular values of A (any shape), sorted descending. One-sided Jacobi
-/// rotations on columns of A (or A^T when m < n) until convergence.
-std::vector<double> jacobi_singular_values(ConstMatrixView A,
+/// rotations on columns of A (or A^T when m < n) until convergence; float
+/// input is promoted entry-wise (exact) before iterating.
+template <class T>
+std::vector<double> jacobi_singular_values(ConstMatrixViewT<T> A,
                                            int max_sweeps = 60);
 
 }  // namespace tbsvd

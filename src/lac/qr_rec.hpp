@@ -1,4 +1,5 @@
-// Recursive BLAS3 panel factorizations (Elmroth–Gustavson style).
+// Recursive BLAS3 panel factorizations (Elmroth–Gustavson style), templated
+// over the scalar type T in {float, double}.
 //
 // The tile kernels' panel stage used to be the last level-2-bound code on
 // the hot path: geqr2/gelq2 sweep one reflector at a time (gemv + ger), so
@@ -41,12 +42,14 @@ inline constexpr int kTtPanelBase = 16;
 /// the k = min(m, n) Householder vectors below the diagonal; T (>= k x k)
 /// holds the complete upper-triangular block-reflector factor. Columns
 /// beyond k (if n > k) are overwritten with op(Q)^T applied to them.
-void geqrf_rec(MatrixView A, MatrixView T, int base = kRecPanelBase);
+template <class T>
+void geqrf_rec(MatrixViewT<T> A, MatrixViewT<T> Tm, int base = kRecPanelBase);
 
 /// Recursive LQ of A (m x n): L in the lower triangle, k = min(m, n) row
 /// reflectors above the diagonal, T (>= k x k) upper triangular (row
 /// convention, as consumed by unmlq/tsmlq). Rows beyond k are updated.
-void gelqf_rec(MatrixView A, MatrixView T, int base = kRecPanelBase);
+template <class T>
+void gelqf_rec(MatrixViewT<T> A, MatrixViewT<T> Tm, int base = kRecPanelBase);
 
 /// Recursive factorization of a TSQRT panel [R; V] where R (k x k, view
 /// into the pivot tile) is upper triangular and V (m2 x k, view into the
@@ -54,12 +57,14 @@ void gelqf_rec(MatrixView A, MatrixView T, int base = kRecPanelBase);
 /// identity parts drop out of every Gram product and the merge reduces to
 /// -T1 (V1^T V2) T2 over the dense tails alone. On exit R holds the new
 /// triangle, V the reflector tails, T (>= k x k) the full T factor.
-void tsqrf_rec(MatrixView R, MatrixView V, MatrixView T,
+template <class T>
+void tsqrf_rec(MatrixViewT<T> R, MatrixViewT<T> V, MatrixViewT<T> Tm,
                int base = kRecPanelBase);
 
 /// Row mirror of tsqrf_rec for a TSLQT panel [L | V]: L (k x k) lower
 /// triangular, V (k x m2) dense row tails, T as above.
-void tslqf_rec(MatrixView L, MatrixView V, MatrixView T,
+template <class T>
+void tslqf_rec(MatrixViewT<T> L, MatrixViewT<T> V, MatrixViewT<T> Tm,
                int base = kRecPanelBase);
 
 /// Recursive factorization of a TTQRT panel [R; V] where R (k x k, view
@@ -74,13 +79,15 @@ void tslqf_rec(MatrixView L, MatrixView V, MatrixView T,
 /// the panel's column offset inside its tile (j0 in the TTQRT loop): it
 /// fixes the support height of the first column. On exit R holds the new
 /// triangle, V the reflector tails, T (>= k x k) the full T factor.
-void ttqrf_rec(MatrixView R, MatrixView V, MatrixView T, int off,
+template <class T>
+void ttqrf_rec(MatrixViewT<T> R, MatrixViewT<T> V, MatrixViewT<T> Tm, int off,
                int base = kTtPanelBase);
 
 /// Row mirror of ttqrf_rec for a TTLQT panel [L | V]: L (k x k) lower
-/// triangular, V (k x off+k) lower trapezoidal — row r holds reflector
+/// triangular, V (k x off+k) lower trapezoidal — row r has reflector
 /// tail columns 0..off+r; storage right of the support is untouched.
-void ttlqf_rec(MatrixView L, MatrixView V, MatrixView T, int off,
+template <class T>
+void ttlqf_rec(MatrixViewT<T> L, MatrixViewT<T> V, MatrixViewT<T> Tm, int off,
                int base = kTtPanelBase);
 
 }  // namespace tbsvd

@@ -1,4 +1,5 @@
-// Reference dense QR / LQ factorizations (LAPACK geqr2/geqrf/orgqr-style).
+// Reference dense QR / LQ factorizations (LAPACK geqr2/geqrf/orgqr-style),
+// templated over the scalar type T in {float, double}.
 // Used as the correctness oracle for the tile kernels, by the test-matrix
 // generator (random orthogonal factors), and by the Chan / GEBRD baselines.
 #pragma once
@@ -10,25 +11,31 @@ namespace tbsvd {
 
 /// Unblocked Householder QR: A (m x n) is overwritten with R in the upper
 /// triangle and the reflectors below the diagonal; tau has min(m,n) entries.
-void geqr2(MatrixView A, double* tau);
+template <class T>
+void geqr2(MatrixViewT<T> A, T* tau);
 
 /// Blocked Householder QR (panel width nb) via larft/larfb.
-void geqrf(MatrixView A, double* tau, int nb = 32);
+template <class T>
+void geqrf(MatrixViewT<T> A, T* tau, int nb = 32);
 
 /// Form the leading ncols columns of Q (m x ncols) from a geqr2/geqrf
 /// factorization with k reflectors. Q must be m x ncols with ncols >= k.
-void orgqr(ConstMatrixView A, const double* tau, int k, MatrixView Q);
+template <class T>
+void orgqr(ConstMatrixViewT<T> A, const T* tau, int k, MatrixViewT<T> Q);
 
 /// Unblocked Householder LQ: A (m x n) overwritten with L in the lower
 /// triangle and reflectors right of the diagonal; tau has min(m,n) entries.
-void gelq2(MatrixView A, double* tau);
+template <class T>
+void gelq2(MatrixViewT<T> A, T* tau);
 
 /// Form the leading nrows rows of Q (nrows x n) from a gelq2 factorization
 /// with k reflectors.
-void orglq(ConstMatrixView A, const double* tau, int k, MatrixView Q);
+template <class T>
+void orglq(ConstMatrixViewT<T> A, const T* tau, int k, MatrixViewT<T> Q);
 
 /// Multiply C := Q^T C (trans) or Q C, with Q from geqr2/geqrf stored in A.
-void ormqr_left(Trans trans, ConstMatrixView A, const double* tau, int k,
-                MatrixView C);
+template <class T>
+void ormqr_left(Trans trans, ConstMatrixViewT<T> A, const T* tau, int k,
+                MatrixViewT<T> C);
 
 }  // namespace tbsvd

@@ -6,58 +6,70 @@
 
 namespace tbsvd {
 
-TileMatrix::TileMatrix(int m, int n, int nb)
+template <class T>
+TileMatrixT<T>::TileMatrixT(int m, int n, int nb)
     : m_(m), n_(n), nb_(nb), mt_(m / nb), nt_(n / nb) {
   TBSVD_CHECK(m >= 0 && n >= 0 && nb >= 1, "invalid TileMatrix dimensions");
   TBSVD_CHECK(m % nb == 0 && n % nb == 0,
               "TileMatrix dimensions must be multiples of nb (use "
               "tile_from_dense_padded to pad)");
-  buf_.assign(static_cast<std::size_t>(mt_) * nt_ * nb_ * nb_, 0.0);
+  buf_.assign(static_cast<std::size_t>(mt_) * nt_ * nb_ * nb_, T(0));
 }
 
-void TileMatrix::from_dense(ConstMatrixView A) {
+template <class T>
+void TileMatrixT<T>::from_dense(ConstMatrixViewT<T> A) {
   TBSVD_CHECK(A.m == m_ && A.n == n_, "from_dense shape mismatch");
   for (int tj = 0; tj < nt_; ++tj) {
     for (int ti = 0; ti < mt_; ++ti) {
-      MatrixView t = tile(ti, tj);
-      ConstMatrixView s = A.block(ti * nb_, tj * nb_, nb_, nb_);
+      MatrixViewT<T> t = tile(ti, tj);
+      ConstMatrixViewT<T> s = A.block(ti * nb_, tj * nb_, nb_, nb_);
       for (int j = 0; j < nb_; ++j) {
         std::memcpy(t.col(j), s.col(j),
-                    static_cast<std::size_t>(nb_) * sizeof(double));
+                    static_cast<std::size_t>(nb_) * sizeof(T));
       }
     }
   }
 }
 
-void TileMatrix::to_dense(MatrixView A) const {
+template <class T>
+void TileMatrixT<T>::to_dense(MatrixViewT<T> A) const {
   TBSVD_CHECK(A.m == m_ && A.n == n_, "to_dense shape mismatch");
   for (int tj = 0; tj < nt_; ++tj) {
     for (int ti = 0; ti < mt_; ++ti) {
-      ConstMatrixView t = tile(ti, tj);
-      MatrixView d = A.block(ti * nb_, tj * nb_, nb_, nb_);
+      ConstMatrixViewT<T> t = tile(ti, tj);
+      MatrixViewT<T> d = A.block(ti * nb_, tj * nb_, nb_, nb_);
       for (int j = 0; j < nb_; ++j) {
         std::memcpy(d.col(j), t.col(j),
-                    static_cast<std::size_t>(nb_) * sizeof(double));
+                    static_cast<std::size_t>(nb_) * sizeof(T));
       }
     }
   }
 }
 
-Matrix TileMatrix::to_dense() const {
-  Matrix A(m_, n_);
+template <class T>
+MatrixT<T> TileMatrixT<T>::to_dense() const {
+  MatrixT<T> A(m_, n_);
   to_dense(A.view());
   return A;
 }
 
-TileMatrix tile_from_dense_padded(ConstMatrixView A, int nb) {
+template <class T>
+TileMatrixT<T> tile_from_dense_padded(ConstMatrixViewT<T> A, int nb) {
   const int mp = pad_to_tiles(A.m, nb);
   const int np = pad_to_tiles(A.n, nb);
-  TileMatrix T(mp, np, nb);
+  TileMatrixT<T> Tt(mp, np, nb);
   // Copy element-wise through at(); padding stays zero.
   for (int j = 0; j < A.n; ++j) {
-    for (int i = 0; i < A.m; ++i) T.at(i, j) = A(i, j);
+    for (int i = 0; i < A.m; ++i) Tt.at(i, j) = A(i, j);
   }
-  return T;
+  return Tt;
 }
+
+template class TileMatrixT<float>;
+template class TileMatrixT<double>;
+template TileMatrixT<float> tile_from_dense_padded<float>(
+    ConstMatrixViewT<float>, int);
+template TileMatrixT<double> tile_from_dense_padded<double>(
+    ConstMatrixViewT<double>, int);
 
 }  // namespace tbsvd

@@ -1,8 +1,11 @@
 // Tiled matrix storage: the matrix is partitioned into nb x nb tiles, each
 // stored contiguously in column-major order (PLASMA's CCRB layout). Tile
-// (i, j) is the unit of data for the task runtime.
+// (i, j) is the unit of data for the task runtime. Templated over the
+// scalar type T in {float, double}; the unsuffixed TileMatrix remains the
+// double alias.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -10,14 +13,16 @@
 
 namespace tbsvd {
 
-/// Tile-contiguous matrix of doubles. Element dimensions must be multiples
-/// of the tile size nb (drivers pad workloads up front; see pad_to_tiles).
-class TileMatrix {
+/// Tile-contiguous matrix of scalars T. Element dimensions must be
+/// multiples of the tile size nb (drivers pad workloads up front; see
+/// pad_to_tiles).
+template <class T>
+class TileMatrixT {
  public:
-  TileMatrix() = default;
+  TileMatrixT() = default;
 
   /// m x n elements in nb x nb tiles; m and n must be multiples of nb.
-  TileMatrix(int m, int n, int nb);
+  TileMatrixT(int m, int n, int nb);
 
   [[nodiscard]] int rows() const noexcept { return m_; }
   [[nodiscard]] int cols() const noexcept { return n_; }
@@ -28,38 +33,38 @@ class TileMatrix {
   [[nodiscard]] int nt() const noexcept { return nt_; }
 
   /// Mutable view of tile (i, j); leading dimension is nb.
-  [[nodiscard]] MatrixView tile(int i, int j) noexcept {
+  [[nodiscard]] MatrixViewT<T> tile(int i, int j) noexcept {
     return {tile_ptr(i, j), nb_, nb_, nb_};
   }
-  [[nodiscard]] ConstMatrixView tile(int i, int j) const noexcept {
+  [[nodiscard]] ConstMatrixViewT<T> tile(int i, int j) const noexcept {
     return {tile_ptr(i, j), nb_, nb_, nb_};
   }
 
   /// Base pointer of tile (i, j); doubles as the runtime data key.
-  [[nodiscard]] double* tile_ptr(int i, int j) noexcept {
+  [[nodiscard]] T* tile_ptr(int i, int j) noexcept {
     return buf_.data() + tile_offset(i, j);
   }
-  [[nodiscard]] const double* tile_ptr(int i, int j) const noexcept {
+  [[nodiscard]] const T* tile_ptr(int i, int j) const noexcept {
     return buf_.data() + tile_offset(i, j);
   }
 
   /// Element access (debug/convenience; not for hot loops).
-  [[nodiscard]] double& at(int i, int j) noexcept {
+  [[nodiscard]] T& at(int i, int j) noexcept {
     return buf_[tile_offset(i / nb_, j / nb_) +
                 static_cast<std::size_t>(j % nb_) * nb_ + (i % nb_)];
   }
-  [[nodiscard]] double at(int i, int j) const noexcept {
+  [[nodiscard]] T at(int i, int j) const noexcept {
     return buf_[tile_offset(i / nb_, j / nb_) +
                 static_cast<std::size_t>(j % nb_) * nb_ + (i % nb_)];
   }
 
-  void set_zero() noexcept { std::fill(buf_.begin(), buf_.end(), 0.0); }
+  void set_zero() noexcept { std::fill(buf_.begin(), buf_.end(), T(0)); }
 
   /// Copy from a dense column-major view of matching element dimensions.
-  void from_dense(ConstMatrixView A);
+  void from_dense(ConstMatrixViewT<T> A);
   /// Copy out to a dense column-major view of matching element dimensions.
-  void to_dense(MatrixView A) const;
-  [[nodiscard]] Matrix to_dense() const;
+  void to_dense(MatrixViewT<T> A) const;
+  [[nodiscard]] MatrixT<T> to_dense() const;
 
  private:
   [[nodiscard]] std::size_t tile_offset(int i, int j) const noexcept {
@@ -69,8 +74,10 @@ class TileMatrix {
   }
 
   int m_ = 0, n_ = 0, nb_ = 1, mt_ = 0, nt_ = 0;
-  std::vector<double> buf_;
+  std::vector<T> buf_;
 };
+
+using TileMatrix = TileMatrixT<double>;
 
 /// Smallest multiple of nb that is >= x.
 [[nodiscard]] constexpr int pad_to_tiles(int x, int nb) noexcept {
@@ -78,6 +85,7 @@ class TileMatrix {
 }
 
 /// Copy a dense matrix into a zero-padded TileMatrix of tile-multiple shape.
-TileMatrix tile_from_dense_padded(ConstMatrixView A, int nb);
+template <class T>
+TileMatrixT<T> tile_from_dense_padded(ConstMatrixViewT<T> A, int nb);
 
 }  // namespace tbsvd

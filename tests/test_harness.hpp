@@ -6,6 +6,14 @@
 //
 // Everything is deterministic from the caller's seed (the generators flow
 // through common/rng.hpp), so a failure reproduces from the test name alone.
+//
+// The helpers are templated over the scalar type T in {float, double} with
+// T = double as the default, so the historical double-only call sites
+// compile unchanged. Tolerances are expressed as multiples of
+// numeric_limits<T>::epsilon() via tol_eps<T>(k): the double defaults
+// reproduce the historical absolute constants (45 eps ~ 1e-14 per dim),
+// and the same k gives the float tier its meaningful bound (~5e-6 scale)
+// instead of an impossible one.
 #pragma once
 
 #include <gtest/gtest.h>
@@ -13,6 +21,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -22,45 +31,77 @@
 
 namespace tbsvd::test {
 
+// ------------------------------------------------------------- tolerances ---
+
+/// k units of T's machine epsilon. The harness' standard way to write a
+/// precision-independent tolerance: tol_eps<double>(45) ~ 1e-14 (the
+/// historical per-dimension orthogonality bound), tol_eps<float>(45) ~
+/// 5.4e-6 — the same backward-error budget expressed in the working
+/// precision.
+template <class T = double>
+constexpr double tol_eps(double k) {
+  return k * static_cast<double>(std::numeric_limits<T>::epsilon());
+}
+
+/// Default per-dimension tolerance for orthogonality / WY checks: 45 eps_T.
+template <class T = double>
+constexpr double default_tol_per_dim() {
+  return tol_eps<T>(45.0);
+}
+
+/// Scaled blocked-vs-reference conformance tolerance: both paths compute
+/// the same reflector sequence, so they agree to O(eps) on
+/// well-conditioned inputs. 4500 eps_T ~ 1e-12 for double (the historical
+/// constant), ~5.4e-4 for float.
+template <class T = double>
+double conformance_tol(ConstMatrixViewT<T> ref) {
+  return tol_eps<T>(4500.0) * (1.0 + norm_fro<T>(ref));
+}
+
 // ---------------------------------------------------------------- random ---
 
-inline Matrix random_matrix(int m, int n, std::uint64_t seed) {
+template <class T = double>
+MatrixT<T> random_matrix(int m, int n, std::uint64_t seed) {
   Rng rng(seed);
-  Matrix A(m, n);
+  MatrixT<T> A(m, n);
   for (int j = 0; j < n; ++j)
-    for (int i = 0; i < m; ++i) A(i, j) = rng.normal();
+    for (int i = 0; i < m; ++i) A(i, j) = static_cast<T>(rng.normal());
   return A;
 }
 
 /// Random n x n with zeros strictly below the diagonal.
-inline Matrix random_upper(int n, std::uint64_t seed) {
-  Matrix A = random_matrix(n, n, seed);
+template <class T = double>
+MatrixT<T> random_upper(int n, std::uint64_t seed) {
+  MatrixT<T> A = random_matrix<T>(n, n, seed);
   for (int j = 0; j < n; ++j)
-    for (int i = j + 1; i < n; ++i) A(i, j) = 0.0;
+    for (int i = j + 1; i < n; ++i) A(i, j) = T(0);
   return A;
 }
 
 /// Random n x n with zeros strictly above the diagonal.
-inline Matrix random_lower(int n, std::uint64_t seed) {
-  Matrix A = random_matrix(n, n, seed);
+template <class T = double>
+MatrixT<T> random_lower(int n, std::uint64_t seed) {
+  MatrixT<T> A = random_matrix<T>(n, n, seed);
   for (int j = 0; j < n; ++j)
-    for (int i = 0; i < j; ++i) A(i, j) = 0.0;
+    for (int i = 0; i < j; ++i) A(i, j) = T(0);
   return A;
 }
 
-inline Matrix transposed(ConstMatrixView A) {
-  Matrix B(A.n, A.m);
-  transpose(A, B.view());
+template <class T>
+MatrixT<T> transposed(ConstMatrixViewT<T> A) {
+  MatrixT<T> B(A.n, A.m);
+  transpose<T>(A, B.view());
   return B;
 }
 
 /// Dense reference multiply: op(A) * op(B).
-inline Matrix mul(ConstMatrixView A, ConstMatrixView B, Trans ta = Trans::No,
-                  Trans tb = Trans::No) {
+template <class T>
+MatrixT<T> mul(ConstMatrixViewT<T> A, ConstMatrixViewT<T> B,
+               Trans ta = Trans::No, Trans tb = Trans::No) {
   const int m = (ta == Trans::No) ? A.m : A.n;
   const int n = (tb == Trans::No) ? B.n : B.m;
-  Matrix C(m, n);
-  gemm(ta, tb, 1.0, A, B, 0.0, C.view());
+  MatrixT<T> C(m, n);
+  gemm<T>(ta, tb, T(1), A, B, T(0), C.view());
   return C;
 }
 
@@ -124,34 +165,39 @@ inline const char* kind_name(MatKind k) {
 // -------------------------------------------------------------- checkers ---
 
 /// ||A0 - Q R||_F / ||A0||_F (or / 1 when A0 == 0).
-inline double backward_error(ConstMatrixView A0, ConstMatrixView Q,
-                             ConstMatrixView R) {
-  Matrix QR = mul(Q, R);
+template <class T>
+double backward_error(ConstMatrixViewT<T> A0, ConstMatrixViewT<T> Q,
+                      ConstMatrixViewT<T> R) {
+  MatrixT<T> QR = mul<T>(Q, R);
   double err2 = 0.0;
   for (int j = 0; j < A0.n; ++j)
     for (int i = 0; i < A0.m; ++i) {
-      const double d = QR(i, j) - A0(i, j);
+      const double d = double(QR(i, j)) - double(A0(i, j));
       err2 += d * d;
     }
-  const double scale = norm_fro(A0);
+  const double scale = norm_fro<T>(A0);
   return std::sqrt(err2) / (scale > 0.0 ? scale : 1.0);
 }
 
 /// Scaled orthogonality check: ||I - Q^T Q||_F <= tol_per_dim * max(m, n).
-inline void expect_orthogonal(ConstMatrixView Q, double tol_per_dim = 1e-14,
-                              const char* what = "Q") {
-  EXPECT_LT(orthogonality_error(Q), tol_per_dim * std::max(Q.m, Q.n))
+/// The default bound is 45 eps_T per dimension (~1e-14 for double).
+template <class T = double>
+void expect_orthogonal(ConstMatrixViewT<T> Q,
+                       double tol_per_dim = default_tol_per_dim<T>(),
+                       const char* what = "Q") {
+  EXPECT_LT(orthogonality_error<T>(Q), tol_per_dim * std::max(Q.m, Q.n))
       << what << " not orthogonal";
 }
 
 /// Elementwise comparison with one scaled tolerance for the whole block.
-inline void expect_matrix_near(ConstMatrixView got, ConstMatrixView want,
-                               double tol, const char* what = "matrix") {
+template <class T>
+void expect_matrix_near(ConstMatrixViewT<T> got, ConstMatrixViewT<T> want,
+                        double tol, const char* what = "matrix") {
   ASSERT_EQ(got.m, want.m) << what;
   ASSERT_EQ(got.n, want.n) << what;
   for (int j = 0; j < got.n; ++j)
     for (int i = 0; i < got.m; ++i)
-      EXPECT_NEAR(got(i, j), want(i, j), tol)
+      EXPECT_NEAR(double(got(i, j)), double(want(i, j)), tol)
           << what << " at (" << i << "," << j << ")";
 }
 
@@ -166,10 +212,11 @@ inline void expect_matrix_near(ConstMatrixView got, ConstMatrixView want,
 // part of a T block cannot pass by accident.
 
 /// In-support upper triangle of a stored panel T block, densified k x k.
-inline Matrix upper_triangle_of(ConstMatrixView T, int k) {
-  Matrix Tp(k, k);
+template <class T>
+MatrixT<T> upper_triangle_of(ConstMatrixViewT<T> Tm, int k) {
+  MatrixT<T> Tp(k, k);
   for (int j = 0; j < k; ++j)
-    for (int i = 0; i <= j; ++i) Tp(i, j) = T(i, j);
+    for (int i = 0; i <= j; ++i) Tp(i, j) = Tm(i, j);
   return Tp;
 }
 
@@ -177,60 +224,66 @@ inline Matrix upper_triangle_of(ConstMatrixView T, int k) {
 /// orthogonal iff Tp (V^T V) Tp^T == Tp + Tp^T. Returns the violation
 /// scaled by the Gram's magnitude, so a tol_per_dim * m bound is uniform
 /// across shapes.
-inline double wy_t_error(ConstMatrixView V, ConstMatrixView Tstored) {
+template <class T>
+double wy_t_error(ConstMatrixViewT<T> V, ConstMatrixViewT<T> Tstored) {
   const int k = V.n;
   if (k == 0) return 0.0;
-  Matrix Tp = upper_triangle_of(Tstored, k);
-  Matrix G = mul(V, V, Trans::Yes, Trans::No);
-  Matrix TGT = mul(mul(Tp.cview(), G.cview()).cview(), Tp.cview(), Trans::No,
-                   Trans::Yes);
+  MatrixT<T> Tp = upper_triangle_of<T>(Tstored, k);
+  MatrixT<T> G = mul<T>(V, V, Trans::Yes, Trans::No);
+  MatrixT<T> TGT = mul<T>(mul<T>(Tp.cview(), G.cview()).cview(), Tp.cview(),
+                          Trans::No, Trans::Yes);
   double err2 = 0.0;
   for (int j = 0; j < k; ++j)
     for (int i = 0; i < k; ++i) {
-      const double d = TGT(i, j) - Tp(i, j) - Tp(j, i);
+      const double d =
+          double(TGT(i, j)) - double(Tp(i, j)) - double(Tp(j, i));
       err2 += d * d;
     }
-  return std::sqrt(err2) / (1.0 + norm_fro(G.cview()));
+  return std::sqrt(err2) / (1.0 + norm_fro<T>(G.cview()));
 }
 
 /// Panel-by-panel compact-WY validation of a factor kernel's (V, T) pair:
 /// every stored tau (the T diagonals) must lie in the larfg range
-/// {0} U [1, 2], every panel triangle must satisfy the WY identity, and
-/// the accumulated Q = prod_p (I - V_p T_p V_p^T) must be orthogonal to
-/// tol_per_dim * m. V is the explicit m x k reflector matrix; T is the
-/// kernel's ib x k panel-triangle storage.
-inline void expect_wy_invariants(ConstMatrixView V, ConstMatrixView T, int ib,
-                                 double tol_per_dim, const char* what) {
+/// {0} U [1, 2] to 4500 eps_T, every panel triangle must satisfy the WY
+/// identity, and the accumulated Q = prod_p (I - V_p T_p V_p^T) must be
+/// orthogonal to tol_per_dim * m. V is the explicit m x k reflector
+/// matrix; T is the kernel's ib x k panel-triangle storage.
+template <class T>
+void expect_wy_invariants(ConstMatrixViewT<T> V, ConstMatrixViewT<T> Tm,
+                          int ib, double tol_per_dim, const char* what) {
   const int m = V.m, k = V.n;
-  Matrix Q = Matrix::identity(m);
+  const double tau_tol = tol_eps<T>(4500.0);
+  MatrixT<T> Q = MatrixT<T>::identity(m);
   for (int j0 = 0; j0 < k; j0 += ib) {
     const int kb = std::min(ib, k - j0);
-    ConstMatrixView Vp = V.block(0, j0, m, kb);
-    ConstMatrixView Ts = T.block(0, j0, kb, kb);
+    ConstMatrixViewT<T> Vp = V.block(0, j0, m, kb);
+    ConstMatrixViewT<T> Ts = Tm.block(0, j0, kb, kb);
     for (int l = 0; l < kb; ++l) {
-      const double tau = Ts(l, l);
-      EXPECT_TRUE(tau == 0.0 || (tau >= 1.0 - 1e-12 && tau <= 2.0 + 1e-12))
+      const double tau = double(Ts(l, l));
+      EXPECT_TRUE(tau == 0.0 ||
+                  (tau >= 1.0 - tau_tol && tau <= 2.0 + tau_tol))
           << what << ": tau " << tau << " outside {0} U [1,2] at panel " << j0
           << " col " << l;
     }
-    EXPECT_LT(wy_t_error(Vp, Ts), tol_per_dim * m)
+    EXPECT_LT(wy_t_error<T>(Vp, Ts), tol_per_dim * m)
         << what << ": WY T identity violated in panel " << j0;
     // Q := Q (I - Vp Tp Vp^T), reading only the in-support triangle.
-    Matrix Tp = upper_triangle_of(Ts, kb);
-    Matrix W = mul(mul(Q.cview(), Vp).cview(), Tp.cview());
-    gemm(Trans::No, Trans::Yes, -1.0, W.cview(), Vp, 1.0, Q.view());
+    MatrixT<T> Tp = upper_triangle_of<T>(Ts, kb);
+    MatrixT<T> W = mul<T>(mul<T>(Q.cview(), Vp).cview(), Tp.cview());
+    gemm<T>(Trans::No, Trans::Yes, T(-1), W.cview(), Vp, T(1), Q.view());
   }
-  EXPECT_LT(orthogonality_error(Q.cview()), tol_per_dim * m)
+  EXPECT_LT(orthogonality_error<T>(Q.cview()), tol_per_dim * m)
       << what << ": accumulated block reflector not orthogonal";
 }
 
 /// Explicit reflector columns of a GEQRT-factored tile: unit diagonal,
 /// strictly-below-diagonal entries of A, zeros above.
-inline Matrix explicit_v_ge(ConstMatrixView A) {
+template <class T>
+MatrixT<T> explicit_v_ge(ConstMatrixViewT<T> A) {
   const int m = A.m, k = std::min(A.m, A.n);
-  Matrix V(m, k);
+  MatrixT<T> V(m, k);
   for (int j = 0; j < k; ++j) {
-    V(j, j) = 1.0;
+    V(j, j) = T(1);
     for (int i = j + 1; i < m; ++i) V(i, j) = A(i, j);
   }
   return V;
@@ -238,11 +291,12 @@ inline Matrix explicit_v_ge(ConstMatrixView A) {
 
 /// GELQT mirror: row reflectors returned transposed (n x k columns), so
 /// the same column-convention checkers apply.
-inline Matrix explicit_v_ge_rows(ConstMatrixView A) {
+template <class T>
+MatrixT<T> explicit_v_ge_rows(ConstMatrixViewT<T> A) {
   const int n = A.n, k = std::min(A.m, A.n);
-  Matrix V(n, k);
+  MatrixT<T> V(n, k);
   for (int i = 0; i < k; ++i) {
-    V(i, i) = 1.0;
+    V(i, i) = T(1);
     for (int j = i + 1; j < n; ++j) V(j, i) = A(i, j);
   }
   return V;
@@ -250,10 +304,11 @@ inline Matrix explicit_v_ge_rows(ConstMatrixView A) {
 
 /// TSQRT pair [I_k; V2] with V2 the dense m2 x k tail tile. For TSLQT pass
 /// the transposed row tile.
-inline Matrix explicit_v_ts(int k, ConstMatrixView V2) {
-  Matrix V(k + V2.m, k);
+template <class T>
+MatrixT<T> explicit_v_ts(int k, ConstMatrixViewT<T> V2) {
+  MatrixT<T> V(k + V2.m, k);
   for (int j = 0; j < k; ++j) {
-    V(j, j) = 1.0;
+    V(j, j) = T(1);
     for (int i = 0; i < V2.m; ++i) V(k + i, j) = V2(i, j);
   }
   return V;
@@ -264,11 +319,12 @@ inline Matrix explicit_v_ts(int k, ConstMatrixView V2) {
 /// (possibly poisoned storage) is zeroed. off = 0 is the whole-tile TTQRT
 /// contract; a nonzero off matches a ttqrf_rec panel at that column
 /// offset. For TTLQT pass the transposed row tile.
-inline Matrix explicit_v_tt(ConstMatrixView V2, int off = 0) {
+template <class T>
+MatrixT<T> explicit_v_tt(ConstMatrixViewT<T> V2, int off = 0) {
   const int k = V2.n;
-  Matrix V(k + V2.m, k);
+  MatrixT<T> V(k + V2.m, k);
   for (int j = 0; j < k; ++j) {
-    V(j, j) = 1.0;
+    V(j, j) = T(1);
     for (int i = 0; i <= off + j && i < V2.m; ++i) V(k + i, j) = V2(i, j);
   }
   return V;
@@ -277,35 +333,40 @@ inline Matrix explicit_v_tt(ConstMatrixView V2, int off = 0) {
 // ---------------------------------------------------------------- poison ---
 
 /// Sentinel written into storage a kernel must neither read nor write.
+/// Representable exactly enough in both float and double; the poison
+/// helpers round-trip it through T so the bitwise re-check is consistent.
 inline constexpr double kPoison = 1e30;
 
 /// Poison the storage strictly below the diagonal (the TTQRT V2 contract).
-inline void poison_below_diag(MatrixView A) {
+template <class T>
+void poison_below_diag(MatrixViewT<T> A) {
   for (int j = 0; j < A.n; ++j)
-    for (int i = j + 1; i < A.m; ++i) A(i, j) = kPoison;
+    for (int i = j + 1; i < A.m; ++i) A(i, j) = static_cast<T>(kPoison);
 }
 
 /// Poison the storage strictly above the diagonal (the TTLQT V2 contract).
-inline void poison_above_diag(MatrixView A) {
+template <class T>
+void poison_above_diag(MatrixViewT<T> A) {
   for (int j = 0; j < A.n; ++j)
-    for (int i = 0; i < std::min(j, A.m); ++i) A(i, j) = kPoison;
+    for (int i = 0; i < std::min(j, A.m); ++i)
+      A(i, j) = static_cast<T>(kPoison);
 }
 
-/// Every below-diagonal entry must still be bitwise kPoison.
-inline void expect_poison_below_diag(ConstMatrixView A,
-                                     const char* what = "A") {
+/// Every below-diagonal entry must still be bitwise poison.
+template <class T>
+void expect_poison_below_diag(ConstMatrixViewT<T> A, const char* what = "A") {
   for (int j = 0; j < A.n; ++j)
     for (int i = j + 1; i < A.m; ++i)
-      EXPECT_EQ(A(i, j), kPoison)
+      EXPECT_EQ(A(i, j), static_cast<T>(kPoison))
           << what << ": poison clobbered at (" << i << "," << j << ")";
 }
 
-/// Every above-diagonal entry must still be bitwise kPoison.
-inline void expect_poison_above_diag(ConstMatrixView A,
-                                     const char* what = "A") {
+/// Every above-diagonal entry must still be bitwise poison.
+template <class T>
+void expect_poison_above_diag(ConstMatrixViewT<T> A, const char* what = "A") {
   for (int j = 0; j < A.n; ++j)
     for (int i = 0; i < std::min(j, A.m); ++i)
-      EXPECT_EQ(A(i, j), kPoison)
+      EXPECT_EQ(A(i, j), static_cast<T>(kPoison))
           << what << ": poison clobbered at (" << i << "," << j << ")";
 }
 

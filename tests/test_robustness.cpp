@@ -179,7 +179,8 @@ TEST(Degenerate, EmptyShapes) {
   Matrix T(5, 0);
   EXPECT_TRUE(gesvd_values(T.cview(), small_opts()).empty());
   EXPECT_TRUE(bd2val(std::vector<double>{}, std::vector<double>{}).empty());
-  EXPECT_TRUE(sturm_singular_values({}, {}).empty());
+  EXPECT_TRUE(sturm_singular_values(std::vector<double>{},
+                                    std::vector<double>{}).empty());
 }
 
 // --------------------------------------------------------- typed errors ---
