@@ -67,6 +67,9 @@ struct Record {
   double gflops = 0.0;
   double weight_measured = -1.0;  ///< measured time normalized to GEQRT == 4
   double weight_paper = -1.0;     ///< the paper's Table-I weight
+  int batch = 0;    ///< problems per batch (batched benches; 0 = n/a)
+  int threads = 0;  ///< batch workers (emitted with batch)
+  double problems_per_sec = 0.0;  ///< batched throughput (emitted with batch)
 };
 
 /// Write records as a JSON array, replacing `path`. Returns false (with a
@@ -90,6 +93,12 @@ inline bool write_json(const char* path, const std::vector<Record>& recs) {
     if (r.weight_paper >= 0.0) {
       std::fprintf(f, ", \"weight_measured\": %.3f, \"weight_paper\": %.0f",
                    r.weight_measured, r.weight_paper);
+    }
+    if (r.batch > 0) {
+      std::fprintf(f,
+                   ", \"batch\": %d, \"threads\": %d, "
+                   "\"problems_per_sec\": %.1f",
+                   r.batch, r.threads, r.problems_per_sec);
     }
     std::fprintf(f, "}%s\n", i + 1 < recs.size() ? "," : "");
   }

@@ -5,8 +5,10 @@
 # BENCH_kernels.json are the kernel tier, BENCH_fig2_*.json the end-to-end
 # shared-memory curves (per-dtype variants carry _f32/_mixed series names
 # inside; record them under distinct --out paths, e.g.
-# BENCH_fig2_ge2bnd_f32.json), and BENCH_fig3_*/BENCH_fig4_*.json the
-# distributed-simulation scaling curves.
+# BENCH_fig2_ge2bnd_f32.json), BENCH_fig3_*/BENCH_fig4_*.json the
+# distributed-simulation scaling curves, and BENCH_batched.json the
+# batched small-problem serving throughput (problems/sec across
+# batch x threads x dtype, bench_batched).
 set -eu
 
 repo_root=$(git rev-parse --show-toplevel)

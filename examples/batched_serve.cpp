@@ -1,0 +1,99 @@
+// Batched serving: a request carrying many independent small problems —
+// mixed shapes, mixed health — dispatched once through batched::svd /
+// batched::gels instead of a one-at-a-time loop. Demonstrates the two
+// properties the serving path guarantees:
+//
+//   1. Throughput: workspace and scheduler dispatch are amortized across
+//      the batch and each problem runs at a right-sized tile size, so the
+//      batch completes several times faster than the naive loop.
+//   2. Isolation: a poisoned problem (NaN input, rank-deficient system)
+//      yields a typed per-problem report; its neighbors complete normally
+//      and the batch call itself never throws for a data failure.
+//
+//   ./batched_serve [batch] [threads]
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <vector>
+
+#include "batched/batched.hpp"
+#include "common/timer.hpp"
+#include "core/svd.hpp"
+#include "tile/matrix_gen.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tbsvd;
+  const int batch = argc > 1 ? std::atoi(argv[1]) : 256;
+  const int threads = argc > 2 ? std::atoi(argv[2]) : 4;
+
+  // --- A batch of small SVD problems with varied shapes, two of them bad.
+  std::vector<Matrix> mats;
+  mats.reserve(batch);
+  for (int i = 0; i < batch; ++i) {
+    const int m = 24 + (i % 5) * 8;        // 24..56 rows
+    const int n = 12 + (i % 3) * 10;       // 12..32 cols, some wide vs m
+    mats.push_back(generate_random(m, n, 42 + i));
+  }
+  mats[batch / 3](1, 1) = std::numeric_limits<double>::quiet_NaN();
+  mats[2 * batch / 3](0, 0) = std::numeric_limits<double>::infinity();
+
+  std::vector<ConstMatrixView> views;
+  views.reserve(batch);
+  for (const auto& a : mats) views.push_back(a.cview());
+
+  batched::BatchOptions opts;
+  opts.nthreads = threads;
+
+  WallTimer wt;
+  const batched::SvdBatchResult res = batched::svd<double>(views, opts);
+  const double t_batch = wt.seconds();
+
+  int ok = 0, failed = 0;
+  for (int i = 0; i < batch; ++i) {
+    if (res.reports[i].ok()) {
+      ++ok;
+    } else {
+      ++failed;
+      std::printf("problem %4d failed typed: %s\n", i,
+                  res.reports[i].message.c_str());
+    }
+  }
+  std::printf("svd batch: %d problems, %d ok, %d isolated failures, "
+              "%.1f problems/sec (threads=%d)\n",
+              batch, ok, failed, batch / t_batch, opts.nthreads);
+
+  // The naive loop for comparison (skipping the poisoned inputs' throws).
+  wt = WallTimer();
+  for (int i = 0; i < batch; ++i) {
+    try {
+      const auto sv = gesvd_values(views[i], GesvdOptions{});
+      volatile double keep = sv.empty() ? 0.0 : sv[0];
+      (void)keep;
+    } catch (const std::exception&) {
+      // the loop must babysit each problem itself
+    }
+  }
+  const double t_loop = wt.seconds();
+  std::printf("serial one-at-a-time loop: %.1f problems/sec -> batched is "
+              "%.2fx\n",
+              batch / t_loop, t_loop / t_batch);
+
+  // --- Batched least squares with one rank-deficient system in the mix.
+  const int nsys = 8, mm = 40, nn = 10, nrhs = 2;
+  std::vector<Matrix> as, bs;
+  for (int i = 0; i < nsys; ++i) {
+    as.push_back(generate_random(mm, nn, 1000 + i));
+    bs.push_back(generate_random(mm, nrhs, 2000 + i));
+  }
+  for (int r = 0; r < mm; ++r) as[3](r, 4) = 0.0;  // kill one column
+
+  std::vector<batched::GelsProblem<double>> sys;
+  for (int i = 0; i < nsys; ++i) sys.push_back({as[i].view(), bs[i].view()});
+  const auto reports = batched::gels<double>(sys, opts);
+  for (int i = 0; i < nsys; ++i) {
+    std::printf("gels %d: %s\n", i,
+                reports[i].ok() ? "solved" : reports[i].message.c_str());
+  }
+
+  return failed == 2 && !reports[3].ok() ? 0 : 1;
+}

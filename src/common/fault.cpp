@@ -46,6 +46,7 @@ const std::vector<const char*>& all_sites() {
       "band.bnd2bd.poison_nan",      // NaN into the bidiagonal output
       "band.bd2val.force_stall",     // QR iteration reports non-convergence
       "runtime.scheduler.task_fail", // a scheduled task throws
+      "batched.problem_poison",      // one problem of a batch fails typed
   };
   return sites;
 }

@@ -658,6 +658,47 @@ void trmm_right(UpLo uplo, Trans trans, Diag diag, MatrixViewT<T> W,
   }
 }
 
+template <class T>
+void trsm_left(UpLo uplo, Trans trans, Diag diag, ConstMatrixViewT<T> A,
+               MatrixViewT<T> B) {
+  TBSVD_CHECK(A.m == A.n && A.m == B.m, "trsm_left shape mismatch");
+  const int n = A.m;
+  const bool unit = (diag == Diag::Unit);
+  for (int c = 0; c < B.n; ++c) {
+    T* x = B.col(c);
+    if (trans == Trans::No) {
+      if (uplo == UpLo::Upper) {
+        // Back-substitution, column-oriented: once x[j] is final, retire
+        // column j of A with one axpy over the rows above it.
+        for (int j = n - 1; j >= 0; --j) {
+          if (!unit) x[j] /= A(j, j);
+          if (j > 0) axpy<T>(j, -x[j], A.col(j), 1, x, 1);
+        }
+      } else {
+        for (int j = 0; j < n; ++j) {
+          if (!unit) x[j] /= A(j, j);
+          if (j + 1 < n) axpy<T>(n - j - 1, -x[j], A.col(j) + j + 1, 1,
+                                 x + j + 1, 1);
+        }
+      }
+    } else {
+      if (uplo == UpLo::Upper) {
+        // A^T is lower triangular: forward substitution, dot over the
+        // already-solved prefix stored contiguously in column j.
+        for (int j = 0; j < n; ++j) {
+          T s = x[j] - dot<T>(j, A.col(j), 1, x, 1);
+          x[j] = unit ? s : s / A(j, j);
+        }
+      } else {
+        for (int j = n - 1; j >= 0; --j) {
+          T s = x[j] - dot<T>(n - j - 1, A.col(j) + j + 1, 1, x + j + 1, 1);
+          x[j] = unit ? s : s / A(j, j);
+        }
+      }
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Explicit instantiations: float and double are the library's supported
 // scalar types; keeping the definitions here keeps rebuilds fast and the
@@ -677,6 +718,8 @@ void trmm_right(UpLo uplo, Trans trans, Diag diag, MatrixViewT<T> W,
   template void axpy<T>(int, T, const T*, int, T*, int) noexcept;             \
   template void scal<T>(int, T, T*, int) noexcept;                            \
   template void trmm_left<T>(UpLo, Trans, Diag, ConstMatrixViewT<T>,          \
+                             MatrixViewT<T>);                                 \
+  template void trsm_left<T>(UpLo, Trans, Diag, ConstMatrixViewT<T>,          \
                              MatrixViewT<T>);                                 \
   template void trmm_right<T>(UpLo, Trans, Diag, MatrixViewT<T>,              \
                               ConstMatrixViewT<T>);                           \

@@ -63,6 +63,16 @@ template <class T>
 void trmm_left(UpLo uplo, Trans trans, Diag diag, ConstMatrixViewT<T> Tm,
                MatrixViewT<T> W);
 
+/// Solve op(A) X = B in place (B overwritten with X), A triangular
+/// (n x n), B (n x nrhs). Column-oriented forward/back substitution — sized
+/// for the small right-hand sides of the batched gels path, not for large
+/// blocked solves. The diagonal is not checked: with Diag::NonUnit a zero
+/// pivot yields non-finite results, so callers that can see rank-deficient
+/// input must test the diagonal first (batched::gels does).
+template <class T>
+void trsm_left(UpLo uplo, Trans trans, Diag diag, ConstMatrixViewT<T> A,
+               MatrixViewT<T> B);
+
 /// W := W * op(T) in place, T triangular (n x n), W (m x n).
 template <class T>
 void trmm_right(UpLo uplo, Trans trans, Diag diag, MatrixViewT<T> W,

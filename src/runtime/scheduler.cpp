@@ -1,5 +1,6 @@
 #include "runtime/scheduler.hpp"
 
+#include <chrono>
 #include <thread>
 
 #include "common/check.hpp"
@@ -8,6 +9,19 @@
 #include "common/timer.hpp"
 
 namespace tbsvd {
+
+namespace {
+thread_local int tls_worker_id = -1;
+}  // namespace
+
+int current_worker() noexcept { return tls_worker_id; }
+
+namespace detail {
+WorkerIdScope::WorkerIdScope(int wid) noexcept : prev_(tls_worker_id) {
+  tls_worker_id = wid;
+}
+WorkerIdScope::~WorkerIdScope() { tls_worker_id = prev_; }
+}  // namespace detail
 
 Scheduler::Scheduler(TaskGraph& graph, int num_threads)
     : graph_(graph), nthreads_(num_threads),
@@ -25,30 +39,42 @@ Scheduler::Scheduler(TaskGraph& graph, int num_threads)
 void Scheduler::push_task(int wid, int task_id) {
   {
     std::lock_guard<std::mutex> lk(queues_[wid]->mtx);
-    queues_[wid]->heap.push(
+    queues_[wid]->entries.insert(
         Entry{graph_.tasks_[task_id].priority, task_id});
   }
-  // Wake one sleeper; cheap enough at tile-task granularity.
-  work_signal_.fetch_add(1, std::memory_order_release);
+  // Bump the signal under idle_mtx_ so an idling worker either sees the new
+  // value in its wait predicate (evaluated holding idle_mtx_) or is already
+  // in the wait queue when we notify — never neither (the lost-wakeup
+  // window the old unlocked bump left open).
+  {
+    std::lock_guard<std::mutex> lk(idle_mtx_);
+    work_signal_.fetch_add(1, std::memory_order_release);
+  }
   idle_cv_.notify_one();
 }
 
 bool Scheduler::try_pop(int wid, int& task_id) {
   std::lock_guard<std::mutex> lk(queues_[wid]->mtx);
-  if (queues_[wid]->heap.empty()) return false;
-  task_id = queues_[wid]->heap.top().task_id;
-  queues_[wid]->heap.pop();
+  auto& q = queues_[wid]->entries;
+  if (q.empty()) return false;
+  task_id = q.begin()->task_id;  // hottest entry: CP-first for the owner
+  q.erase(q.begin());
   return true;
 }
 
 bool Scheduler::try_steal(int thief, int& task_id) {
-  // Sweep all victims once, starting after the thief.
+  // Sweep all victims once, starting after the thief. Steal from the COLD
+  // (lowest-priority) end: the priorities encode critical-path distance
+  // (cp/dag_analysis), so the victim keeps its CP work local and the thief
+  // takes the entry whose delay matters least to the makespan.
   for (int d = 1; d < nthreads_; ++d) {
     const int v = (thief + d) % nthreads_;
     std::lock_guard<std::mutex> lk(queues_[v]->mtx);
-    if (!queues_[v]->heap.empty()) {
-      task_id = queues_[v]->heap.top().task_id;
-      queues_[v]->heap.pop();
+    auto& q = queues_[v]->entries;
+    if (!q.empty()) {
+      auto cold = std::prev(q.end());
+      task_id = cold->task_id;
+      q.erase(cold);
       return true;
     }
   }
@@ -56,16 +82,29 @@ bool Scheduler::try_steal(int thief, int& task_id) {
 }
 
 void Scheduler::worker_loop(int wid) {
+  detail::WorkerIdScope worker_scope(wid);
   Trace& tr = worker_traces_[wid];
   while (remaining_.load(std::memory_order_acquire) > 0 &&
          !aborted_.load(std::memory_order_acquire)) {
+    // Snapshot the signal BEFORE probing the queues: a push landing between
+    // a failed pop/steal and the wait below bumps the signal past this
+    // snapshot, so the wait predicate sees it immediately. (Snapshotting
+    // after the probe — the old order — made exactly such a push invisible
+    // and left the 1 ms timeout as the only recovery.)
+    const int sig = work_signal_.load(std::memory_order_acquire);
     int task_id;
     if (!try_pop(wid, task_id) && !try_steal(wid, task_id)) {
-      // Nothing runnable: sleep until new work is produced or all done.
       std::unique_lock<std::mutex> lk(idle_mtx_);
-      const int sig = work_signal_.load(std::memory_order_acquire);
-      if (remaining_.load(std::memory_order_acquire) == 0) break;
-      idle_cv_.wait_for(lk, std::chrono::milliseconds(1), [&] {
+      if (remaining_.load(std::memory_order_acquire) == 0 ||
+          aborted_.load(std::memory_order_acquire)) {
+        break;
+      }
+      // Every producer-side transition (push, remaining -> 0, abort) takes
+      // idle_mtx_ before notifying, so the plain predicate wait cannot miss
+      // one. The long timeout is a defensive backstop only — correctness
+      // does not depend on it, and the executor stress tier would surface
+      // any regression that started leaning on it as a gross slowdown.
+      idle_cv_.wait_for(lk, std::chrono::milliseconds(50), [&] {
         return work_signal_.load(std::memory_order_acquire) != sig ||
                remaining_.load(std::memory_order_acquire) == 0 ||
                aborted_.load(std::memory_order_acquire);
@@ -93,6 +132,9 @@ void Scheduler::worker_loop(int wid) {
         if (!first_error_) first_error_ = std::current_exception();
       }
       aborted_.store(true, std::memory_order_release);
+      {
+        std::lock_guard<std::mutex> lk(idle_mtx_);
+      }
       idle_cv_.notify_all();
       return;
     }
@@ -106,6 +148,7 @@ void Scheduler::worker_loop(int wid) {
       }
     }
     if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lk(idle_mtx_);
       idle_cv_.notify_all();
     }
   }
@@ -119,7 +162,7 @@ void Scheduler::run() {
   for (std::size_t i = 0; i < graph_.tasks_.size(); ++i) {
     if (graph_.tasks_[i].indegree == 0) {
       std::lock_guard<std::mutex> lk(queues_[wid]->mtx);
-      queues_[wid]->heap.push(
+      queues_[wid]->entries.insert(
           Entry{graph_.tasks_[i].priority, static_cast<int>(i)});
       wid = (wid + 1) % nthreads_;
     }

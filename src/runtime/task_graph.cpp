@@ -72,6 +72,10 @@ void TaskGraph::run(int num_threads) {
 void TaskGraph::run_serial() {
   TBSVD_CHECK(!executed_, "TaskGraph already executed");
   executed_ = true;
+  // Serial execution acts as pseudo-worker 0 so task bodies that select
+  // per-worker resources via current_worker() behave identically on the
+  // reference path; the scope restores any enclosing worker id on exit.
+  detail::WorkerIdScope worker_scope(0);
   trace_.reserve(tasks_.size());
   const double t0 = WallTimer::now();
   for (std::size_t i = 0; i < tasks_.size(); ++i) {

@@ -1,0 +1,238 @@
+// Executor contention tier: randomized task systems under real thread
+// contention (exactly-once execution, trace completeness), typed abort
+// semantics mid-graph while other workers are stealing, the scheduler's
+// steal-from-the-cold-end policy (white-box via SchedulerTestPeer), and a
+// wakeup-protocol stress canary. The canary's wall bound is deliberately
+// generous: the lost-wakeup fix (snapshot work_signal_ before probing the
+// queues) is a protocol property, and a regression that re-opened the
+// window would surface here as gross slowdown — every missed wakeup costs
+// up to the 50 ms defensive backstop — rather than as a flaky timing test.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "runtime/scheduler.hpp"
+#include "runtime/task_graph.hpp"
+
+namespace tbsvd {
+
+// White-box access to the scheduler's queue policy (friend of Scheduler).
+struct SchedulerTestPeer {
+  static void push(Scheduler& s, int wid, int task_id) {
+    s.push_task(wid, task_id);
+  }
+  static bool pop(Scheduler& s, int wid, int& task_id) {
+    return s.try_pop(wid, task_id);
+  }
+  static bool steal(Scheduler& s, int thief, int& task_id) {
+    return s.try_steal(thief, task_id);
+  }
+};
+
+namespace {
+
+// Spin long enough for other workers to contend, without sleeping.
+void busy_work(int iters) {
+  volatile double x = 1.0;
+  for (int i = 0; i < iters; ++i) x = x * 1.0000001 + 1e-9;
+}
+
+TEST(SchedulerPolicy, OwnerPopsHotThiefStealsCold) {
+  // Priorities encode critical-path distance: the owner must pop its
+  // highest-priority entry while a thief takes the lowest-priority one
+  // (stealing the hot end would invert the CP-first policy — the bug this
+  // test pins down).
+  TaskGraph g;
+  int x = 0, y = 0, z = 0;
+  const int t_mid = g.submit("mid", [] {}, {{&x, Access::Write}}, 5);
+  const int t_cold = g.submit("cold", [] {}, {{&y, Access::Write}}, 1);
+  const int t_hot = g.submit("hot", [] {}, {{&z, Access::Write}}, 9);
+
+  Scheduler s(g, 2);
+  SchedulerTestPeer::push(s, 0, t_mid);
+  SchedulerTestPeer::push(s, 0, t_cold);
+  SchedulerTestPeer::push(s, 0, t_hot);
+
+  int got = -1;
+  ASSERT_TRUE(SchedulerTestPeer::steal(s, 1, got));
+  EXPECT_EQ(got, t_cold) << "thief must take the cold (priority 1) end";
+
+  ASSERT_TRUE(SchedulerTestPeer::pop(s, 0, got));
+  EXPECT_EQ(got, t_hot) << "owner must pop the hot (priority 9) end";
+
+  ASSERT_TRUE(SchedulerTestPeer::pop(s, 0, got));
+  EXPECT_EQ(got, t_mid);
+  EXPECT_FALSE(SchedulerTestPeer::pop(s, 0, got));
+  EXPECT_FALSE(SchedulerTestPeer::steal(s, 1, got));
+}
+
+TEST(SchedulerPolicy, EqualPrioritySteansOldestFromColdEnd) {
+  // Equal priorities tie-break by submission order (lower id hotter), so
+  // the thief gets the newest entry and the owner the oldest.
+  TaskGraph g;
+  int cells[3] = {};
+  const int t0 = g.submit("a", [] {}, {{&cells[0], Access::Write}}, 7);
+  const int t1 = g.submit("b", [] {}, {{&cells[1], Access::Write}}, 7);
+  const int t2 = g.submit("c", [] {}, {{&cells[2], Access::Write}}, 7);
+
+  Scheduler s(g, 2);
+  SchedulerTestPeer::push(s, 0, t1);
+  SchedulerTestPeer::push(s, 0, t0);
+  SchedulerTestPeer::push(s, 0, t2);
+
+  int got = -1;
+  ASSERT_TRUE(SchedulerTestPeer::steal(s, 1, got));
+  EXPECT_EQ(got, t2);
+  ASSERT_TRUE(SchedulerTestPeer::pop(s, 0, got));
+  EXPECT_EQ(got, t0);
+}
+
+TEST(ExecutorStress, RandomDagsEveryTaskRunsExactlyOnce) {
+  // Randomized task systems over a small key pool (dense dependency
+  // structure, lots of stealing) across thread counts. Every task must run
+  // exactly once and the trace must cover each task exactly once —
+  // double-execution, drops, and trace gaps all fail here.
+  Rng rng(20260808);
+  for (int threads : {2, 4, 8}) {
+    for (int rep = 0; rep < 6; ++rep) {
+      const int ntasks = 120 + static_cast<int>(rng.below(80));
+      const int nkeys = 12;
+      std::vector<int> keys(nkeys);
+      std::vector<std::atomic<int>> runs(ntasks);
+      for (auto& r : runs) r.store(0);
+
+      TaskGraph g;
+      for (int t = 0; t < ntasks; ++t) {
+        std::vector<DataRef> refs;
+        const int nref = 1 + static_cast<int>(rng.below(3));
+        for (int r = 0; r < nref; ++r) {
+          const int k = static_cast<int>(rng.below(nkeys));
+          const auto acc = static_cast<Access>(rng.below(3));
+          refs.push_back({&keys[k], acc});
+        }
+        const int prio = static_cast<int>(rng.below(10));
+        g.submit("stress", [&runs, t] {
+          runs[t].fetch_add(1, std::memory_order_relaxed);
+          busy_work(200);
+        }, refs, prio);
+      }
+      g.run(threads);
+
+      for (int t = 0; t < ntasks; ++t) {
+        ASSERT_EQ(runs[t].load(), 1)
+            << "task " << t << " threads=" << threads << " rep=" << rep;
+      }
+      ASSERT_EQ(g.trace().events().size(), static_cast<std::size_t>(ntasks));
+      std::vector<int> seen(ntasks, 0);
+      for (const TraceEvent& ev : g.trace().events()) {
+        ASSERT_GE(ev.task_id, 0);
+        ASSERT_LT(ev.task_id, ntasks);
+        ASSERT_GE(ev.worker, 0);
+        ASSERT_LT(ev.worker, threads);
+        ASSERT_LE(ev.t_start, ev.t_end);
+        seen[ev.task_id]++;
+      }
+      for (int t = 0; t < ntasks; ++t) {
+        ASSERT_EQ(seen[t], 1) << "trace multiplicity for task " << t;
+      }
+    }
+  }
+}
+
+TEST(ExecutorStress, TypedAbortMidGraphWhileStealing) {
+  // A task failing in the middle of a wide, steal-heavy graph: the exact
+  // exception type reaches the submitting thread, the failed task's
+  // successors never run, nothing runs twice, and the run never reports
+  // success. Repeated so the failure lands on different workers/steal
+  // states across reps.
+  for (int threads : {2, 4}) {
+    for (int rep = 0; rep < 4; ++rep) {
+      TaskGraph g;
+      const int width = 24;
+      std::vector<int> keys(width);
+      std::vector<std::atomic<int>> runs(2 * width + 1);
+      for (auto& r : runs) r.store(0);
+      std::atomic<int> after_poison{0};
+
+      // Layer 1: wide fan-out. One mid-layer task throws a typed error.
+      const int poison = width / 2;
+      for (int t = 0; t < width; ++t) {
+        g.submit("layer1", [&runs, t, poison] {
+          runs[t].fetch_add(1);
+          busy_work(500);
+          if (t == poison) {
+            throw convergence_error("mid-graph failure");
+          }
+        }, {{&keys[t], Access::Write}});
+      }
+      // Layer 2: successors, including the poisoned task's.
+      for (int t = 0; t < width; ++t) {
+        g.submit("layer2", [&runs, &after_poison, t, width, poison] {
+          runs[width + t].fetch_add(1);
+          if (t == poison) after_poison.fetch_add(1);
+        }, {{&keys[t], Access::Read}});
+      }
+      // Sink over everything.
+      {
+        std::vector<DataRef> all;
+        for (int t = 0; t < width; ++t) all.push_back({&keys[t], Access::Read});
+        g.submit("sink", [&runs, width] { runs[2 * width].fetch_add(1); },
+                 all);
+      }
+
+      EXPECT_THROW(g.run(threads), convergence_error)
+          << "threads=" << threads << " rep=" << rep;
+      EXPECT_EQ(after_poison.load(), 0)
+          << "successor of the failed task must never run";
+      EXPECT_EQ(runs[2 * width].load(), 0) << "sink must never run";
+      for (std::size_t t = 0; t < runs.size(); ++t) {
+        EXPECT_LE(runs[t].load(), 1) << "task " << t << " ran twice";
+      }
+    }
+  }
+}
+
+TEST(ExecutorStress, WakeupContentionCanary) {
+  // Many small graphs alternating a serial root (other workers go idle)
+  // with a burst of ready successors (idle workers must be woken to steal).
+  // Correctness: exactly-once for every task. Timing canary: with the
+  // snapshot-before-probe wakeup protocol this completes orders of
+  // magnitude inside the bound; a protocol regression pays up to the 50 ms
+  // backstop per missed wakeup, which the generous bound still catches as
+  // a gross slowdown without being flaky on a loaded machine.
+  const auto wall_start = std::chrono::steady_clock::now();
+  const int graphs = 150;
+  const int fanout = 8;
+  long long total_runs = 0;
+  for (int rep = 0; rep < graphs; ++rep) {
+    TaskGraph g;
+    int root_key = 0;
+    std::vector<int> keys(fanout);
+    std::atomic<int> runs{0};
+    g.submit("root", [&runs] {
+      runs.fetch_add(1);
+      busy_work(2000);  // long enough for the other workers to go idle
+    }, {{&root_key, Access::Write}});
+    for (int t = 0; t < fanout; ++t) {
+      g.submit("burst", [&runs] { runs.fetch_add(1); },
+               {{&root_key, Access::Read}, {&keys[t], Access::Write}});
+    }
+    g.submit("join", [&runs] { runs.fetch_add(1); }, {{&root_key, Access::ReadWrite}});
+    g.run(4);
+    ASSERT_EQ(runs.load(), fanout + 2) << "rep=" << rep;
+    total_runs += runs.load();
+  }
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  EXPECT_EQ(total_runs, static_cast<long long>(graphs) * (fanout + 2));
+  EXPECT_LT(wall, 30.0) << "wakeup path regressed into the timeout backstop";
+}
+
+}  // namespace
+}  // namespace tbsvd

@@ -8,9 +8,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <new>
 #include <vector>
 
+#include "batched/batched.hpp"
 #include "common/fault.hpp"
 #include "core/svd.hpp"
 #include "runtime/task_graph.hpp"
@@ -57,6 +59,45 @@ Outcome classify(const Matrix& A, const std::vector<double>& ref) {
   return info.status == Status::Ok ? Outcome::Success : Outcome::Degraded;
 }
 
+// batched.* sites live in the batch serving layer, not the dense driver, so
+// they sweep through batched::svd. The contract is the per-problem form of
+// the same fail-safe rule: exactly one problem takes the injected fault as
+// a typed report (which worker reaches the site first is scheduling-
+// dependent), and every other problem completes with correct values.
+Outcome classify_batched(const Matrix& A, const std::vector<double>& ref) {
+  const std::vector<ConstMatrixView> probs = {A.cview(), A.cview()};
+  batched::BatchOptions bo;
+  bo.nthreads = 2;
+  batched::SvdBatchResult res;
+  try {
+    res = batched::svd<double>(probs, bo);
+  } catch (const internal_error&) {
+    return Outcome::TypedError;  // infrastructure failure propagates typed
+  }
+  int poisoned = 0;
+  for (std::size_t p = 0; p < probs.size(); ++p) {
+    if (!res.reports[p].ok()) {
+      ++poisoned;
+      if (res.reports[p].status != Status::NumericalHazard) {
+        return Outcome::SilentGarbage;
+      }
+      continue;
+    }
+    if (res.values[p].size() != ref.size()) return Outcome::SilentGarbage;
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      if (!std::isfinite(res.values[p][i]) ||
+          std::fabs(res.values[p][i] - ref[i]) > 1e-9 * (1.0 + ref[0])) {
+        return Outcome::SilentGarbage;
+      }
+    }
+  }
+  return poisoned == 1 ? Outcome::TypedError : Outcome::SilentGarbage;
+}
+
+bool batched_site(const char* site) {
+  return std::strncmp(site, "batched.", 8) == 0;
+}
+
 TEST(FaultSweep, EverySiteFailsSafe) {
   const Matrix A = test::random_matrix(48, 32, 1337);
   const std::vector<double> ref = gesvd_values(A.cview(), sweep_opts());
@@ -64,7 +105,8 @@ TEST(FaultSweep, EverySiteFailsSafe) {
   for (const char* site : fault::all_sites()) {
     SCOPED_TRACE(site);
     fault::Scoped armed(site);
-    const Outcome out = classify(A, ref);
+    const Outcome out =
+        batched_site(site) ? classify_batched(A, ref) : classify(A, ref);
     EXPECT_TRUE(fault::fired())
         << "armed site was never reached by the pipeline";
     EXPECT_NE(out, Outcome::SilentGarbage)
@@ -109,7 +151,11 @@ TEST(FaultSweep, MixedDriverEverySiteFailsSafe) {
   for (const char* site : fault::all_sites()) {
     SCOPED_TRACE(site);
     fault::Scoped armed(site);
-    const Outcome out = classify_mixed(A, ref);
+    // The batched layer has no mixed-precision twin; its sites sweep
+    // through the batched driver here too so the catalogue invariant
+    // (every armed site fires) holds for both sweeps.
+    const Outcome out =
+        batched_site(site) ? classify_batched(A, ref) : classify_mixed(A, ref);
     EXPECT_TRUE(fault::fired())
         << "armed site was never reached by the mixed pipeline";
     EXPECT_NE(out, Outcome::SilentGarbage)
@@ -135,11 +181,14 @@ TEST(FaultSweep, SiteOutcomesMatchContract) {
       {"band.bnd2bd.poison_nan", Outcome::TypedError},   // bd2val scan
       {"band.bd2val.force_stall", Outcome::Degraded},    // Sturm fallback
       {"runtime.scheduler.task_fail", Outcome::TypedError},
+      {"batched.problem_poison", Outcome::TypedError},   // typed report
   };
   for (const Case& c : cases) {
     SCOPED_TRACE(c.site);
     fault::Scoped armed(c.site);
-    EXPECT_EQ(classify(A, ref), c.expected);
+    const Outcome out =
+        batched_site(c.site) ? classify_batched(A, ref) : classify(A, ref);
+    EXPECT_EQ(out, c.expected);
     EXPECT_TRUE(fault::fired());
   }
 }

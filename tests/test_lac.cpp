@@ -140,6 +140,46 @@ TEST(Blas, TrmmRightAgainstGemm) {
   }
 }
 
+TEST(Blas, TrsmLeftRoundTripsTrmm) {
+  // trsm_left must invert trmm_left for every uplo x trans x diag combo:
+  // B := op(Tri) * X, solve op(Tri) X' = B, X' == X up to conditioning.
+  const int k = 11, n = 5;
+  Matrix Tfull = random_matrix(k, k, 28);
+  for (int j = 0; j < k; ++j) Tfull(j, j) += 4.0;  // keep well-conditioned
+  for (const auto uplo : {UpLo::Upper, UpLo::Lower}) {
+    for (const auto trans : {Trans::No, Trans::Yes}) {
+      for (const auto diag : {Diag::Unit, Diag::NonUnit}) {
+        Matrix Tri(k, k);
+        for (int j = 0; j < k; ++j) {
+          for (int i = 0; i < k; ++i) {
+            const bool keep = (uplo == UpLo::Upper) ? (i <= j) : (i >= j);
+            Tri(i, j) = keep ? Tfull(i, j) : 0.0;
+          }
+          if (diag == Diag::Unit) Tri(j, j) = 1.0;
+        }
+        Matrix X = random_matrix(k, n, 29);
+        Matrix B = mul(Tri.cview(), X.cview(), trans, Trans::No);
+        trsm_left(uplo, trans, diag, Tfull.cview(), B.view());
+        for (int j = 0; j < n; ++j)
+          for (int i = 0; i < k; ++i)
+            EXPECT_NEAR(B(i, j), X(i, j), 1e-11)
+                << "uplo=" << (uplo == UpLo::Upper) << " trans="
+                << (trans == Trans::Yes) << " diag=" << (diag == Diag::Unit);
+      }
+    }
+  }
+}
+
+TEST(Blas, TrsmLeftSingleElement) {
+  double a = 2.0, b = 6.0;
+  ConstMatrixView A(&a, 1, 1, 1);
+  MatrixView B(&b, 1, 1, 1);
+  trsm_left(UpLo::Upper, Trans::No, Diag::NonUnit, A, B);
+  EXPECT_DOUBLE_EQ(b, 3.0);
+  trsm_left(UpLo::Lower, Trans::Yes, Diag::Unit, A, B);
+  EXPECT_DOUBLE_EQ(b, 3.0);  // unit diagonal: solve is the identity at k=1
+}
+
 TEST(Householder, LarfgAnnihilates) {
   Rng rng(11);
   for (int n : {1, 2, 3, 10, 50}) {
