@@ -26,6 +26,8 @@
 #include "kernels/lq_kernels.hpp"
 #include "kernels/qr_kernels.hpp"
 #include "tile/matrix_gen.hpp"
+#include "tune/calibrate.hpp"
+#include "tune/tune.hpp"
 
 namespace tbsvd::bench {
 
@@ -145,20 +147,23 @@ inline std::string dtype_suffix(DType d) {
 }
 
 /// Shared argv handling for the benches:
-/// `[--smoke] [--out PATH] [--dtype f32|f64|mixed] [--nb N]`.
+/// `[--smoke] [--out PATH] [--dtype f32|f64|mixed] [--nb N]
+///  [--tune-file PATH]`.
 /// Returns false (after printing usage) on unknown arguments. `smoke`
 /// additionally picks up pre-set state (e.g. TBSVD_BENCH_FULL) untouched —
 /// it only narrows the sweep; `out` is left at the caller's default when
-/// no --out is given. Benches that don't support precision selection or a
-/// tile-size override pass nullptr for `dtype` / `nb`, which rejects the
-/// flag.
+/// no --out is given. Benches that don't support precision selection, a
+/// tile-size override or a persisted calibration pass nullptr for
+/// `dtype` / `nb` / `tune_file`, which rejects the flag.
 inline bool parse_bench_args(int argc, char** argv, bool& smoke,
                              const char*& out, DType* dtype = nullptr,
-                             int* nb = nullptr) {
+                             int* nb = nullptr,
+                             const char** tune_file = nullptr) {
   auto usage = [&] {
-    std::fprintf(stderr, "usage: %s [--smoke] [--out PATH]%s%s\n", argv[0],
+    std::fprintf(stderr, "usage: %s [--smoke] [--out PATH]%s%s%s\n", argv[0],
                  dtype != nullptr ? " [--dtype f32|f64|mixed]" : "",
-                 nb != nullptr ? " [--nb N]" : "");
+                 nb != nullptr ? " [--nb N]" : "",
+                 tune_file != nullptr ? " [--tune-file PATH]" : "");
     return false;
   };
   for (int i = 1; i < argc; ++i) {
@@ -182,6 +187,9 @@ inline bool parse_bench_args(int argc, char** argv, bool& smoke,
                i + 1 < argc) {
       *nb = std::atoi(argv[++i]);
       if (*nb < 1) return usage();
+    } else if (tune_file != nullptr &&
+               std::strcmp(argv[i], "--tune-file") == 0 && i + 1 < argc) {
+      *tune_file = argv[++i];
     } else {
       return usage();
     }
@@ -189,88 +197,37 @@ inline bool parse_bench_args(int argc, char** argv, bool& smoke,
   return true;
 }
 
-/// Measured seconds per tile kernel at (nb, ib): the cost model that turns
-/// schedule simulation into wall-clock / GFlop/s predictions. Templated
-/// over the scalar so the float series simulate with float kernel times;
-/// the default keeps the historical double calibration.
-template <class T = double>
-inline std::map<Op, double> calibrate_kernels(int nb, int ib, int reps = 3) {
-  using namespace tbsvd::kernels;
-  std::map<Op, double> out;
-  auto gen = [&](std::uint64_t s) {
-    Matrix Ad = generate_random(nb, nb, s);
-    MatrixT<T> A(nb, nb);
-    convert_matrix(Ad.cview(), A.view());
-    return A;
-  };
-  MatrixT<T> a1 = gen(1);
-  MatrixT<T> c1 = gen(3), c2 = gen(4);
-  MatrixT<T> t(ib, nb);
-
-  auto time_op = [&](auto&& setup, auto&& fn) {
-    double best = 1e300;
-    for (int r = 0; r < reps; ++r) {
-      setup();
-      WallTimer w;
-      fn();
-      best = std::min(best, w.seconds());
-    }
-    return best;
-  };
-  auto reset = [&](MatrixT<T>& m, std::uint64_t s) { m = gen(s); };
-
-  out[Op::GEQRT] = time_op([&] { reset(a1, 1); },
-                           [&] { geqrt(a1.view(), t.view(), ib); });
-  // Factored (V, T) reused for the update kernels.
-  MatrixT<T> vq = gen(11), tq(ib, nb);
-  geqrt(vq.view(), tq.view(), ib);
-  out[Op::UNMQR] = time_op([&] { reset(c1, 5); }, [&] {
-    unmqr(Trans::Yes, vq.cview(), tq.cview(), c1.view(), ib);
-  });
-  MatrixT<T> r1 = gen(12), v2 = gen(13);
-  MatrixT<T> tts(ib, nb);
-  for (int j = 0; j < nb; ++j)
-    for (int i = j + 1; i < nb; ++i) r1(i, j) = T(0);
-  MatrixT<T> r1c = r1, v2c = v2;
-  tsqrt(r1c.view(), v2c.view(), tts.view(), ib);
-  out[Op::TSQRT] = time_op(
-      [&] {
-        r1c = r1;
-        v2c = v2;
-      },
-      [&] { tsqrt(r1c.view(), v2c.view(), tts.view(), ib); });
-  out[Op::TSMQR] = time_op([&] { reset(c1, 6); reset(c2, 7); }, [&] {
-    tsmqr(Trans::Yes, c1.view(), c2.view(), v2c.cview(), tts.cview(), ib);
-  });
-  MatrixT<T> u1 = r1, u2 = gen(14), ttt(ib, nb);
-  for (int j = 0; j < nb; ++j)
-    for (int i = j + 1; i < nb; ++i) u2(i, j) = T(0);
-  MatrixT<T> u1c = u1, u2c = u2;
-  ttqrt(u1c.view(), u2c.view(), ttt.view(), ib);
-  out[Op::TTQRT] = time_op(
-      [&] {
-        u1c = u1;
-        u2c = u2;
-      },
-      [&] { ttqrt(u1c.view(), u2c.view(), ttt.view(), ib); });
-  out[Op::TTMQR] = time_op([&] { reset(c1, 8); reset(c2, 9); }, [&] {
-    ttmqr(Trans::Yes, c1.view(), c2.view(), u2c.cview(), ttt.cview(), ib);
-  });
-  // LQ mirrors share the QR costs (verified by test_lq_kernels); reuse.
-  out[Op::GELQT] = out[Op::GEQRT];
-  out[Op::UNMLQ] = out[Op::UNMQR];
-  out[Op::TSLQT] = out[Op::TSQRT];
-  out[Op::TSMLQ] = out[Op::TSMQR];
-  out[Op::TTLQT] = out[Op::TTQRT];
-  out[Op::TTMLQ] = out[Op::TTMQR];
-  out[Op::LASET] = 1e-7;
-  return out;
+/// Load a persisted calibration for a bench run (--tune-file): exits with
+/// a message on a corrupt/stale file rather than silently re-calibrating,
+/// and prints the host-mismatch flag when the file came from another
+/// machine. Returns the per-dtype table (Mixed maps to "f32" — its
+/// GE2BND-stage cost is the float reduction's).
+inline const tune::PrecisionCalib& load_tune_table(const char* path,
+                                                   tune::Calibration& cal,
+                                                   DType dtype) {
+  tune::TuneLoadInfo info;
+  try {
+    cal = tune::load_calibration(path, &info);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench: --tune-file %s unusable: %s\n", path,
+                 e.what());
+    std::exit(1);
+  }
+  if (info.host_mismatch) {
+    std::fprintf(stderr, "bench: note: %s\n", info.message.c_str());
+  }
+  const tune::PrecisionCalib* t =
+      cal.find(dtype == DType::F64 ? "f64" : "f32");
+  if (t == nullptr) t = &cal.precisions.front();
+  return *t;
 }
 
-/// Cost model from a calibration table.
-inline OpCost measured_cost(const std::map<Op, double>& table) {
-  return [table](const TileOp& t) { return table.at(t.op); };
-}
+// Kernel-time calibration and the measured cost model were promoted into
+// the library (src/tune/calibrate.hpp) so the autotuner and the scheduler's
+// priority seeding share them with the benches; re-exported here to keep
+// every bench's call sites unchanged.
+using tune::calibrate_kernels;
+using tune::measured_cost;
 
 inline void print_header(const std::string& title,
                          const std::vector<std::string>& cols) {

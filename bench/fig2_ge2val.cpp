@@ -19,7 +19,11 @@
 // Record schema plus problem extents) for cross-PR tracking via
 // bench/history/.
 //
+// With --tune-file PATH the tiled columns take (nb, ib) from a persisted
+// tbsvd_tune calibration (an explicit --nb still wins on the tile size).
+//
 // Usage: fig2_ge2val [--smoke] [--out PATH] [--dtype f32|f64|mixed] [--nb N]
+//                    [--tune-file PATH]
 #include <thread>
 
 #include "baseline/chan.hpp"
@@ -34,6 +38,7 @@ using namespace tbsvd;
 using namespace tbsvd::bench;
 
 int g_nb = 64;
+int g_ib = 16;
 DType g_dtype = DType::F64;
 
 std::vector<Record> g_records;
@@ -55,7 +60,7 @@ MatrixT<T> input_matrix(int m, int n) {
 GesvdOptions tiled_opts(int nthreads, TreeKind tree, BidiagAlg alg) {
   GesvdOptions o;
   o.nb = g_nb;
-  o.ge2bnd.ib = 16;
+  o.ge2bnd.ib = g_ib;
   o.ge2bnd.qr_tree = o.ge2bnd.lq_tree = tree;
   o.ge2bnd.alg = alg;
   o.ge2bnd.nthreads = nthreads;
@@ -130,7 +135,24 @@ int main(int argc, char** argv) {
 
   bool smoke = false;
   const char* out = "BENCH_fig2_ge2val.json";
-  if (!parse_bench_args(argc, argv, smoke, out, &g_dtype, &g_nb)) return 2;
+  const char* tune_file = nullptr;
+  int nb_flag = 0;
+  if (!parse_bench_args(argc, argv, smoke, out, &g_dtype, &nb_flag,
+                        &tune_file)) {
+    return 2;
+  }
+  if (nb_flag > 0) g_nb = nb_flag;
+  tune::Calibration cal;
+  if (tune_file != nullptr) {
+    const tune::PrecisionCalib& pc =
+        load_tune_table(tune_file, cal, g_dtype);
+    if (nb_flag == 0) {
+      g_nb = pc.nb;
+      g_ib = pc.ib;
+    }
+    std::printf("using persisted calibration %s (nb=%d, ib=%d)\n", tune_file,
+                g_nb, g_ib);
+  }
   const std::string dsuf = dtype_suffix(g_dtype);
 
   const int hw = static_cast<int>(std::thread::hardware_concurrency());

@@ -16,14 +16,18 @@
 #include "lac/qr_rec.hpp"
 #include "runtime/scheduler.hpp"
 #include "runtime/task_graph.hpp"
+#include "tune/tune.hpp"
 
 namespace tbsvd::batched {
 
 namespace {
 
-/// Minor-extent cutoff for the direct (preQR + GEBRD + BD2VAL) per-problem
-/// SVD path. Below it, the tiled pipeline's fixed costs dominate and going
-/// direct is a ~3x win; above it the tiled two-stage reduction takes over.
+/// Fallback minor-extent cutoff for the direct (preQR + GEBRD + BD2VAL)
+/// per-problem SVD path — the hand-tuned value used when neither
+/// BatchOptions::direct_max_cols nor an active calibration's probed
+/// crossover overrides it. Below the cutoff, the tiled pipeline's fixed
+/// costs dominate and going direct is a ~3x win; above it the tiled
+/// two-stage reduction takes over.
 constexpr int kDirectMaxCols = 48;
 
 /// Per-worker scratch, sized once per batch for the largest problem and
@@ -150,6 +154,11 @@ SvdBatchResult svd(const std::vector<ConstMatrixViewT<T>>& problems,
                    const BatchOptions& opts) {
   validate_opts(opts);
   TBSVD_CHECK(opts.svd_nb >= 1, "batched::svd: svd_nb must be >= 1");
+  TBSVD_CHECK(opts.direct_max_cols >= 0,
+              "batched::svd: direct_max_cols must be >= 0 (0 = tuned)");
+  // Direct-vs-tiled crossover: explicit option > calibration probe > 48.
+  const int direct_max_cols = tune::resolved_direct_max_cols(
+      opts.direct_max_cols, static_cast<int>(sizeof(T)), kDirectMaxCols);
   const std::size_t np = problems.size();
   SvdBatchResult res;
   res.values.resize(np);
@@ -176,7 +185,8 @@ SvdBatchResult svd(const std::vector<ConstMatrixViewT<T>>& problems,
   }
 
   run_batch<T>(np, opts, arenas, res.reports,
-               [&problems, &res, &opts](std::size_t i, WorkerArena<T>& ar) {
+               [&problems, &res, &opts, direct_max_cols](std::size_t i,
+                                                         WorkerArena<T>& ar) {
     if (TBSVD_FAULT_FIRE("batched.problem_poison")) {
       throw numerical_hazard_error(
           "injected fault: batched problem poisoned");
@@ -195,7 +205,7 @@ SvdBatchResult svd(const std::vector<ConstMatrixViewT<T>>& problems,
     const int mw = std::max(p.m, p.n), nw = std::min(p.m, p.n);
     const bool wide = p.m < p.n;
 
-    if (nw <= kDirectMaxCols) {
+    if (nw <= direct_max_cols) {
       // Small-problem fast path: the tile pipeline's fixed costs (padding
       // to nb multiples, per-tile task setup, the two-stage band detour)
       // dominate at serving extents, so go direct — recursive-panel preQR

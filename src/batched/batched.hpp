@@ -44,6 +44,12 @@ struct BatchOptions {
   /// extent), keeping the band narrow in the small-tile regime instead of
   /// padding up to the large-matrix default.
   int svd_nb = 16;
+  /// Minor-extent cutoff below which a batch member takes the direct
+  /// (preQR + GEBRD + BD2VAL) SVD path instead of the tiled pipeline.
+  /// 0 resolves to the active calibration's probed crossover
+  /// (tune::resolved_direct_max_cols) and to the hand-tuned 48 when no
+  /// calibration is loaded; > 0 is an explicit override.
+  int direct_max_cols = 0;
 };
 
 /// Typed per-problem outcome. ok() mirrors SvdInfo::ok(): a Degraded solve

@@ -47,6 +47,7 @@ const std::vector<const char*>& all_sites() {
       "band.bd2val.force_stall",     // QR iteration reports non-convergence
       "runtime.scheduler.task_fail", // a scheduled task throws
       "batched.problem_poison",      // one problem of a batch fails typed
+      "tune.load_poison",            // calibration file parse fails typed
   };
   return sites;
 }

@@ -5,9 +5,11 @@
 #include "common/check.hpp"
 #include "common/hazard.hpp"
 #include "common/timer.hpp"
+#include "cp/dag_analysis.hpp"
 #include "kernels/lq_kernels.hpp"
 #include "kernels/qr_kernels.hpp"
 #include "kernels/tgrid.hpp"
+#include "tune/tune.hpp"
 
 namespace tbsvd {
 
@@ -122,10 +124,21 @@ ExecResult execute_tile_ops(TileMatrixT<T>& A, const std::vector<TileOp>& ops,
   TBSVD_CHECK(opt.nthreads >= 1, "ExecOptions: need nthreads >= 1");
   GridSet<T> grids{&A, &tf.tqts, &tf.tqtt, &tf.tlts, &tf.tltt};
 
+  // With a machine calibration active, reseed the scheduler priorities from
+  // the weighted critical path (upward ranks under measured kernel costs)
+  // instead of the generator's step ordinals. Priorities only order ready
+  // tasks, so the result is bit-identical either way — just scheduled in a
+  // measured CP-first order.
+  std::vector<int> wprio;
+  if (OpCost cost = tune::active_op_cost(static_cast<int>(sizeof(T)))) {
+    wprio = cp_priorities(ops, cost);
+  }
+
   TaskGraph graph;
   std::vector<TileAccess> acc;
   std::vector<DataRef> refs;
-  for (const TileOp& t : ops) {
+  for (std::size_t id = 0; id < ops.size(); ++id) {
+    const TileOp& t = ops[id];
     acc.clear();
     op_accesses(t, acc);
     refs.clear();
@@ -134,7 +147,7 @@ ExecResult execute_tile_ops(TileMatrixT<T>& A, const std::vector<TileOp>& ops,
     }
     graph.submit(op_name(t.op), [t, grids, ib = opt.ib] {
       run_op<T>(t, grids, ib);
-    }, refs, t.prio);
+    }, refs, wprio.empty() ? t.prio : wprio[id]);
   }
 
   WallTimer timer;
@@ -154,7 +167,7 @@ template <class T>
 ExecResult ge2bnd(TileMatrixT<T>& A, const Ge2bndOptions& opt) {
   const int p = A.mt(), q = A.nt();
   TBSVD_CHECK(p >= q && q >= 1, "ge2bnd requires p >= q >= 1 tiles");
-  TBSVD_CHECK(opt.ib >= 1, "ge2bnd: need ib >= 1");
+  TBSVD_CHECK(opt.ib >= 0, "ge2bnd: need ib >= 0 (0 = tuned/default)");
   TBSVD_CHECK(opt.nthreads >= 1, "ge2bnd: need nthreads >= 1");
   TBSVD_CHECK(opt.gamma > 0.0, "ge2bnd: need gamma > 0");
   // A NaN/Inf anywhere poisons the whole reduction (Householder norms and
@@ -178,7 +191,9 @@ ExecResult ge2bnd(TileMatrixT<T>& A, const Ge2bndOptions& opt) {
       use_r ? build_rbidiag_ops(p, q, cfg) : build_bidiag_ops(p, q, cfg);
 
   ExecOptions eo;
-  eo.ib = std::min(opt.ib, A.nb());  // nb caps the useful inner blocking
+  const int ib =
+      tune::resolved_ib(opt.ib, static_cast<int>(sizeof(T)), /*fallback=*/32);
+  eo.ib = std::min(ib, A.nb());  // nb caps the useful inner blocking
   eo.nthreads = opt.nthreads;
   eo.serial = opt.serial;
   return execute_tile_ops<T>(A, ops, eo);

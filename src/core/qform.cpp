@@ -6,6 +6,7 @@
 #include "kernels/lq_kernels.hpp"
 #include "kernels/qr_kernels.hpp"
 #include "lac/blas.hpp"
+#include "tune/tune.hpp"
 
 namespace tbsvd {
 
@@ -13,8 +14,11 @@ template <class T>
 Ge2bndFactorsT<T> bidiag_factored(TileMatrixT<T> A, const Ge2bndOptions& opt) {
   const int p = A.mt(), q = A.nt();
   TBSVD_CHECK(p >= q && q >= 1, "bidiag_factored requires p >= q >= 1");
+  TBSVD_CHECK(opt.ib >= 0, "bidiag_factored: need ib >= 0 (0 = tuned)");
   Ge2bndFactorsT<T> f;
-  f.ib = std::min(opt.ib, A.nb());
+  f.ib = std::min(
+      tune::resolved_ib(opt.ib, static_cast<int>(sizeof(T)), /*fallback=*/32),
+      A.nb());
   AlgConfig cfg;
   cfg.qr_tree = opt.qr_tree;
   cfg.lq_tree = opt.lq_tree;

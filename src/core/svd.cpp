@@ -13,10 +13,23 @@
 #include "common/timer.hpp"
 #include "core/qform.hpp"
 #include "lac/blas.hpp"
+#include "tune/tune.hpp"
 
 namespace tbsvd {
 
 namespace {
+
+// Tile size for a dense n-column input: explicit opts.nb wins; the 0
+// sentinel takes the calibration's tuned nb (else the historical 64),
+// capped near n so a large tuned tile never makes a small problem pad up
+// to a mostly-empty tile grid.
+template <class T>
+int resolve_dense_nb(int requested, int n) {
+  const int nb = tune::resolved_nb(requested, static_cast<int>(sizeof(T)),
+                                   /*fallback=*/64);
+  if (requested > 0) return nb;
+  return std::max(1, std::min(nb, std::max(64, n)));
+}
 
 // One pass over every tile: finiteness plus max |a_ij|. Padding tiles are
 // zero, so they never affect the result.
@@ -52,7 +65,7 @@ constexpr Precision precision_of() {
 template <class T>
 std::vector<double> gesvd_values(TileMatrixT<T>& A, const GesvdOptions& opts,
                                  GesvdTimings* timings, SvdInfo* info) {
-  TBSVD_CHECK(opts.nb >= 1, "gesvd_values: tile size nb must be >= 1");
+  TBSVD_CHECK(opts.nb >= 0, "gesvd_values: tile size nb must be >= 0");
   SvdInfo local_info;
   SvdInfo& si = (info != nullptr) ? *info : local_info;
   si = SvdInfo{};
@@ -112,10 +125,11 @@ std::vector<double> gesvd_values(ConstMatrixViewT<T> A,
                                  GesvdTimings* timings, SvdInfo* info) {
   TBSVD_CHECK(A.m >= A.n, "gesvd_values requires m >= n (transpose first)");
   TBSVD_CHECK(A.n == 0 || A.a != nullptr, "gesvd_values: null input data");
-  TBSVD_CHECK(opts.nb >= 1, "gesvd_values: tile size nb must be >= 1");
+  TBSVD_CHECK(opts.nb >= 0, "gesvd_values: tile size nb must be >= 0");
   if (info != nullptr) *info = SvdInfo{};
   if (A.n == 0) return {};
-  TileMatrixT<T> tiled = tile_from_dense_padded<T>(A, opts.nb);
+  const int nb = resolve_dense_nb<T>(opts.nb, A.n);
+  TileMatrixT<T> tiled = tile_from_dense_padded<T>(A, nb);
   std::vector<double> sv = gesvd_values<T>(tiled, opts, timings, info);
   // Padding contributed exactly (padded_n - n) zero singular values at the
   // tail of the sorted spectrum; keep the leading n.
@@ -128,7 +142,7 @@ std::vector<double> gesvd_values_mixed(ConstMatrixView A,
                                        GesvdTimings* timings, SvdInfo* info) {
   TBSVD_CHECK(A.m >= A.n, "gesvd_values_mixed requires m >= n");
   TBSVD_CHECK(A.n == 0 || A.a != nullptr, "gesvd_values_mixed: null input");
-  TBSVD_CHECK(opts.nb >= 1, "gesvd_values_mixed: tile size nb must be >= 1");
+  TBSVD_CHECK(opts.nb >= 0, "gesvd_values_mixed: tile size nb must be >= 0");
   SvdInfo local_info;
   SvdInfo& si = (info != nullptr) ? *info : local_info;
   si = SvdInfo{};
@@ -146,8 +160,9 @@ std::vector<double> gesvd_values_mixed(ConstMatrixView A,
   // Padded double working copy. The reduction runs in float, so the norm
   // must be brought into the *float* safe range; the refinement then sees
   // the same scaled data, and the spectrum is unscaled at the very end.
-  const int mp = pad_to_tiles(A.m, opts.nb);
-  const int np = pad_to_tiles(A.n, opts.nb);
+  const int nb = resolve_dense_nb<float>(opts.nb, A.n);
+  const int mp = pad_to_tiles(A.m, nb);
+  const int np = pad_to_tiles(A.n, nb);
   Matrix Ad(mp, np);
   copy<double>(A, Ad.view().block(0, 0, A.m, A.n));
   const double target = svd_safe_target<float>(scan.amax);
@@ -160,7 +175,7 @@ std::vector<double> gesvd_values_mixed(ConstMatrixView A,
 
   // Demote to float and tile. The factored (BIDIAG) path keeps the
   // Householder data and T triangles alive for the vector lift below.
-  TileMatrixT<float> tiled(mp, np, opts.nb);
+  TileMatrixT<float> tiled(mp, np, nb);
   {
     MatrixT<float> Af(mp, np);
     convert_matrix<float, double>(Ad.cview(), Af.view());

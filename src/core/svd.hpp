@@ -32,7 +32,11 @@ namespace tbsvd {
 
 struct GesvdOptions {
   Ge2bndOptions ge2bnd;
-  int nb = 64;  ///< tile size used when tiling a dense input
+  /// Tile size used when tiling a dense input; 0 resolves to the active
+  /// calibration's tuned nb (capped near the problem size so small inputs
+  /// never pad up to a large tuned tile) and to the historical 64 when no
+  /// calibration is loaded.
+  int nb = 0;
   Bd2valOptions bd2val;
 };
 

@@ -4,8 +4,14 @@
 #include <queue>
 
 #include "common/check.hpp"
+#include "tune/tune.hpp"
 
 namespace tbsvd {
+
+int DistSimParams::resolved_nb() const noexcept {
+  return tune::resolved_nb(nb, static_cast<int>(sizeof(double)),
+                           /*fallback=*/160);
+}
 
 DistSimResult simulate_distributed(const std::vector<TileOp>& ops,
                                    const Distribution& dist,

@@ -1,0 +1,117 @@
+#include "tune/calibrate.hpp"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/check.hpp"
+#include "common/timer.hpp"
+#include "kernels/lq_kernels.hpp"
+#include "kernels/qr_kernels.hpp"
+#include "lac/blas.hpp"
+#include "tile/matrix_gen.hpp"
+
+namespace tbsvd::tune {
+
+template <class T>
+std::map<Op, double> calibrate_kernels(int nb, int ib, int reps) {
+  TBSVD_CHECK(nb >= 1 && ib >= 1 && ib <= nb,
+              "calibrate_kernels: need 1 <= ib <= nb");
+  TBSVD_CHECK(reps >= 1, "calibrate_kernels: need reps >= 1");
+  using namespace tbsvd::kernels;
+  std::map<Op, double> out;
+  auto gen = [&](std::uint64_t s) {
+    Matrix Ad = generate_random(nb, nb, s);
+    MatrixT<T> A(nb, nb);
+    convert_matrix(Ad.cview(), A.view());
+    return A;
+  };
+  MatrixT<T> a1 = gen(1);
+  MatrixT<T> c1 = gen(3), c2 = gen(4);
+  MatrixT<T> t(ib, nb);
+
+  auto time_op = [&](auto&& setup, auto&& fn) {
+    double best = 1e300;
+    for (int r = 0; r < reps; ++r) {
+      setup();
+      WallTimer w;
+      fn();
+      best = std::min(best, w.seconds());
+    }
+    return best;
+  };
+  auto reset = [&](MatrixT<T>& m, std::uint64_t s) { m = gen(s); };
+
+  out[Op::GEQRT] = time_op([&] { reset(a1, 1); },
+                           [&] { geqrt(a1.view(), t.view(), ib); });
+  // Factored (V, T) reused for the update kernels.
+  MatrixT<T> vq = gen(11), tq(ib, nb);
+  geqrt(vq.view(), tq.view(), ib);
+  out[Op::UNMQR] = time_op([&] { reset(c1, 5); }, [&] {
+    unmqr(Trans::Yes, vq.cview(), tq.cview(), c1.view(), ib);
+  });
+  MatrixT<T> r1 = gen(12), v2 = gen(13);
+  MatrixT<T> tts(ib, nb);
+  for (int j = 0; j < nb; ++j)
+    for (int i = j + 1; i < nb; ++i) r1(i, j) = T(0);
+  MatrixT<T> r1c = r1, v2c = v2;
+  tsqrt(r1c.view(), v2c.view(), tts.view(), ib);
+  out[Op::TSQRT] = time_op(
+      [&] {
+        r1c = r1;
+        v2c = v2;
+      },
+      [&] { tsqrt(r1c.view(), v2c.view(), tts.view(), ib); });
+  out[Op::TSMQR] = time_op([&] { reset(c1, 6); reset(c2, 7); }, [&] {
+    tsmqr(Trans::Yes, c1.view(), c2.view(), v2c.cview(), tts.cview(), ib);
+  });
+  MatrixT<T> u1 = r1, u2 = gen(14), ttt(ib, nb);
+  for (int j = 0; j < nb; ++j)
+    for (int i = j + 1; i < nb; ++i) u2(i, j) = T(0);
+  MatrixT<T> u1c = u1, u2c = u2;
+  ttqrt(u1c.view(), u2c.view(), ttt.view(), ib);
+  out[Op::TTQRT] = time_op(
+      [&] {
+        u1c = u1;
+        u2c = u2;
+      },
+      [&] { ttqrt(u1c.view(), u2c.view(), ttt.view(), ib); });
+  out[Op::TTMQR] = time_op([&] { reset(c1, 8); reset(c2, 9); }, [&] {
+    ttmqr(Trans::Yes, c1.view(), c2.view(), u2c.cview(), ttt.cview(), ib);
+  });
+  // LQ mirrors share the QR costs (verified by test_lq_kernels); reuse.
+  out[Op::GELQT] = out[Op::GEQRT];
+  out[Op::UNMLQ] = out[Op::UNMQR];
+  out[Op::TSLQT] = out[Op::TSQRT];
+  out[Op::TSMLQ] = out[Op::TSMQR];
+  out[Op::TTLQT] = out[Op::TTQRT];
+  out[Op::TTMLQ] = out[Op::TTMQR];
+  out[Op::LASET] = 1e-7;
+  return out;
+}
+
+OpCost measured_cost(const std::map<Op, double>& table) {
+  return [table](const TileOp& t) { return table.at(t.op); };
+}
+
+template <class T>
+double calibrate_gemm_gflops(int nb, int reps) {
+  TBSVD_CHECK(nb >= 1 && reps >= 1, "calibrate_gemm_gflops: bad arguments");
+  Matrix Ad = generate_random(nb, nb, 21), Bd = generate_random(nb, nb, 22);
+  MatrixT<T> A(nb, nb), B(nb, nb), C(nb, nb);
+  convert_matrix(Ad.cview(), A.view());
+  convert_matrix(Bd.cview(), B.view());
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    WallTimer w;
+    gemm<T>(Trans::No, Trans::No, T(1), A.cview(), B.cview(), T(0), C.view());
+    best = std::min(best, w.seconds());
+  }
+  return 2.0 * nb * static_cast<double>(nb) * nb / best / 1e9;
+}
+
+template std::map<Op, double> calibrate_kernels<float>(int, int, int);
+template std::map<Op, double> calibrate_kernels<double>(int, int, int);
+template double calibrate_gemm_gflops<float>(int, int);
+template double calibrate_gemm_gflops<double>(int, int);
+
+}  // namespace tbsvd::tune

@@ -17,6 +17,7 @@
 #include "core/svd.hpp"
 #include "runtime/task_graph.hpp"
 #include "test_harness.hpp"
+#include "tune/tune.hpp"
 
 namespace tbsvd {
 namespace {
@@ -98,6 +99,37 @@ bool batched_site(const char* site) {
   return std::strncmp(site, "batched.", 8) == 0;
 }
 
+// tune.* sites live in the calibration-file load path, not the solve
+// pipeline; they sweep through parse_calibration on a well-formed file.
+// The contract: a poisoned load throws typed (invalid_argument_error) —
+// the library's implicit active() path then records the flagged fallback
+// instead of silently adopting defaults.
+bool tune_site(const char* site) {
+  return std::strncmp(site, "tune.", 5) == 0;
+}
+
+Outcome classify_tune() {
+  tune::Calibration c;
+  c.host = tune::host_fingerprint();
+  tune::PrecisionCalib p;
+  p.dtype = "f64";
+  p.nb = 64;
+  p.ib = 16;
+  p.direct_max_cols = 48;
+  for (int op = 0; op <= static_cast<int>(Op::LASET); ++op) {
+    p.kernel_seconds[static_cast<Op>(op)] = 1e-4;
+  }
+  c.precisions.push_back(p);
+  const std::string text = tune::serialize_calibration(c);
+  try {
+    const tune::Calibration parsed = tune::parse_calibration(text);
+    if (parsed.precisions.size() != 1) return Outcome::SilentGarbage;
+  } catch (const invalid_argument_error&) {
+    return Outcome::TypedError;
+  }
+  return Outcome::Success;
+}
+
 TEST(FaultSweep, EverySiteFailsSafe) {
   const Matrix A = test::random_matrix(48, 32, 1337);
   const std::vector<double> ref = gesvd_values(A.cview(), sweep_opts());
@@ -105,8 +137,9 @@ TEST(FaultSweep, EverySiteFailsSafe) {
   for (const char* site : fault::all_sites()) {
     SCOPED_TRACE(site);
     fault::Scoped armed(site);
-    const Outcome out =
-        batched_site(site) ? classify_batched(A, ref) : classify(A, ref);
+    const Outcome out = tune_site(site)      ? classify_tune()
+                        : batched_site(site) ? classify_batched(A, ref)
+                                             : classify(A, ref);
     EXPECT_TRUE(fault::fired())
         << "armed site was never reached by the pipeline";
     EXPECT_NE(out, Outcome::SilentGarbage)
@@ -151,11 +184,12 @@ TEST(FaultSweep, MixedDriverEverySiteFailsSafe) {
   for (const char* site : fault::all_sites()) {
     SCOPED_TRACE(site);
     fault::Scoped armed(site);
-    // The batched layer has no mixed-precision twin; its sites sweep
-    // through the batched driver here too so the catalogue invariant
-    // (every armed site fires) holds for both sweeps.
-    const Outcome out =
-        batched_site(site) ? classify_batched(A, ref) : classify_mixed(A, ref);
+    // The batched and tune layers have no mixed-precision twin; their
+    // sites sweep through their own drivers here too so the catalogue
+    // invariant (every armed site fires) holds for both sweeps.
+    const Outcome out = tune_site(site)      ? classify_tune()
+                        : batched_site(site) ? classify_batched(A, ref)
+                                             : classify_mixed(A, ref);
     EXPECT_TRUE(fault::fired())
         << "armed site was never reached by the mixed pipeline";
     EXPECT_NE(out, Outcome::SilentGarbage)
@@ -182,12 +216,14 @@ TEST(FaultSweep, SiteOutcomesMatchContract) {
       {"band.bd2val.force_stall", Outcome::Degraded},    // Sturm fallback
       {"runtime.scheduler.task_fail", Outcome::TypedError},
       {"batched.problem_poison", Outcome::TypedError},   // typed report
+      {"tune.load_poison", Outcome::TypedError},         // typed parse fail
   };
   for (const Case& c : cases) {
     SCOPED_TRACE(c.site);
     fault::Scoped armed(c.site);
-    const Outcome out =
-        batched_site(c.site) ? classify_batched(A, ref) : classify(A, ref);
+    const Outcome out = tune_site(c.site)      ? classify_tune()
+                        : batched_site(c.site) ? classify_batched(A, ref)
+                                               : classify(A, ref);
     EXPECT_EQ(out, c.expected);
     EXPECT_TRUE(fault::fired());
   }
