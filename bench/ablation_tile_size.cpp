@@ -4,6 +4,7 @@
 // opposite. The paper tuned nb = 160, ib = 32 at m = n = 20000..30000.
 // We report the per-stage split of GE2VAL across (nb, ib) on a scaled
 // problem, plus measured kernel efficiency per nb.
+#include <algorithm>
 #include <thread>
 
 #include "bench_common.hpp"
@@ -19,7 +20,8 @@ int main() {
   using namespace tbsvd;
   using namespace tbsvd::bench;
 
-  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  const int hw = static_cast<int>(
+      std::max(1u, std::thread::hardware_concurrency()));
   const int m = full_mode() ? 1536 : 768;
   const int n = m;
 

@@ -10,6 +10,7 @@
 // grid when --smoke is given).
 //
 // Usage: autotune_compare [--smoke] [--out PATH] [--tune-file PATH]
+#include <algorithm>
 #include <thread>
 
 #include "bench_common.hpp"
@@ -46,7 +47,8 @@ double run_case(int m, int n, int nb, int ib, int nthreads, int reps,
 template <class T>
 void compare_precision(const tune::PrecisionCalib& pc, bool smoke) {
   const char* dt = sizeof(T) == sizeof(float) ? "f32" : "f64";
-  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  const int hw = static_cast<int>(
+      std::max(1u, std::thread::hardware_concurrency()));
   const int reps = smoke ? 1 : 3;
   // fig2 shapes: square (2a/2d) and tall-and-skinny (2b/2e).
   struct Shape {

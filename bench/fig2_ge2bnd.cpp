@@ -29,6 +29,7 @@
 //
 // Usage: fig2_ge2bnd [--smoke] [--out PATH] [--dtype f32|f64|mixed] [--nb N]
 //                    [--tune-file PATH]
+#include <algorithm>
 #include <thread>
 
 #include "bench_common.hpp"
@@ -110,7 +111,8 @@ int main(int argc, char** argv) {
   }
   if (nb_flag > 0) g_nb = nb_flag;
 
-  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  const int hw = static_cast<int>(
+      std::max(1u, std::thread::hardware_concurrency()));
   std::map<Op, double> ktab;
   tune::Calibration cal;
   if (tune_file != nullptr) {

@@ -11,6 +11,7 @@
 //      and the batch call itself never throws for a data failure.
 //
 //   ./batched_serve [batch] [threads]
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <limits>
@@ -24,7 +25,9 @@
 int main(int argc, char** argv) {
   using namespace tbsvd;
   const int batch = argc > 1 ? std::atoi(argv[1]) : 256;
-  const int threads = argc > 2 ? std::atoi(argv[2]) : 4;
+  // The option contract requires nthreads >= 1 (a bad flag would now be
+  // a typed error, not a hang); keep the example friendly and clamp.
+  const int threads = std::max(1, argc > 2 ? std::atoi(argv[2]) : 4);
 
   // --- A batch of small SVD problems with varied shapes, two of them bad.
   std::vector<Matrix> mats;

@@ -11,8 +11,11 @@
 #include <thread>
 
 #include "common/rng.hpp"
+#include "common/timer.hpp"
 #include "core/svd.hpp"
 #include "lac/blas.hpp"
+#include "rsvd/rsvd.hpp"
+#include "tune/tune.hpp"
 
 int main(int argc, char** argv) {
   using namespace tbsvd;
@@ -45,13 +48,22 @@ int main(int argc, char** argv) {
   // Principal values = singular values of the centered data matrix. The
   // SvdInfo out-param reports how the solve went (docs/ROBUSTNESS.md):
   // whether the input was pre-scaled and whether any degraded path ran.
+  // Tile size through the autotuner's 0-sentinel (tools/autotune writes
+  // the calibration it resolves from; 32 is the uncalibrated fallback).
+  // hardware_concurrency() may return 0 (unknown): the option contract
+  // requires nthreads >= 1, so clamp before handing it to the executor.
   GesvdOptions opts;
-  opts.nb = 32;
+  opts.nb = tune::resolved_nb(0, sizeof(double), 32);
   opts.ge2bnd.alg = BidiagAlg::Auto;  // tall-and-skinny -> R-BIDIAG
-  opts.ge2bnd.nthreads =
-      static_cast<int>(std::thread::hardware_concurrency());
+  opts.ge2bnd.nthreads = static_cast<int>(
+      std::max(1u, std::thread::hardware_concurrency()));
+  std::printf("nb = %d (%s), %d threads\n", opts.nb,
+              tune::active() ? "calibrated" : "default",
+              opts.ge2bnd.nthreads);
   SvdInfo info;
+  WallTimer full_timer;
   const auto sv = gesvd_values(X.cview(), opts, nullptr, &info);
+  const double full_sec = full_timer.seconds();
   std::printf("solve: status=%s scaled=%d qr_iters=%lld fallback=%d\n",
               status_name(info.status), info.scaled ? 1 : 0,
               info.qr_iterations, info.bisection_fallback ? 1 : 0);
@@ -70,6 +82,26 @@ int main(int argc, char** argv) {
   }
   std::printf("planted rank %d; components for 99.5%% variance: %d\n", rank,
               effective + 1);
+
+  // PCA rarely needs the full spectrum: the randomized truncated driver
+  // (src/rsvd) resolves just the leading components through a Gaussian
+  // sketch + TSQR range finder, at a fraction of the full solve's cost.
+  {
+    const int k = std::min(10, std::min(samples, features));
+    GesvdTruncatedOptions topt;
+    topt.nthreads = opts.ge2bnd.nthreads;
+    WallTimer t;
+    const TruncatedSvd r = gesvd_truncated(X.cview(), k, topt);
+    const double trunc_sec = t.seconds();
+    double maxrel = 0.0;
+    for (int i = 0; i < k; ++i)
+      maxrel = std::max(maxrel, std::fabs(r.values[i] - sv[i]) / sv[0]);
+    std::printf("truncated top-%d (status=%s): %.1fx faster than full "
+                "(%.3fs vs %.3fs), max rel dev %.2e\n",
+                k, status_name(r.info.status),
+                trunc_sec > 0.0 ? full_sec / trunc_sec : 0.0, trunc_sec,
+                full_sec, maxrel);
+  }
 
   // Degraded-but-successful solve: starve the bidiagonal QR iteration so
   // bd2val must take the Sturm-bisection fallback. The result is flagged

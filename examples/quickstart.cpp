@@ -3,6 +3,7 @@
 // a prescribed spectrum (the LATMS protocol used in the paper).
 //
 //   ./quickstart [m] [n]
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <thread>
@@ -31,8 +32,9 @@ int main(int argc, char** argv) {
   opts.ge2bnd.qr_tree = TreeKind::Auto;
   opts.ge2bnd.lq_tree = TreeKind::Auto;
   opts.ge2bnd.alg = BidiagAlg::Auto;
-  opts.ge2bnd.nthreads =
-      static_cast<int>(std::thread::hardware_concurrency());
+  // hardware_concurrency() may report 0; the option contract is >= 1.
+  opts.ge2bnd.nthreads = static_cast<int>(
+      std::max(1u, std::thread::hardware_concurrency()));
   GesvdTimings t;
   const auto sv = gesvd_values(A.cview(), opts, &t);
 

@@ -6,7 +6,7 @@
 #include <type_traits>
 
 #include "band/bd2val.hpp"
-#include "baseline/gebrd.hpp"
+#include "batched/small_svd.hpp"
 #include "common/check.hpp"
 #include "common/fault.hpp"
 #include "common/hazard.hpp"
@@ -232,22 +232,9 @@ SvdBatchResult svd(const std::vector<ConstMatrixViewT<T>>& problems,
         info.scale_from = scan.amax;
         info.scale_to = target;
       }
-      MatrixViewT<T> r = s;
-      if (5 * mw >= 6 * nw) {  // Chan/Elemental switch ratio m >= 1.2 n
-        MatrixViewT<T> tf(ar.tfac, nw, nw, nw);
-        geqrf_rec<T>(s, tf);
-        std::fill(ar.rbuf, ar.rbuf + static_cast<std::size_t>(nw) * nw,
-                  T(0));
-        r = MatrixViewT<T>(ar.rbuf, nw, nw, nw);
-        for (int j = 0; j < nw; ++j) {
-          for (int ii = 0; ii <= j; ++ii) r(ii, j) = s(ii, j);
-        }
-      }
-      std::vector<T> d, e;
-      gebrd<T>(r, d, e);
       Bd2valInfo bi;
       const std::vector<T> svt =
-          bd2val<T>(std::move(d), std::move(e), {}, &bi);
+          small_svd_values<T>(s, ar.tfac, ar.rbuf, {}, &bi);
       info.status = bi.status;
       info.qr_iterations = bi.qr_iterations;
       info.bisection_fallback = bi.bisection_fallback;

@@ -1,5 +1,6 @@
 #include "runtime/scheduler.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 
@@ -25,7 +26,12 @@ WorkerIdScope::~WorkerIdScope() { tls_worker_id = prev_; }
 
 Scheduler::Scheduler(TaskGraph& graph, int num_threads)
     : graph_(graph), nthreads_(num_threads),
-      indegree_(graph.tasks_.size()), worker_traces_(num_threads) {
+      indegree_(graph.tasks_.size()),
+      worker_traces_(static_cast<std::size_t>(std::max(num_threads, 0))) {
+  // Enforced here as well as in TaskGraph::run so direct Scheduler users
+  // (and every option struct funneling into it) hit the same typed error
+  // the headers document instead of a zero-worker hang.
+  TBSVD_CHECK(num_threads >= 1, "Scheduler: num_threads must be >= 1");
   queues_.reserve(num_threads);
   for (int i = 0; i < num_threads; ++i) {
     queues_.push_back(std::make_unique<WorkerQueue>());

@@ -16,6 +16,25 @@ const char* tree_name(TreeKind k) noexcept {
   return "?";
 }
 
+bool tree_from_name(const char* name, TreeKind& out) noexcept {
+  if (name == nullptr) return false;
+  auto eq = [name](const char* want) {
+    const char* a = name;
+    const char* b = want;
+    for (; *a != '\0' && *b != '\0'; ++a, ++b) {
+      const char ca = (*a >= 'A' && *a <= 'Z') ? *a - 'A' + 'a' : *a;
+      const char cb = (*b >= 'A' && *b <= 'Z') ? *b - 'A' + 'a' : *b;
+      if (ca != cb) return false;
+    }
+    return *a == '\0' && *b == '\0';
+  };
+  if (eq("flatts")) { out = TreeKind::FlatTS; return true; }
+  if (eq("flattt")) { out = TreeKind::FlatTT; return true; }
+  if (eq("greedy")) { out = TreeKind::Greedy; return true; }
+  if (eq("auto"))   { out = TreeKind::Auto;   return true; }
+  return false;
+}
+
 int binomial_rounds(int h) noexcept {
   int r = 0;
   int span = 1;

@@ -23,6 +23,11 @@ enum class TreeKind { FlatTS, FlatTT, Greedy, Auto };
 
 [[nodiscard]] const char* tree_name(TreeKind k) noexcept;
 
+/// Inverse of tree_name (case-insensitive): parses "flatts" / "flattt" /
+/// "greedy" / "auto" into `out` and returns true, false on anything else.
+/// Benches and examples use it for --tree flags; it never throws.
+[[nodiscard]] bool tree_from_name(const char* name, TreeKind& out) noexcept;
+
 enum class ElimKind { TS, TT };
 
 /// One elimination: tile `row` is zeroed against pivot tile `piv`

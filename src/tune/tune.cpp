@@ -598,6 +598,13 @@ int resolved_direct_max_cols(int requested, int scalar_bytes,
                                                    : fallback;
 }
 
+int resolved_oversample(int requested, int fallback) noexcept {
+  // No calibration probe for the sketch width yet: the sentinel resolves
+  // to the built-in default so today's behavior is deterministic, and a
+  // future probed value slots in here without touching any call site.
+  return requested > 0 ? requested : fallback;
+}
+
 OpCost active_op_cost(int scalar_bytes) noexcept {
   std::lock_guard<std::mutex> lk(g_active_mtx);
   const PrecisionCalib* t = active_table_locked(scalar_bytes);

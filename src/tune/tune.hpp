@@ -175,6 +175,13 @@ void reset_active() noexcept;
 [[nodiscard]] int resolved_direct_max_cols(int requested, int scalar_bytes,
                                            int fallback) noexcept;
 
+/// Oversampling columns of the randomized range finder (src/rsvd):
+/// requested > 0 wins; the 0 sentinel resolves to `fallback` today — the
+/// calibration schema carries no oversampling probe yet, and this is the
+/// single place a future probe plugs into (same contract as the other
+/// resolved_* sentinels).
+[[nodiscard]] int resolved_oversample(int requested, int fallback) noexcept;
+
 /// Measured OpCost of the active calibration for the scalar width, or an
 /// empty function when no calibration (or no usable table) is active —
 /// callers treat empty as "keep static behavior".

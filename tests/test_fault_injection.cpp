@@ -15,6 +15,7 @@
 #include "batched/batched.hpp"
 #include "common/fault.hpp"
 #include "core/svd.hpp"
+#include "rsvd/rsvd.hpp"
 #include "runtime/task_graph.hpp"
 #include "test_harness.hpp"
 #include "tune/tune.hpp"
@@ -99,6 +100,53 @@ bool batched_site(const char* site) {
   return std::strncmp(site, "batched.", 8) == 0;
 }
 
+// rsvd.* sites live in the randomized range-finder, so they sweep through
+// gesvd_truncated. The run is deterministic from the fixed seed, so the
+// no-exception branch compares against an unfaulted reference run computed
+// before arming. Contract for the catalogued site: the poisoned sketch is
+// caught by the TSQR input scan and surfaces as a typed
+// numerical_hazard_error, never as a quietly wrong basis.
+bool rsvd_site(const char* site) {
+  return std::strncmp(site, "rsvd.", 5) == 0;
+}
+
+GesvdTruncatedOptions rsvd_sweep_opts() {
+  GesvdTruncatedOptions o;
+  o.nb = 16;
+  o.ib = 8;
+  o.nthreads = 2;
+  return o;
+}
+
+std::vector<double> rsvd_ref(const Matrix& A) {
+  return gesvd_truncated(A.cview(), 8, rsvd_sweep_opts()).values;
+}
+
+Outcome classify_rsvd(const Matrix& A, const std::vector<double>& rref) {
+  TruncatedSvd r;
+  try {
+    r = gesvd_truncated(A.cview(), 8, rsvd_sweep_opts());
+  } catch (const invalid_argument_error&) {
+    return Outcome::TypedError;
+  } catch (const numerical_hazard_error&) {
+    return Outcome::TypedError;
+  } catch (const convergence_error&) {
+    return Outcome::TypedError;
+  } catch (const internal_error&) {
+    return Outcome::TypedError;
+  } catch (const std::bad_alloc&) {
+    return Outcome::TypedError;
+  }
+  if (r.values.size() != rref.size()) return Outcome::SilentGarbage;
+  for (std::size_t i = 0; i < rref.size(); ++i) {
+    if (!std::isfinite(r.values[i]) ||
+        std::fabs(r.values[i] - rref[i]) > 1e-9 * (1.0 + rref[0])) {
+      return Outcome::SilentGarbage;
+    }
+  }
+  return r.info.status == Status::Ok ? Outcome::Success : Outcome::Degraded;
+}
+
 // tune.* sites live in the calibration-file load path, not the solve
 // pipeline; they sweep through parse_calibration on a well-formed file.
 // The contract: a poisoned load throws typed (invalid_argument_error) —
@@ -133,12 +181,14 @@ Outcome classify_tune() {
 TEST(FaultSweep, EverySiteFailsSafe) {
   const Matrix A = test::random_matrix(48, 32, 1337);
   const std::vector<double> ref = gesvd_values(A.cview(), sweep_opts());
+  const std::vector<double> rref = rsvd_ref(A);
 
   for (const char* site : fault::all_sites()) {
     SCOPED_TRACE(site);
     fault::Scoped armed(site);
     const Outcome out = tune_site(site)      ? classify_tune()
                         : batched_site(site) ? classify_batched(A, ref)
+                        : rsvd_site(site)    ? classify_rsvd(A, rref)
                                              : classify(A, ref);
     EXPECT_TRUE(fault::fired())
         << "armed site was never reached by the pipeline";
@@ -180,15 +230,17 @@ Outcome classify_mixed(const Matrix& A, const std::vector<double>& ref) {
 TEST(FaultSweep, MixedDriverEverySiteFailsSafe) {
   const Matrix A = test::random_matrix(48, 32, 2674);
   const std::vector<double> ref = gesvd_values(A.cview(), sweep_opts());
+  const std::vector<double> rref = rsvd_ref(A);
 
   for (const char* site : fault::all_sites()) {
     SCOPED_TRACE(site);
     fault::Scoped armed(site);
-    // The batched and tune layers have no mixed-precision twin; their
-    // sites sweep through their own drivers here too so the catalogue
-    // invariant (every armed site fires) holds for both sweeps.
+    // The batched, tune, and rsvd layers have no mixed-precision twin;
+    // their sites sweep through their own drivers here too so the
+    // catalogue invariant (every armed site fires) holds for both sweeps.
     const Outcome out = tune_site(site)      ? classify_tune()
                         : batched_site(site) ? classify_batched(A, ref)
+                        : rsvd_site(site)    ? classify_rsvd(A, rref)
                                              : classify_mixed(A, ref);
     EXPECT_TRUE(fault::fired())
         << "armed site was never reached by the mixed pipeline";
@@ -217,12 +269,15 @@ TEST(FaultSweep, SiteOutcomesMatchContract) {
       {"runtime.scheduler.task_fail", Outcome::TypedError},
       {"batched.problem_poison", Outcome::TypedError},   // typed report
       {"tune.load_poison", Outcome::TypedError},         // typed parse fail
+      {"rsvd.sketch_poison", Outcome::TypedError},       // TSQR input scan
   };
+  const std::vector<double> rref = rsvd_ref(A);
   for (const Case& c : cases) {
     SCOPED_TRACE(c.site);
     fault::Scoped armed(c.site);
     const Outcome out = tune_site(c.site)      ? classify_tune()
                         : batched_site(c.site) ? classify_batched(A, ref)
+                        : rsvd_site(c.site)    ? classify_rsvd(A, rref)
                                                : classify(A, ref);
     EXPECT_EQ(out, c.expected);
     EXPECT_TRUE(fault::fired());
